@@ -1,0 +1,42 @@
+// Ablation: sensitivity of headline results to the two calibrated timing-
+// model constants (DESIGN.md section 4): the latency-hiding depth and the
+// roofline interference factor. The paper's qualitative conclusions should
+// hold across the sweep — this bench demonstrates that they do.
+
+#include "bench_common.hpp"
+#include "core/comem.hpp"
+#include "core/shuffle_reduce.hpp"
+
+namespace {
+
+void Ablate_LatencyHiding(benchmark::State& state) {
+  int hiding = static_cast<int>(state.range(0));
+  auto p = cumbench::DeviceProfile::v100();
+  p.latency_hiding = hiding;
+  for (auto _ : state) {
+    cumbench::Runtime rt(p);
+    auto r = cumb::run_comem(rt, 1 << 21, 1024);
+    cumbench::export_pair(state, r);
+    state.counters["latency_hiding"] = hiding;
+  }
+}
+
+void Ablate_Interference(benchmark::State& state) {
+  double interference = static_cast<double>(state.range(0)) / 100.0;
+  auto p = cumbench::DeviceProfile::v100();
+  p.roofline_interference = interference;
+  for (auto _ : state) {
+    cumbench::Runtime rt(p);
+    auto r = cumb::run_shuffle_reduce(rt, 1 << 20);
+    cumbench::export_pair(state, r);
+    state.counters["interference_pct"] = interference * 100;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Ablate_LatencyHiding)->Arg(1)->Arg(4)->Arg(12)->Arg(32)->Iterations(1);
+BENCHMARK(Ablate_Interference)->Arg(0)->Arg(20)->Arg(35)->Arg(70)->Iterations(1);
+
+CUMB_BENCH_MAIN("Ablation - timing-model constants",
+                "CoMem/Shuffle conclusions robust to latency-hiding and interference")

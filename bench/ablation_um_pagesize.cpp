@@ -1,0 +1,32 @@
+// Ablation: unified-memory page granularity. The stride at which unified
+// memory starts to win (Fig. 16) is set by the page size: larger pages move
+// more useless data per fault and push the crossover to larger strides.
+
+#include "bench_common.hpp"
+#include "core/unimem.hpp"
+
+namespace {
+
+void Ablate_UmPageSize(benchmark::State& state) {
+  std::size_t page = static_cast<std::size_t>(state.range(0));
+  int stride = static_cast<int>(state.range(1));
+  auto p = cumbench::DeviceProfile::v100();
+  p.um_page_bytes = page;
+  for (auto _ : state) {
+    cumbench::Runtime rt(p);
+    auto r = cumb::run_unimem(rt, 1 << 22, stride);
+    cumbench::export_pair(state, r);
+    state.counters["page_KiB"] = static_cast<double>(page) / 1024;
+    state.counters["stride"] = stride;
+    state.counters["migrated_MB"] = static_cast<double>(r.migrated_bytes) / (1 << 20);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Ablate_UmPageSize)
+    ->ArgsProduct({{4096, 16384, 65536}, {256, 4096, 16384}})
+    ->Iterations(1);
+
+CUMB_BENCH_MAIN("Ablation - unified-memory page size",
+                "larger pages push the UM-wins crossover to larger strides")

@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Each binary regenerates one table or figure from the paper's evaluation.
+// All reported numbers are *simulated* times (the vgpu timing model), not
+// wall-clock: the google-benchmark iteration wraps one deterministic
+// simulation and exports the simulated milliseconds and speedup as counters,
+// so one iteration per configuration is exact. A header printed from main()
+// states which figure the series reproduces and what the paper measured.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/common.hpp"
+#include "core/report.hpp"
+#include "sim/device.hpp"
+
+namespace cumbench {
+
+using cumb::PairResult;
+using cumb::Runtime;
+using vgpu::DeviceProfile;
+
+/// Export the standard counters of a naive/optimized pair.
+inline void export_pair(benchmark::State& state, const PairResult& r) {
+  state.counters["naive_sim_ms"] = r.naive_us * 1e-3;
+  state.counters["optimized_sim_ms"] = r.optimized_us * 1e-3;
+  state.counters["speedup"] = r.speedup();
+  state.counters["verified"] = r.results_match ? 1 : 0;
+}
+
+/// Print the standard banner; call at the top of each bench main().
+inline void banner(const char* figure, const char* paper_result) {
+  std::printf("# %s\n# Paper result: %s\n# Columns are simulated times from the "
+              "vgpu model (see DESIGN.md).\n",
+              figure, paper_result);
+}
+
+}  // namespace cumbench
+
+/// Boilerplate main that prints a banner before running the benchmarks.
+#define CUMB_BENCH_MAIN(figure, paper_result)                       \
+  int main(int argc, char** argv) {                                 \
+    cumbench::banner(figure, paper_result);                         \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }

@@ -1,0 +1,28 @@
+// Extension: histogram privatization — global atomics vs shared-memory
+// private histograms, swept over input skew. The more the samples
+// concentrate in one bin, the harder the global-atomic kernel serializes
+// and the bigger the privatization win.
+
+#include "bench_common.hpp"
+#include "core/histogram.hpp"
+
+namespace {
+
+void Ext_Histogram(benchmark::State& state) {
+  double skew = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_histogram(rt, 1 << 20, 256, skew);
+    cumbench::export_pair(state, r);
+    state.counters["skew_pct"] = skew * 100;
+    state.counters["global_serial"] = static_cast<double>(r.global_serializations);
+    state.counters["shared_serial"] = static_cast<double>(r.shared_serializations);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Ext_Histogram)->Arg(0)->Arg(25)->Arg(50)->Arg(90)->Arg(100)->Iterations(1);
+
+CUMB_BENCH_MAIN("Extension - histogram privatization (shared-memory atomics)",
+                "privatization win grows with bin contention (input skew)")

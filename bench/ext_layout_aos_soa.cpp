@@ -1,0 +1,30 @@
+// Extension (paper future work): the dense instance of the MiniTransfer
+// pattern — AoS vs SoA particle layout. SoA ships 4x fewer bytes here and
+// its kernel coalesces, so the win combines both effects.
+
+#include "bench_common.hpp"
+#include "core/layout.hpp"
+
+namespace {
+
+void Ext_LayoutAosSoa(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_layout(rt, n);
+    cumbench::export_pair(state, r);
+    state.counters["aos_MB"] = static_cast<double>(r.aos_bytes) / (1 << 20);
+    state.counters["soa_MB"] = static_cast<double>(r.soa_bytes) / (1 << 20);
+    state.counters["aos_gld_txn"] =
+        static_cast<double>(r.naive_stats.gld_transactions);
+    state.counters["soa_gld_txn"] =
+        static_cast<double>(r.optimized_stats.gld_transactions);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Ext_LayoutAosSoa)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Iterations(1);
+
+CUMB_BENCH_MAIN("Extension - AoS vs SoA data layout (MiniTransfer pattern, dense case)",
+                "paper lists layout benchmarks as future work; transfer ratio = fields used/total")

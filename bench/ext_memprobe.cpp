@@ -1,0 +1,46 @@
+// Extension: memory-system microprobes (the abstract's "evaluating the
+// memory systems of GPU itself"). The latency ladder shows each level of
+// the simulated hierarchy as a plateau; the bandwidth probe reports achieved
+// vs. peak GB/s for a streaming copy on every device profile.
+
+#include "bench_common.hpp"
+#include "core/memprobe.hpp"
+
+namespace {
+
+void Ext_LatencyLadder(benchmark::State& state) {
+  std::size_t footprint = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto pts = cumb::run_latency_ladder(rt, {footprint}, 2048);
+    state.counters["footprint_KiB"] = static_cast<double>(footprint) / 1024;
+    state.counters["cycles_per_hop"] = pts[0].cycles_per_hop;
+  }
+}
+
+void Ext_Bandwidth(benchmark::State& state) {
+  vgpu::DeviceProfile p;
+  switch (state.range(0)) {
+    case 0: p = cumbench::DeviceProfile::k80(); break;
+    case 1: p = cumbench::DeviceProfile::v100(); break;
+    default: p = cumbench::DeviceProfile::a100(); break;
+  }
+  for (auto _ : state) {
+    cumbench::Runtime rt(p);
+    auto r = cumb::run_bandwidth(rt, 1 << 22);
+    state.counters["achieved_GBps"] = r.achieved_gbps;
+    state.counters["peak_GBps"] = r.peak_gbps;
+    state.counters["efficiency_pct"] = r.efficiency() * 100;
+  }
+}
+
+}  // namespace
+
+// 8 KiB (fits L1 share) .. 16 MiB (beyond L2): the plateaus are the levels.
+BENCHMARK(Ext_LatencyLadder)
+    ->Arg(8 << 10)->Arg(64 << 10)->Arg(512 << 10)->Arg(4 << 20)->Arg(16 << 20)
+    ->Iterations(1);
+BENCHMARK(Ext_Bandwidth)->Arg(0)->Arg(1)->Arg(2)->Iterations(1);
+
+CUMB_BENCH_MAIN("Extension - memory-system microprobes (latency ladder + bandwidth)",
+                "pointer-chase latency steps through L1/L2/DRAM; streaming copy near peak")

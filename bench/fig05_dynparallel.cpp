@@ -1,0 +1,27 @@
+// Fig. 5: Mariani-Silver with dynamic parallelism vs escape time, image-size
+// sweep. Paper: RTX 3080, 2000^2..16000^2, speedup grows to 3.26x and drops
+// below 1 at the smallest image. We scale both the image and the GPU (12-SM
+// profile) to keep the blocks-per-SM ratio in the paper's saturated regime.
+
+#include "bench_common.hpp"
+#include "core/dynparallel.hpp"
+
+namespace {
+
+void Fig05_DynParallel(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::rtx3080_scaled());
+    auto r = cumb::run_dynparallel(rt, size, /*max_iter=*/1024);
+    cumbench::export_pair(state, r);
+    state.counters["device_launches"] = static_cast<double>(r.device_launches);
+    state.counters["mismatched_pixels"] = static_cast<double>(r.mismatched_pixels);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig05_DynParallel)->RangeMultiplier(2)->Range(128, 1024)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 5 - DynParallel (Mandelbrot, dynamic parallelism)",
+                "3.26x at 16000^2, overhead dominates at 2000^2; gain grows with size")

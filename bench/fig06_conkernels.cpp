@@ -1,0 +1,24 @@
+// Fig. 6: serial vs concurrent execution of independent small kernels.
+// Paper: ~7x with 8 concurrent kernels on V100.
+
+#include "bench_common.hpp"
+#include "core/conkernels.hpp"
+
+namespace {
+
+void Fig06_ConKernels(benchmark::State& state) {
+  int kernels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_conkernels(rt, kernels, /*iters=*/20000);
+    cumbench::export_pair(state, r);
+    state.counters["kernels"] = kernels;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig06_ConKernels)->DenseRange(2, 16, 2)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 6 - Conkernels (concurrent kernel execution)",
+                "~7x with 8 concurrent kernels vs serial launching")

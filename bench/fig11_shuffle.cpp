@@ -1,0 +1,26 @@
+// Fig. 11: reduction with warp shuffles vs shared-memory tree.
+// Paper: ~25% faster at n = 2^27 on V100, gain grows with n.
+
+#include "bench_common.hpp"
+#include "core/shuffle_reduce.hpp"
+
+namespace {
+
+void Fig11_Shuffle(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_shuffle_reduce(rt, n);
+    cumbench::export_pair(state, r);
+    state.counters["shuffles"] = static_cast<double>(r.shuffles);
+    state.counters["naive_barriers"] = static_cast<double>(r.naive_barriers);
+    state.counters["opt_barriers"] = static_cast<double>(r.optimized_barriers);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig11_Shuffle)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 11 - Shuffle (register reduction vs shared memory)",
+                "~1.25x at 2^27; advantage grows with input size")

@@ -1,0 +1,25 @@
+// Fig. 13: reduction with strided indexing (bank conflicts) vs sequential
+// indexing (conflict-free). Paper: ~1.3x on V100, growing with array size.
+
+#include "bench_common.hpp"
+#include "core/bankredux.hpp"
+
+namespace {
+
+void Fig13_BankRedux(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_bankredux(rt, n);
+    cumbench::export_pair(state, r);
+    state.counters["bank_conflicts"] = static_cast<double>(r.conflicted);
+    state.counters["conflict_free"] = static_cast<double>(r.conflict_free);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig13_BankRedux)->RangeMultiplier(4)->Range(1 << 16, 1 << 22)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 13 - BankRedux (shared-memory bank conflicts)",
+                "conflict-free reduction ~1.3x; gap grows with array size")

@@ -1,0 +1,25 @@
+// Fig. 14: AXPY offload with synchronous copies vs chunked cudaMemcpyAsync
+// over multiple streams. Paper: small gain (1.036x best) because AXPY's 1:1
+// compute-to-transfer ratio leaves little to overlap.
+
+#include "bench_common.hpp"
+#include "core/hdoverlap.hpp"
+
+namespace {
+
+void Fig14_HdOverlap(benchmark::State& state) {
+  int chunks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_hdoverlap(rt, 1 << 20, chunks, /*streams=*/4);
+    cumbench::export_pair(state, r);
+    state.counters["chunks"] = chunks;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig14_HdOverlap)->RangeMultiplier(2)->Range(1, 16)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 14 - HDOverlap (streams + cudaMemcpyAsync)",
+                "small improvement (1.036x best) for transfer-dominated AXPY")

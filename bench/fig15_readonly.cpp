@@ -1,0 +1,45 @@
+// Fig. 15: matrix addition through 1-D/2-D textures vs global memory.
+// Paper: up to ~4x on K80 (dedicated texture unit); no significant
+// difference on V100 (texture cache unified with L1). Constant-memory
+// broadcast measured separately with the polynomial kernel.
+
+#include "bench_common.hpp"
+#include "core/readonly.hpp"
+
+namespace {
+
+void run_profile(benchmark::State& state, const vgpu::DeviceProfile& p) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(p);
+    auto r = cumb::run_readonly(rt, n);
+    cumbench::export_pair(state, r);
+    state.counters["global_sim_ms"] = r.global_us * 1e-3;
+    state.counters["tex1d_sim_ms"] = r.tex1d_us * 1e-3;
+    state.counters["tex2d_sim_ms"] = r.tex2d_us * 1e-3;
+  }
+}
+
+void ReadOnly_K80(benchmark::State& state) {
+  run_profile(state, cumbench::DeviceProfile::k80());
+}
+void ReadOnly_V100(benchmark::State& state) {
+  run_profile(state, cumbench::DeviceProfile::v100());
+}
+void ReadOnly_ConstPoly(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_const_poly(rt, n);
+    cumbench::export_pair(state, r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(ReadOnly_K80)->RangeMultiplier(2)->Range(256, 1024)->Iterations(1);
+BENCHMARK(ReadOnly_V100)->RangeMultiplier(2)->Range(256, 1024)->Iterations(1);
+BENCHMARK(ReadOnly_ConstPoly)->RangeMultiplier(4)->Range(1 << 16, 1 << 20)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 15 - ReadOnlyMem (texture/constant memory)",
+                "texture up to ~4x on K80; no significant difference on V100")

@@ -1,0 +1,30 @@
+// Fig. 16: access density (stride) sweep — explicit full copies vs unified
+// memory on-demand paging, plus the prefetch/advise extension (the paper's
+// stated future work). Paper: UM ~3x when density is low; explicit wins when
+// density is high.
+
+#include "bench_common.hpp"
+#include "core/unimem.hpp"
+
+namespace {
+
+void Fig16_UniMem(benchmark::State& state) {
+  int stride = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_unimem(rt, 1 << 22, stride);
+    cumbench::export_pair(state, r);
+    state.counters["stride"] = stride;
+    state.counters["explicit_MB"] = static_cast<double>(r.explicit_bytes) / (1 << 20);
+    state.counters["migrated_MB"] = static_cast<double>(r.migrated_bytes) / (1 << 20);
+    state.counters["page_faults"] = static_cast<double>(r.page_faults);
+    state.counters["prefetch_sim_ms"] = r.prefetch_us * 1e-3;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig16_UniMem)->RangeMultiplier(4)->Range(1, 1 << 14)->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 16 - UniMem (memory access density / unified memory)",
+                "UM ~3x faster at low density (large stride); slower at stride 1")

@@ -1,0 +1,38 @@
+// Fig. 17: SpMV offload, dense format vs CSR, sweeping the number of
+// non-zeros of a fixed-size matrix. Paper: 10240^2 matrix, CSR wins by up to
+// ~190x as the matrix gets sparser (scaled to 2048^2 here; the transfer
+// ratio, which drives the result, scales with n^2/nnz identically).
+
+#include "bench_common.hpp"
+#include "core/minitransfer.hpp"
+
+namespace {
+
+constexpr int kN = 2048;
+
+void Fig17_MiniTransfer(benchmark::State& state) {
+  long long nnz = state.range(0);
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_minitransfer(rt, kN, nnz);
+    cumbench::export_pair(state, r);
+    state.counters["nnz"] = static_cast<double>(r.nnz);
+    state.counters["dense_MB"] = static_cast<double>(r.dense_bytes) / (1 << 20);
+    state.counters["csr_MB"] = static_cast<double>(r.csr_bytes) / (1 << 20);
+    state.counters["dense_kernel_ms"] = r.dense_kernel_us * 1e-3;
+    state.counters["csr_kernel_ms"] = r.csr_kernel_us * 1e-3;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(Fig17_MiniTransfer)
+    ->Arg(static_cast<long long>(kN) * kN / 4)
+    ->Arg(static_cast<long long>(kN) * kN / 16)
+    ->Arg(static_cast<long long>(kN) * kN / 64)
+    ->Arg(static_cast<long long>(kN) * 64)
+    ->Arg(static_cast<long long>(kN) * 4)
+    ->Iterations(1);
+
+CUMB_BENCH_MAIN("Fig. 17 - MiniTransfer (SpMV: dense vs CSR offload)",
+                "CSR advantage grows with sparsity, up to ~190x at 10240^2")

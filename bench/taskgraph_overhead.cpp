@@ -1,0 +1,26 @@
+// Section III-D: task graphs. The paper evaluates programmability only; this
+// quantifies the launch-overhead mechanism: per-op stream submission vs one
+// instantiated-graph launch, as a function of chain length.
+
+#include "bench_common.hpp"
+#include "core/taskgraph.hpp"
+
+namespace {
+
+void TaskGraph_Overhead(benchmark::State& state) {
+  int chain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cumbench::Runtime rt(cumbench::DeviceProfile::v100());
+    auto r = cumb::run_taskgraph(rt, /*n=*/4096, chain, /*repeats=*/8);
+    cumbench::export_pair(state, r);
+    state.counters["stream_per_iter_us"] = r.stream_per_iter_us;
+    state.counters["graph_per_iter_us"] = r.graph_per_iter_us;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(TaskGraph_Overhead)->RangeMultiplier(2)->Range(4, 64)->Iterations(1);
+
+CUMB_BENCH_MAIN("Sec. III-D - TaskGraph (repeated submission overhead)",
+                "paper reports programmability only; related work sees up to 25x")

@@ -1,0 +1,56 @@
+// Adaptive Mandelbrot rendering with dynamic parallelism (paper section
+// III-B). Renders a small ASCII view, then compares the escape-time kernel
+// against Mariani-Silver subdivision with device-side launches across image
+// sizes — the Fig. 5 experiment as a runnable program.
+//
+// Build & run:   ./build/examples/adaptive_mandelbrot
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dynparallel.hpp"
+#include "rt/runtime.hpp"
+
+using namespace cumb;
+using vgpu::DeviceProfile;
+
+namespace {
+
+void render_ascii(int size, int max_iter) {
+  MandelFrame f;
+  f.scale = 3.0f / static_cast<float>(size);
+  std::vector<int> dwell = mandel_ref(size, size, f, max_iter);
+  const char* shades = " .:-=+*#%@";
+  for (int y = 0; y < size; y += size / 24) {
+    for (int x = 0; x < size; x += size / 48) {
+      int d = dwell[static_cast<std::size_t>(y) * size + x];
+      int shade = d >= max_iter ? 9 : (d * 9) / max_iter;
+      std::putchar(shades[shade]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Mandelbrot set, standard frame [-2,1]x[-1.5,1.5]:\n\n");
+  render_ascii(192, 64);
+
+  std::printf("\nescape-time vs Mariani-Silver (dynamic parallelism), "
+              "12-SM RTX 3080 scale model:\n");
+  std::printf("%8s %14s %14s %9s %9s %11s\n", "size", "escape(us)", "ms+dp(us)",
+              "speedup", "launches", "mismatches");
+  for (int size : {128, 256, 512, 1024}) {
+    Runtime rt(DeviceProfile::rtx3080_scaled());
+    auto r = run_dynparallel(rt, size, /*max_iter=*/1024);
+    std::printf("%8d %14.1f %14.1f %9.2f %9llu %11lld\n", size, r.naive_us,
+                r.optimized_us, r.speedup(),
+                static_cast<unsigned long long>(r.device_launches),
+                r.mismatched_pixels);
+  }
+  std::printf("\nThe crossover mirrors Fig. 5: device-launch overhead dominates "
+              "small images;\nthe saved interior computation wins as the image "
+              "grows (paper: 3.26x at 16000^2).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Sparse matrix-vector offload (paper section V-D) as an application: build
+// a synthetic sparse matrix, offload it dense and CSR, and report where the
+// time goes (transfer vs kernel) for each format and sparsity level.
+//
+// Build & run:   ./build/examples/sparse_offload
+
+#include <cstdio>
+
+#include "core/minitransfer.hpp"
+#include "linalg/generate.hpp"
+#include "rt/runtime.hpp"
+
+using namespace cumb;
+using vgpu::DeviceProfile;
+
+int main() {
+  const int n = 1024;
+  std::printf("SpMV offload, %dx%d matrix, V100 profile\n", n, n);
+  std::printf("%12s %12s %12s %12s %12s %9s\n", "nnz", "dense(us)", "csr(us)",
+              "dense MB", "csr MB", "speedup");
+
+  for (long long frac : {4, 16, 64, 256, 1024}) {
+    long long nnz = static_cast<long long>(n) * n / frac;
+    Runtime rt(DeviceProfile::v100());
+    auto r = run_minitransfer(rt, n, nnz);
+    if (!r.results_match) {
+      std::printf("verification FAILED at nnz=%lld\n", nnz);
+      return 1;
+    }
+    std::printf("%12lld %12.1f %12.1f %12.2f %12.2f %9.2f\n", nnz, r.naive_us,
+                r.optimized_us, static_cast<double>(r.dense_bytes) / (1 << 20),
+                static_cast<double>(r.csr_bytes) / (1 << 20), r.speedup());
+  }
+
+  std::printf("\nThe dense offload pays the full n^2 transfer regardless of "
+              "sparsity; CSR's\nbytes shrink with nnz, so its advantage grows "
+              "unboundedly (paper: 190x at 10240^2).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "core/bankredux.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/generate.hpp"
+
+namespace cumb {
+
+namespace {
+constexpr int kTpb = 256;  // ThreadsPerBlock in Fig. 12.
+}
+
+WarpTask sum_bc_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r) {
+  auto cache = w.shared_array<Real>(kTpb);
+  LaneI tid = w.global_tid_x();
+  LaneI cid = w.thread_linear();
+  w.sh_store(cache, cid, w.load(x, tid));
+  co_await w.syncthreads();
+  for (int i = 1; i < kTpb; i *= 2) {
+    LaneI index = cid * (2 * i);
+    w.alu(1);
+    w.branch(index < kTpb, [&] {
+      LaneVec<Real> a = w.sh_load(cache, index);
+      LaneVec<Real> b = w.sh_load(cache, index + i);
+      w.alu(1);
+      w.sh_store(cache, index, a + b);
+    });
+    co_await w.syncthreads();
+  }
+  w.branch(cid == 0, [&] {
+    w.store(r, LaneI(w.block_idx().x), w.sh_load(cache, cid));
+  });
+  co_return;
+}
+
+WarpTask sum_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r) {
+  auto cache = w.shared_array<Real>(kTpb);
+  LaneI tid = w.global_tid_x();
+  LaneI cid = w.thread_linear();
+  w.sh_store(cache, cid, w.load(x, tid));
+  co_await w.syncthreads();
+  for (int i = kTpb / 2; i > 0; i /= 2) {
+    w.branch(cid < i, [&] {
+      LaneVec<Real> a = w.sh_load(cache, cid);
+      LaneVec<Real> b = w.sh_load(cache, cid + i);
+      w.alu(1);
+      w.sh_store(cache, cid, a + b);
+    });
+    co_await w.syncthreads();
+  }
+  w.branch(cid == 0, [&] {
+    w.store(r, LaneI(w.block_idx().x), w.sh_load(cache, cid));
+  });
+  co_return;
+}
+
+BankReduxResult run_bankredux(Runtime& rt, int n) {
+  if (n % kTpb != 0) throw std::invalid_argument("run_bankredux: n % 256 != 0");
+  int blocks = n / kTpb;
+  auto hx = random_vector(static_cast<std::size_t>(n), 41);
+
+  DevSpan<Real> x = rt.malloc<Real>(static_cast<std::size_t>(n));
+  DevSpan<Real> r = rt.malloc<Real>(static_cast<std::size_t>(blocks));
+  rt.memcpy_h2d(x, std::span<const Real>(hx));
+
+  LaunchConfig cfg{Dim3{blocks}, Dim3{kTpb}, "sum_bc"};
+
+  BankReduxResult res;
+  res.name = "BankRedux";
+  res.reference_sum = sum_ref(hx);
+
+  auto fold = [&](double& out) {
+    std::vector<Real> partial(static_cast<std::size_t>(blocks));
+    rt.memcpy_d2h(std::span<Real>(partial), r);
+    out = sum_ref(partial);
+  };
+
+  auto bc = rt.launch(cfg, [=](WarpCtx& w) { return sum_bc_kernel(w, x, r); });
+  double bc_sum = 0;
+  fold(bc_sum);
+
+  cfg.name = "sum";
+  auto ok = rt.launch(cfg, [=](WarpCtx& w) { return sum_kernel(w, x, r); });
+  fold(res.device_sum);
+
+  double tol = 1e-3 * std::abs(res.reference_sum);
+  res.results_match = std::abs(bc_sum - res.reference_sum) <= tol &&
+                      std::abs(res.device_sum - res.reference_sum) <= tol;
+  res.max_error = std::abs(res.device_sum - res.reference_sum);
+
+  res.naive_us = bc.duration_us();
+  res.optimized_us = ok.duration_us();
+  res.naive_stats = bc.stats;
+  res.optimized_stats = ok.stats;
+  res.conflicted = bc.stats.bank_conflicts;
+  res.conflict_free = ok.stats.bank_conflicts;
+  return res;
+}
+
+}  // namespace cumb

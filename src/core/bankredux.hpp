@@ -1,0 +1,30 @@
+#pragma once
+
+// BankRedux: shared-memory bank conflicts (paper section IV-F, Figs. 12-13).
+//
+// Two block reductions from Fig. 12: sum_bc uses the doubling-stride index
+// (index = 2*i*cacheId), which produces 2-way, then 4-way, ... bank
+// conflicts; sum uses the halving sequential index, which is conflict-free.
+// Both write one partial sum per block; the driver folds partials on the
+// host and checks them against a double-precision reference.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Fig. 12 first kernel: strided reduction, bank conflicts.
+WarpTask sum_bc_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r);
+/// Fig. 12 second kernel: sequential reduction, conflict-free.
+WarpTask sum_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r);
+
+struct BankReduxResult : PairResult {
+  std::uint64_t conflicted = 0;    ///< bank_conflicts counter of sum_bc.
+  std::uint64_t conflict_free = 0; ///< ... of sum (expected 0).
+  double device_sum = 0;
+  double reference_sum = 0;
+};
+
+/// n must be a multiple of 256 (the block size).
+BankReduxResult run_bankredux(Runtime& rt, int n);
+
+}  // namespace cumb

@@ -1,0 +1,37 @@
+#pragma once
+
+// CoMem: coalesced vs. uncoalesced global memory access
+// (paper section IV-B, Figs. 7-9).
+//
+// Three AXPY kernels straight from Fig. 8: one-element-per-thread, block
+// distribution (each thread owns a contiguous chunk -> lanes stride apart ->
+// uncoalesced), and cyclic distribution (lanes touch consecutive elements ->
+// coalesced). A fourth kernel reproduces Fig. 7(c): gather through a random
+// permutation. The paper's <<<1024,256>>> launch shape is the default.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Fig. 8 kernel 1: i-th thread handles element i (needs grid*block >= n).
+WarpTask axpy_1per_thread(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+/// Fig. 8 kernel 2: block distribution (uncoalesced).
+WarpTask axpy_block(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+/// Fig. 8 kernel 3: cyclic distribution (coalesced).
+WarpTask axpy_cyclic(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+/// Fig. 7(c): y[i] += a * x[perm[i]] — random gather, uncoalesced.
+WarpTask axpy_gather(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, DevSpan<int> perm,
+                     int n, Real a);
+
+struct CoMemResult : PairResult {
+  double gather_us = 0;                   ///< Random-gather kernel time.
+  std::uint64_t block_transactions = 0;   ///< gld transactions, block dist.
+  std::uint64_t cyclic_transactions = 0;  ///< gld transactions, cyclic dist.
+};
+
+/// Compare block (naive) vs cyclic (optimized) on n elements with the
+/// paper's <<<grid_blocks, 256>>> shape. n must be a multiple of
+/// grid_blocks*256.
+CoMemResult run_comem(Runtime& rt, int n, int grid_blocks = 1024);
+
+}  // namespace cumb

@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared vocabulary of the 14 microbenchmarks.
+//
+// Each benchmark module exposes (a) its kernels, written exactly in the shape
+// of the paper's figures, and (b) a driver `run_<name>()` that executes the
+// naive and optimized variants on a Runtime, verifies them functionally, and
+// returns a PairResult with simulated times and profiler counters.
+
+#include <string>
+
+#include "linalg/dense.hpp"
+#include "rt/runtime.hpp"
+#include "sim/lanevec.hpp"
+
+namespace cumb {
+
+using vgpu::ConstSpan;
+using vgpu::DevSpan;
+using vgpu::Dim3;
+using vgpu::KernelStats;
+using vgpu::LaneF;
+using vgpu::LaneI;
+using vgpu::LaneVec;
+using vgpu::LaunchConfig;
+using vgpu::Mask;
+using vgpu::Runtime;
+using vgpu::SharedArray;
+using vgpu::Stream;
+using vgpu::Texture;
+using vgpu::WarpCtx;
+using vgpu::WarpTask;
+
+/// Outcome of one naive-vs-optimized comparison.
+struct PairResult {
+  std::string name;
+  double naive_us = 0;
+  double optimized_us = 0;
+  bool results_match = false;     ///< Functional verification passed.
+  double max_error = 0;           ///< Largest deviation from the host reference.
+  KernelStats naive_stats;
+  KernelStats optimized_stats;
+
+  double speedup() const { return optimized_us > 0 ? naive_us / optimized_us : 0; }
+};
+
+/// ceil(n / threads_per_block) — the usual 1-D grid size.
+constexpr int blocks_for(long long n, int threads_per_block) {
+  return static_cast<int>((n + threads_per_block - 1) / threads_per_block);
+}
+
+}  // namespace cumb

@@ -1,0 +1,29 @@
+#pragma once
+
+// Conkernels: concurrent kernel execution (paper section III-C, Fig. 6).
+//
+// Several small independent kernels — each occupying only a sliver of the
+// GPU — are launched either back-to-back on one stream (they serialize) or
+// one per stream (they co-reside on disjoint SMs). With eight kernels the
+// concurrent version approaches 8x; the paper reports ~7x.
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Compute-burn kernel: v = v*c + d repeated `iters` times per element.
+WarpTask burn_kernel(WarpCtx& w, DevSpan<Real> buf, int n, int iters);
+
+struct ConKernelsResult : PairResult {
+  int kernels = 0;
+  double serial_us = 0;      ///< == naive_us.
+  double concurrent_us = 0;  ///< == optimized_us.
+};
+
+/// Launch `kernels` burn kernels (one block of 256 threads each) serially
+/// and then concurrently; verifies every buffer.
+ConKernelsResult run_conkernels(Runtime& rt, int kernels = 8, int iters = 20000);
+
+}  // namespace cumb

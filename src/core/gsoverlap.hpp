@@ -1,0 +1,28 @@
+#pragma once
+
+// GSOverlap: global->shared copies via memcpy_async (paper section IV-D).
+//
+// Both kernels stage x and y tiles in shared memory before computing. The
+// sync kernel copies through registers (load + shared store, stalling
+// immediately); the async kernel issues Ampere hardware async copies,
+// commits the batch, and only stalls at pipeline_wait — eliminating the
+// register round-trip and one instruction per element. On hardware without
+// async-copy support (V100/K80 profiles) memcpy_async silently degrades to
+// the software path, matching CUDA's behaviour.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Shared-staged AXPY, synchronous copies through registers.
+WarpTask axpy_staged_sync(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+/// Shared-staged AXPY using memcpy_async + pipeline commit/wait.
+WarpTask axpy_staged_async(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+
+struct GsOverlapResult : PairResult {};
+
+/// n must be a multiple of 256. Run on an Ampere profile (rtx3080) to see
+/// the hardware path.
+GsOverlapResult run_gsoverlap(Runtime& rt, int n);
+
+}  // namespace cumb

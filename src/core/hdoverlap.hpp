@@ -1,0 +1,24 @@
+#pragma once
+
+// HDOverlap: overlapping host-device copies with kernel compute using
+// streams and cudaMemcpyAsync (paper section V-A, Fig. 14).
+//
+// The synchronous offload copies x and y in, runs AXPY, and copies y out,
+// all blocking. The pipelined offload splits the arrays into chunks spread
+// over several streams: chunk c's kernel overlaps chunk c+1's H2D copy and
+// chunk c-1's D2H copy. AXPY's 1:1 compute-to-transfer ratio means transfers
+// dominate and the gain is modest — exactly the paper's point.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+struct HdOverlapResult : PairResult {
+  int chunks = 0;
+  int streams = 0;
+};
+
+/// n must be a multiple of chunks*256.
+HdOverlapResult run_hdoverlap(Runtime& rt, int n, int chunks = 4, int streams = 4);
+
+}  // namespace cumb

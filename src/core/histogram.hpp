@@ -1,0 +1,37 @@
+#pragma once
+
+// Extension benchmark: histogram privatization (guideline 2 — leverage the
+// memory hierarchy; listed under the paper's "more benchmarks and
+// optimization techniques will be added").
+//
+// The naive kernel increments global bins with atomics: hot bins serialize
+// every colliding warp at the L2. The optimized kernel builds a per-block
+// histogram in shared memory (cheap shared atomics, conflicts confined to
+// the block) and merges it into the global bins with one atomic per bin per
+// block. The skew parameter concentrates the input into few bins, which is
+// exactly when privatization pays.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Naive: hist[bin[i]] += 1 with global atomics.
+WarpTask hist_global_kernel(WarpCtx& w, DevSpan<int> bins_in, DevSpan<int> hist,
+                            int n);
+/// Optimized: shared-memory private histogram + per-bin merge.
+WarpTask hist_privatized_kernel(WarpCtx& w, DevSpan<int> bins_in, DevSpan<int> hist,
+                                int n, int num_bins);
+
+struct HistogramResult : PairResult {
+  int num_bins = 0;
+  double skew = 0;
+  std::uint64_t global_serializations = 0;  ///< Atomic replays, naive kernel.
+  std::uint64_t shared_serializations = 0;  ///< Atomic replays, privatized.
+};
+
+/// n samples over num_bins bins; skew in [0,1]: 0 = uniform bins, 1 = all
+/// samples land in one bin (maximum contention).
+HistogramResult run_histogram(Runtime& rt, int n, int num_bins = 256,
+                              double skew = 0.5);
+
+}  // namespace cumb

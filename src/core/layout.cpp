@@ -1,0 +1,102 @@
+#include "core/layout.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/generate.hpp"
+
+namespace cumb {
+
+namespace {
+constexpr int kTpb = 256;
+constexpr int kVxField = 3;  // Offsets of the two fields the kernel uses.
+constexpr int kVyField = 4;
+}  // namespace
+
+WarpTask speed_aos_kernel(WarpCtx& w, DevSpan<Real> records, DevSpan<Real> speed,
+                          int n) {
+  LaneI i = w.global_tid_x();
+  w.branch(i < n, [&] {
+    LaneI base = i * kParticleFields;
+    w.alu(1);
+    LaneVec<Real> vx = w.load(records, base + kVxField);
+    LaneVec<Real> vy = w.load(records, base + kVyField);
+    w.alu(4);  // Two squares, an add, a square root.
+    LaneVec<Real> s = (vx * vx + vy * vy).map([](Real v) { return std::sqrt(v); });
+    w.store(speed, i, s);
+  });
+  co_return;
+}
+
+WarpTask speed_soa_kernel(WarpCtx& w, DevSpan<Real> vx, DevSpan<Real> vy,
+                          DevSpan<Real> speed, int n) {
+  LaneI i = w.global_tid_x();
+  w.branch(i < n, [&] {
+    LaneVec<Real> x = w.load(vx, i);
+    LaneVec<Real> y = w.load(vy, i);
+    w.alu(4);
+    LaneVec<Real> s = (x * x + y * y).map([](Real v) { return std::sqrt(v); });
+    w.store(speed, i, s);
+  });
+  co_return;
+}
+
+LayoutResult run_layout(Runtime& rt, int n) {
+  // Host data: n particle records of kParticleFields floats.
+  std::size_t total = static_cast<std::size_t>(n) * kParticleFields;
+  std::vector<Real> records = random_vector(total, 141);
+  std::vector<Real> hvx(static_cast<std::size_t>(n)), hvy(static_cast<std::size_t>(n));
+  std::vector<Real> want(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Real vx = records[static_cast<std::size_t>(i) * kParticleFields + kVxField];
+    Real vy = records[static_cast<std::size_t>(i) * kParticleFields + kVyField];
+    hvx[static_cast<std::size_t>(i)] = vx;
+    hvy[static_cast<std::size_t>(i)] = vy;
+    want[static_cast<std::size_t>(i)] = std::sqrt(vx * vx + vy * vy);
+  }
+
+  LaunchConfig cfg{Dim3{blocks_for(n, kTpb)}, Dim3{kTpb}, "speed_aos"};
+  LayoutResult res;
+  res.name = "LayoutAoSvsSoA";
+  std::vector<Real> got(static_cast<std::size_t>(n));
+
+  // --- AoS offload: ship every field, gather two. ---
+  DevSpan<Real> drec = rt.malloc<Real>(total);
+  DevSpan<Real> dspeed = rt.malloc<Real>(static_cast<std::size_t>(n));
+  rt.synchronize();
+  double t0 = rt.now_us();
+  rt.memcpy_h2d(drec, std::span<const Real>(records));
+  auto aos = rt.launch(cfg, [=](WarpCtx& w) {
+    return speed_aos_kernel(w, drec, dspeed, n);
+  });
+  rt.memcpy_d2h(std::span<Real>(got), dspeed);
+  rt.synchronize();
+  res.naive_us = rt.now_us() - t0;
+  res.aos_bytes = total * sizeof(Real);
+  bool aos_ok = max_abs_diff(got, want) == 0;
+
+  // --- SoA offload: ship only vx and vy. ---
+  DevSpan<Real> dvx = rt.malloc<Real>(static_cast<std::size_t>(n));
+  DevSpan<Real> dvy = rt.malloc<Real>(static_cast<std::size_t>(n));
+  DevSpan<Real> dspeed2 = rt.malloc<Real>(static_cast<std::size_t>(n));
+  rt.synchronize();
+  t0 = rt.now_us();
+  rt.memcpy_h2d(dvx, std::span<const Real>(hvx));
+  rt.memcpy_h2d(dvy, std::span<const Real>(hvy));
+  cfg.name = "speed_soa";
+  auto soa = rt.launch(cfg, [=](WarpCtx& w) {
+    return speed_soa_kernel(w, dvx, dvy, dspeed2, n);
+  });
+  rt.memcpy_d2h(std::span<Real>(got), dspeed2);
+  rt.synchronize();
+  res.optimized_us = rt.now_us() - t0;
+  res.soa_bytes = 2u * static_cast<std::uint64_t>(n) * sizeof(Real);
+  bool soa_ok = max_abs_diff(got, want) == 0;
+
+  res.results_match = aos_ok && soa_ok;
+  res.naive_stats = aos.stats;
+  res.optimized_stats = soa.stats;
+  return res;
+}
+
+}  // namespace cumb

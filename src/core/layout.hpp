@@ -1,0 +1,35 @@
+#pragma once
+
+// Extension benchmark: array-of-structs vs struct-of-arrays layout.
+//
+// The MiniTransfer pattern in Table I is "wrong data layout causes a large
+// amount of useless data transfer"; CSR is its sparse instance. This module
+// adds the dense instance the paper lists as future work: a particle update
+// that reads two of eight fields. The AoS offload ships every field and its
+// kernel gathers with an 8-float stride (uncoalesced); the SoA offload ships
+// exactly the two arrays it needs and accesses them coalesced.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Number of float fields in the simulated particle record.
+inline constexpr int kParticleFields = 8;
+
+/// AoS kernel: speed[i] = sqrt(vx^2 + vy^2) with vx, vy strided inside the
+/// interleaved record array.
+WarpTask speed_aos_kernel(WarpCtx& w, DevSpan<Real> records, DevSpan<Real> speed,
+                          int n);
+/// SoA kernel: the same computation over two packed arrays.
+WarpTask speed_soa_kernel(WarpCtx& w, DevSpan<Real> vx, DevSpan<Real> vy,
+                          DevSpan<Real> speed, int n);
+
+struct LayoutResult : PairResult {
+  std::uint64_t aos_bytes = 0;  ///< H2D bytes, interleaved offload.
+  std::uint64_t soa_bytes = 0;  ///< H2D bytes, two packed fields.
+};
+
+/// Whole-offload comparison (transfer + kernel + result back), n particles.
+LayoutResult run_layout(Runtime& rt, int n);
+
+}  // namespace cumb

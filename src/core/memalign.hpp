@@ -1,0 +1,28 @@
+#pragma once
+
+// MemAlign: aligned vs. misaligned global access (paper section IV-C, Fig. 10).
+//
+// The aligned kernel's warps request 128-byte-aligned 128-byte windows (four
+// 32-byte transactions); shifting every index by one element makes each warp
+// straddle an extra sector (five transactions). With an L1 the overlap
+// between adjacent warps is cached and the penalty is a few percent (V100);
+// without one (Kepler-class) every warp pays the extra transaction.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Fig. 10 kernel (a): y[i] += a*x[i] for i in [1, n).
+WarpTask axpy_aligned(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+/// Fig. 10 kernel (b): same work, every thread shifted by +1.
+WarpTask axpy_misaligned(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int n, Real a);
+
+struct MemAlignResult : PairResult {
+  std::uint64_t aligned_transactions = 0;
+  std::uint64_t misaligned_transactions = 0;
+};
+
+/// naive = misaligned, optimized = aligned.
+MemAlignResult run_memalign(Runtime& rt, int n);
+
+}  // namespace cumb

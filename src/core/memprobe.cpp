@@ -1,0 +1,72 @@
+#include "core/memprobe.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/generate.hpp"
+
+namespace cumb {
+
+WarpTask chase_kernel(WarpCtx& w, DevSpan<int> ring, DevSpan<int> out, int hops) {
+  LaneI lane = LaneI::iota();
+  w.branch(lane == 0, [&] {
+    LaneI p(0);
+    for (int h = 0; h < hops; ++h) p = w.load(ring, p);
+    w.store(out, LaneI(0), p);  // Keep the chain observable.
+  });
+  co_return;
+}
+
+std::vector<LatencyPoint> run_latency_ladder(Runtime& rt,
+                                             const std::vector<std::size_t>& footprints,
+                                             int hops) {
+  std::vector<LatencyPoint> out;
+  for (std::size_t bytes : footprints) {
+    std::size_t n = bytes / sizeof(int);
+    if (n < 2) throw std::invalid_argument("footprint too small");
+    // Ring with a large fixed stride so consecutive hops leave the line:
+    // next = (p + stride) mod n, stride co-prime with n.
+    std::vector<int> ring(n);
+    std::size_t stride = 97;  // Prime, > one cache line of ints.
+    for (std::size_t i = 0; i < n; ++i)
+      ring[i] = static_cast<int>((i + stride) % n);
+    auto d = rt.malloc<int>(n);
+    auto sink = rt.malloc<int>(1);
+    rt.memcpy_h2d(d, std::span<const int>(ring));
+    auto info = rt.launch({Dim3{1}, Dim3{32}, "chase"}, [=](WarpCtx& w) {
+      return chase_kernel(w, d, sink, hops);
+    });
+    LatencyPoint pt;
+    pt.footprint_bytes = bytes;
+    pt.cycles_per_hop =
+        info.duration_us() * rt.profile().cycles_per_us() / hops;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+WarpTask streamcopy_kernel(WarpCtx& w, DevSpan<Real> src, DevSpan<Real> dst, int n) {
+  LaneI i = w.global_tid_x();
+  w.branch(i < n, [&] { w.store(dst, i, w.load(src, i)); });
+  co_return;
+}
+
+BandwidthResult run_bandwidth(Runtime& rt, int n) {
+  auto hx = random_vector(static_cast<std::size_t>(n), 171);
+  auto src = rt.malloc<Real>(static_cast<std::size_t>(n));
+  auto dst = rt.malloc<Real>(static_cast<std::size_t>(n));
+  rt.memcpy_h2d(src, std::span<const Real>(hx));
+  auto info = rt.launch({Dim3{blocks_for(n, 256)}, Dim3{256}, "streamcopy"},
+                        [=](WarpCtx& w) { return streamcopy_kernel(w, src, dst, n); });
+  std::vector<Real> got(static_cast<std::size_t>(n));
+  rt.memcpy_d2h(std::span<Real>(got), dst);
+  if (max_abs_diff(got, hx) != 0)
+    throw std::runtime_error("run_bandwidth: verification failed");
+  BandwidthResult r;
+  double bytes = 2.0 * static_cast<double>(n) * sizeof(Real);  // Read + write.
+  r.achieved_gbps = bytes / (info.duration_us() * 1e3);
+  r.peak_gbps = rt.profile().dram_bw_gbps;
+  return r;
+}
+
+}  // namespace cumb

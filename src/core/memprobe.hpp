@@ -1,0 +1,41 @@
+#pragma once
+
+// Memory-system microprobes (the abstract's claim that the suite can be
+// "used for evaluating ... the memory systems of GPU itself"): a
+// pointer-chase latency ladder that exposes each level of the hierarchy,
+// and a streaming-bandwidth probe that reports achieved vs. peak GB/s.
+// These mirror what suites like gpumembench measure on silicon.
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Serially chase `hops` dependent pointers through a ring of `footprint`
+/// bytes; the per-hop cost reveals which cache level the ring fits in.
+WarpTask chase_kernel(WarpCtx& w, DevSpan<int> ring, DevSpan<int> out, int hops);
+
+struct LatencyPoint {
+  std::size_t footprint_bytes = 0;
+  double cycles_per_hop = 0;
+};
+
+/// Sweep ring footprints; one warp, one lane active — pure dependent latency.
+std::vector<LatencyPoint> run_latency_ladder(Runtime& rt,
+                                             const std::vector<std::size_t>& footprints,
+                                             int hops = 2048);
+
+/// Streaming copy kernel: dst[i] = src[i] at full grid width.
+WarpTask streamcopy_kernel(WarpCtx& w, DevSpan<Real> src, DevSpan<Real> dst, int n);
+
+struct BandwidthResult {
+  double achieved_gbps = 0;
+  double peak_gbps = 0;
+  double efficiency() const { return peak_gbps > 0 ? achieved_gbps / peak_gbps : 0; }
+};
+
+/// Measure achieved device-memory bandwidth of a 2n-float stream.
+BandwidthResult run_bandwidth(Runtime& rt, int n);
+
+}  // namespace cumb

@@ -1,0 +1,43 @@
+#pragma once
+
+// MiniTransfer: avoiding useless data transfer via compressed formats
+// (paper section V-D, Fig. 17).
+//
+// SpMV offload, two ways: ship the whole n*n dense matrix to the GPU and run
+// a dense mat-vec, or ship the three CSR arrays and run a CSR kernel. As the
+// matrix gets sparser, the dense offload keeps paying for the full matrix
+// transfer while the CSR offload's bytes shrink with nnz — the paper sees up
+// to 190x at 10240^2.
+
+#include "core/common.hpp"
+#include "linalg/sparse.hpp"
+
+namespace cumb {
+
+/// Dense y = A*x, one row per thread (row-major A).
+WarpTask spmv_dense_kernel(WarpCtx& w, DevSpan<Real> a, DevSpan<Real> x,
+                           DevSpan<Real> y, int rows, int cols);
+/// CSR y = A*x, one row per thread.
+WarpTask spmv_csr_kernel(WarpCtx& w, DevSpan<int> row_ptr, DevSpan<int> col_idx,
+                         DevSpan<Real> vals, DevSpan<Real> x, DevSpan<Real> y,
+                         int rows);
+/// CSC y = A*x, one column per thread: x[col] is read once per column, but
+/// the partial products scatter into y with atomics — the access-pattern
+/// trade-off behind section IV-B's "right combination of CSR and CSC".
+/// y must be zero-initialized.
+WarpTask spmv_csc_kernel(WarpCtx& w, DevSpan<int> col_ptr, DevSpan<int> row_idx,
+                         DevSpan<Real> vals, DevSpan<Real> x, DevSpan<Real> y,
+                         int cols);
+
+struct MiniTransferResult : PairResult {
+  long long nnz = 0;
+  std::uint64_t dense_bytes = 0;   ///< H2D bytes of the dense offload.
+  std::uint64_t csr_bytes = 0;     ///< H2D bytes of the CSR offload.
+  double dense_kernel_us = 0;
+  double csr_kernel_us = 0;
+};
+
+/// Whole-offload comparison on an n x n matrix with `nnz` non-zeros.
+MiniTransferResult run_minitransfer(Runtime& rt, int n, long long nnz);
+
+}  // namespace cumb

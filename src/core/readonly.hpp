@@ -1,0 +1,48 @@
+#pragma once
+
+// ReadOnlyMem: constant and texture memory for read-only data
+// (paper section V-B, Fig. 15).
+//
+// Matrix addition reads two matrices once and writes one — pure streaming.
+// On Kepler (K80 profile) the dedicated texture unit gives the texture
+// kernels their own path to DRAM, worth up to ~4x; on Volta (V100 profile)
+// the texture cache is unified with L1 and the gap disappears, exactly the
+// architecture note in the paper. A polynomial-evaluation kernel
+// demonstrates constant memory's broadcast behaviour separately (constant
+// memory is capped at 64 KiB, far too small for the matrices).
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// C = A + B through plain global loads.
+WarpTask matadd_global_kernel(WarpCtx& w, DevSpan<Real> a, DevSpan<Real> b,
+                              DevSpan<Real> c, int width, int height);
+/// C = A + B fetching A and B through 1-D textures.
+WarpTask matadd_tex1d_kernel(WarpCtx& w, Texture<Real> a, Texture<Real> b,
+                             DevSpan<Real> c, int width, int height);
+/// C = A + B fetching A and B through 2-D textures.
+WarpTask matadd_tex2d_kernel(WarpCtx& w, Texture<Real> a, Texture<Real> b,
+                             DevSpan<Real> c, int width, int height);
+
+/// y[i] = sum_k coeffs[k] * x[i]^k with coefficients in constant memory
+/// (every lane reads the same address -> broadcast).
+WarpTask poly_const_kernel(WarpCtx& w, ConstSpan<Real> coeffs, int terms,
+                           DevSpan<Real> x, DevSpan<Real> y, int n);
+/// Same computation with coefficients in global memory.
+WarpTask poly_global_kernel(WarpCtx& w, DevSpan<Real> coeffs, int terms,
+                            DevSpan<Real> x, DevSpan<Real> y, int n);
+
+struct ReadOnlyResult : PairResult {
+  double global_us = 0;
+  double tex1d_us = 0;
+  double tex2d_us = 0;  ///< == optimized_us.
+};
+
+/// Matrix addition on an n x n matrix; naive = global, optimized = 2-D texture.
+ReadOnlyResult run_readonly(Runtime& rt, int n);
+
+/// Constant-memory polynomial evaluation; naive = global coefficients.
+PairResult run_const_poly(Runtime& rt, int n, int terms = 8);
+
+}  // namespace cumb

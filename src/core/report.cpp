@@ -1,0 +1,85 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cumb {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    if (row.size() != headers.size())
+      throw std::invalid_argument("format_table: ragged row");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    os << "\n";
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  emit_rule();
+  emit_row(headers);
+  emit_rule();
+  for (const auto& row : rows) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string format_table1(const std::vector<Table1Row>& rows) {
+  std::vector<std::vector<std::string>> body;
+  body.reserve(rows.size());
+  for (const auto& r : rows) {
+    body.push_back({r.benchmark, r.pattern, r.technique, r.paper_speedup,
+                    r.measured_speedup > 0 ? fmt(r.measured_speedup) + "x" : "-",
+                    std::to_string(r.programmability)});
+  }
+  return format_table({"Benchmark", "Pattern of Performance Inefficiency",
+                       "Optimization technique", "Paper speedup", "Measured",
+                       "Prog."},
+                      body);
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& x_name, const std::vector<std::string>& columns,
+                  const std::vector<double>& xs,
+                  const std::vector<std::vector<double>>& series) {
+  if (xs.size() != series.size())
+    throw std::invalid_argument("print_series: xs/series size mismatch");
+  os << "## " << title << "\n";
+  std::vector<std::string> headers;
+  headers.push_back(x_name);
+  headers.insert(headers.end(), columns.begin(), columns.end());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (series[i].size() != columns.size())
+      throw std::invalid_argument("print_series: ragged series row");
+    std::vector<std::string> row;
+    row.push_back(fmt(xs[i], 0));
+    for (double v : series[i]) row.push_back(fmt(v, 3));
+    rows.push_back(std::move(row));
+  }
+  os << format_table(headers, rows);
+}
+
+}  // namespace cumb

@@ -1,0 +1,40 @@
+#pragma once
+
+// Reporting harness: renders the paper's Table I and per-figure series in a
+// stable ASCII format so bench binaries print comparable output.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cumb {
+
+/// Column-aligned ASCII table.
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// One Table I row.
+struct Table1Row {
+  std::string benchmark;
+  std::string pattern;       ///< "Pattern of Performance Inefficiency".
+  std::string technique;     ///< "Optimization techniques".
+  std::string paper_speedup; ///< The speedup column as printed in the paper.
+  double measured_speedup = 0;
+  int programmability = 0;   ///< Paper's 1-5 difficulty score.
+};
+
+/// Render the Table I reproduction (adds a "measured" column next to the
+/// paper's claimed speedups).
+std::string format_table1(const std::vector<Table1Row>& rows);
+
+/// Print an x-vs-series block (one figure's data) as aligned columns.
+/// `series` is row-major: series[i] has one value per column name.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& x_name, const std::vector<std::string>& columns,
+                  const std::vector<double>& xs,
+                  const std::vector<std::vector<double>>& series);
+
+/// Fixed-precision double formatting helper.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace cumb

@@ -1,0 +1,119 @@
+#include "core/shuffle_reduce.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/generate.hpp"
+
+namespace cumb {
+
+namespace {
+constexpr int kTpb = 256;
+constexpr int kWarps = kTpb / vgpu::kWarpSize;
+}  // namespace
+
+WarpTask reduce_shared_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r, int n) {
+  auto cache = w.shared_array<Real>(kTpb);
+  LaneI tid = w.global_tid_x();
+  LaneI cid = w.thread_linear();
+  // Out-of-range threads contribute zero.
+  w.sh_store(cache, cid, LaneVec<Real>(Real{0}));
+  w.branch(tid < n, [&] { w.sh_store(cache, cid, w.load(x, tid)); });
+  co_await w.syncthreads();
+  for (int i = kTpb / 2; i > 0; i /= 2) {
+    w.branch(cid < i, [&] {
+      LaneVec<Real> a = w.sh_load(cache, cid);
+      LaneVec<Real> b = w.sh_load(cache, cid + i);
+      w.alu(1);
+      w.sh_store(cache, cid, a + b);
+    });
+    co_await w.syncthreads();
+  }
+  w.branch(cid == 0, [&] {
+    w.store(r, LaneI(w.block_idx().x), w.sh_load(cache, cid));
+  });
+  co_return;
+}
+
+WarpTask reduce_shuffle_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r, int n) {
+  auto warp_sums = w.shared_array<Real>(kWarps);
+  LaneI tid = w.global_tid_x();
+  LaneI cid = w.thread_linear();
+
+  LaneVec<Real> v(Real{0});
+  w.branch(tid < n, [&] {
+    LaneVec<Real> loaded = w.load(x, tid);
+    v = select(w.active(), loaded, v);
+  });
+  // Warp-local tree through registers: no shared memory, no barrier.
+  for (int offset = vgpu::kWarpSize / 2; offset > 0; offset /= 2) {
+    LaneVec<Real> other = w.shfl_down(v, offset);
+    w.alu(1);
+    v = v + other;
+  }
+  w.branch(cid % vgpu::kWarpSize == 0,
+           [&] { w.sh_store(warp_sums, cid / vgpu::kWarpSize, v); });
+  co_await w.syncthreads();
+
+  // First warp folds the per-warp sums, again with shuffles.
+  w.branch(cid < vgpu::kWarpSize, [&] {
+    LaneVec<Real> s(Real{0});
+    w.branch(cid < kWarps, [&] {
+      LaneVec<Real> loaded = w.sh_load(warp_sums, cid);
+      s = select(w.active(), loaded, s);
+    });
+    for (int offset = kWarps / 2; offset > 0; offset /= 2) {
+      LaneVec<Real> other = w.shfl_down(s, offset);
+      w.alu(1);
+      s = s + other;
+    }
+    w.branch(cid == 0, [&] { w.store(r, LaneI(w.block_idx().x), s); });
+  });
+  co_return;
+}
+
+ShuffleResult run_shuffle_reduce(Runtime& rt, int n) {
+  if (n % kTpb != 0) throw std::invalid_argument("run_shuffle_reduce: n % 256 != 0");
+  int blocks = n / kTpb;
+  auto hx = random_vector(static_cast<std::size_t>(n), 51);
+
+  DevSpan<Real> x = rt.malloc<Real>(static_cast<std::size_t>(n));
+  DevSpan<Real> r = rt.malloc<Real>(static_cast<std::size_t>(blocks));
+  rt.memcpy_h2d(x, std::span<const Real>(hx));
+
+  LaunchConfig cfg{Dim3{blocks}, Dim3{kTpb}, "reduce_shared"};
+
+  ShuffleResult res;
+  res.name = "Shuffle";
+  res.reference_sum = sum_ref(hx);
+
+  auto fold = [&] {
+    std::vector<Real> partial(static_cast<std::size_t>(blocks));
+    rt.memcpy_d2h(std::span<Real>(partial), r);
+    return sum_ref(partial);
+  };
+
+  auto base = rt.launch(cfg, [=](WarpCtx& w) { return reduce_shared_kernel(w, x, r, n); });
+  double base_sum = fold();
+
+  cfg.name = "reduce_shuffle";
+  auto shf = rt.launch(cfg, [=](WarpCtx& w) { return reduce_shuffle_kernel(w, x, r, n); });
+  res.device_sum = fold();
+
+  double tol = 1e-3 * std::abs(res.reference_sum);
+  res.results_match = std::abs(base_sum - res.reference_sum) <= tol &&
+                      std::abs(res.device_sum - res.reference_sum) <= tol;
+  res.max_error = std::abs(res.device_sum - res.reference_sum);
+
+  res.naive_us = base.duration_us();
+  res.optimized_us = shf.duration_us();
+  res.naive_stats = base.stats;
+  res.optimized_stats = shf.stats;
+  res.shuffles = shf.stats.shuffles;
+  res.naive_barriers = base.stats.barriers;
+  res.optimized_barriers = shf.stats.barriers;
+  return res;
+}
+
+}  // namespace cumb

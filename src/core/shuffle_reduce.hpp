@@ -1,0 +1,32 @@
+#pragma once
+
+// Shuffle: warp-level data exchange through registers
+// (paper section IV-E, Fig. 11).
+//
+// The baseline reduction bounces every partial through shared memory with a
+// barrier per step. The shuffle version reduces each warp entirely in
+// registers with __shfl_down-style exchanges — five shuffles instead of five
+// shared-memory round-trips and barriers — and only touches shared memory
+// once per warp to combine warp sums.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Baseline: conflict-free shared-memory tree reduction (Fig. 12's sum).
+WarpTask reduce_shared_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r, int n);
+/// Optimized: warp shuffle reduction, one shared slot per warp.
+WarpTask reduce_shuffle_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> r, int n);
+
+struct ShuffleResult : PairResult {
+  std::uint64_t shuffles = 0;          ///< Shuffle instructions executed.
+  std::uint64_t naive_barriers = 0;
+  std::uint64_t optimized_barriers = 0;
+  double device_sum = 0;
+  double reference_sum = 0;
+};
+
+/// n must be a multiple of 256.
+ShuffleResult run_shuffle_reduce(Runtime& rt, int n);
+
+}  // namespace cumb

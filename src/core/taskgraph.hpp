@@ -1,0 +1,28 @@
+#pragma once
+
+// TaskGraph: submitting repeated work as an instantiated graph
+// (paper section III-D).
+//
+// The paper includes this feature for programmability and does not publish a
+// performance figure; we additionally quantify the launch-overhead story: a
+// chain of small dependent kernels submitted (a) op-by-op on a stream, each
+// paying kernel_launch_us, and (b) as one instantiated graph paying a single
+// graph_launch_us plus a tiny per-node cost, repeated many times.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+struct TaskGraphResult : PairResult {
+  int chain_length = 0;
+  int repeats = 0;
+  double stream_per_iter_us = 0;
+  double graph_per_iter_us = 0;
+};
+
+/// Build a chain of `chain_length` small AXPY kernels over n elements and
+/// execute it `repeats` times both ways; verifies the final vector.
+TaskGraphResult run_taskgraph(Runtime& rt, int n = 4096, int chain_length = 16,
+                              int repeats = 8);
+
+}  // namespace cumb

@@ -1,0 +1,33 @@
+#pragma once
+
+// UniMem: unified memory and memory-access density (paper section V-C, Fig. 16).
+//
+// A strided AXPY touches only every stride-th element. The explicit-copy
+// offload still ships both whole arrays to the GPU and the whole result
+// back; the unified-memory offload migrates only the pages the kernel
+// actually faults on, and the host afterwards faults back only those pages.
+// As the stride grows past the page size (4 KiB = 1024 floats), whole pages
+// are skipped and unified memory wins; at stride 1 the fault overhead makes
+// it lose. A prefetch/advise variant (the paper's stated future work) is
+// included as an extension.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// y[i*stride] += a * x[i*stride] for i in [0, m).
+WarpTask axpy_strided_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, int m,
+                             int stride, Real a);
+
+struct UniMemResult : PairResult {
+  int stride = 0;
+  std::uint64_t explicit_bytes = 0;    ///< Bytes moved by the explicit offload.
+  std::uint64_t migrated_bytes = 0;    ///< Bytes migrated by unified memory.
+  std::uint64_t page_faults = 0;       ///< Device-side faults.
+  double prefetch_us = 0;              ///< Managed + prefetch-whole-range variant.
+};
+
+/// naive = explicit full copies, optimized = unified memory on-demand paging.
+UniMemResult run_unimem(Runtime& rt, int n, int stride);
+
+}  // namespace cumb

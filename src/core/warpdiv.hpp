@@ -1,0 +1,35 @@
+#pragma once
+
+// WarpDivRedux (paper section III-A, Figs. 2-3).
+//
+// The WD kernel branches on thread parity, so every warp executes both sides
+// of the if; noWD branches on warp parity, so each warp takes exactly one
+// side. The two kernels compute *different* functions (each is verified
+// against its own host reference); what the paper compares is their cost.
+// nvprof's warp_execution_efficiency for the pair is 85.71% vs 100%, which
+// the simulator's KernelStats reproduce exactly.
+
+#include "core/common.hpp"
+
+namespace cumb {
+
+/// Fig. 2 first kernel: per-thread parity branch (divergent).
+WarpTask wd_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, DevSpan<Real> z,
+                   int n);
+/// Fig. 2 second kernel: per-warp parity branch (convergent).
+WarpTask nowd_kernel(WarpCtx& w, DevSpan<Real> x, DevSpan<Real> y, DevSpan<Real> z,
+                     int n);
+
+/// Host references for the two kernels.
+void wd_ref(std::span<const Real> x, std::span<const Real> y, std::span<Real> z);
+void nowd_ref(std::span<const Real> x, std::span<const Real> y, std::span<Real> z);
+
+struct WarpDivResult : PairResult {
+  double wd_efficiency_pct = 0;    ///< warp_execution_efficiency of WD.
+  double nowd_efficiency_pct = 0;  ///< ... of noWD (always 100).
+};
+
+/// Run both kernels on n elements (threads_per_block = 256).
+WarpDivResult run_warpdiv(Runtime& rt, int n);
+
+}  // namespace cumb

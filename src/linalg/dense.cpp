@@ -1,0 +1,53 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cumb {
+
+void axpy_ref(std::span<const Real> x, std::span<Real> y, Real a) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy_ref: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+std::vector<Real> matmul_ref(std::span<const Real> a, std::span<const Real> b, int n) {
+  std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  if (a.size() != nn || b.size() != nn)
+    throw std::invalid_argument("matmul_ref: size mismatch");
+  std::vector<Real> c(nn, Real{0});
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      Real aik = a[static_cast<std::size_t>(i) * n + k];
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i) * n + j] +=
+            aik * b[static_cast<std::size_t>(k) * n + j];
+    }
+  }
+  return c;
+}
+
+std::vector<Real> matadd_ref(std::span<const Real> a, std::span<const Real> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("matadd_ref: size mismatch");
+  std::vector<Real> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+double sum_ref(std::span<const Real> x) {
+  double s = 0;
+  for (Real v : x) s += static_cast<double>(v);
+  return s;
+}
+
+double max_abs_diff(std::span<const Real> a, std::span<const Real> b) {
+  if (a.size() != b.size()) return HUGE_VAL;
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace cumb

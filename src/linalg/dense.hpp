@@ -1,0 +1,33 @@
+#pragma once
+
+// Dense linear-algebra host references.
+//
+// Every simulated kernel in the benchmark suite is verified against these
+// straightforward host implementations; they are the ground truth for the
+// functional half of the reproduction.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cumb {
+
+/// The paper's REAL type (single precision throughout).
+using Real = float;
+
+/// y[i] += a * x[i].
+void axpy_ref(std::span<const Real> x, std::span<Real> y, Real a);
+
+/// Row-major n*n matrix product c = a * b.
+std::vector<Real> matmul_ref(std::span<const Real> a, std::span<const Real> b, int n);
+
+/// Elementwise c = a + b.
+std::vector<Real> matadd_ref(std::span<const Real> a, std::span<const Real> b);
+
+/// Sum of all elements (double accumulator, used as reduction ground truth).
+double sum_ref(std::span<const Real> x);
+
+/// Largest elementwise |a-b|; 0 means bitwise-identical shapes agree.
+double max_abs_diff(std::span<const Real> a, std::span<const Real> b);
+
+}  // namespace cumb

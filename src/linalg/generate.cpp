@@ -1,0 +1,45 @@
+#include "linalg/generate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace cumb {
+
+std::vector<Real> random_vector(std::size_t n, std::uint64_t seed, Real lo, Real hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> dist(lo, hi);
+  std::vector<Real> v(n);
+  for (Real& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<Real> random_sparse_dense(int rows, int cols, long long nnz,
+                                      std::uint64_t seed) {
+  long long total = static_cast<long long>(rows) * cols;
+  if (nnz < 0 || nnz > total)
+    throw std::invalid_argument("random_sparse_dense: bad nnz");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> dist(Real{0.5}, Real{1.5});
+  std::vector<Real> m(static_cast<std::size_t>(total), Real{0});
+  // Floyd's algorithm: sample nnz distinct positions without building a
+  // permutation of the whole matrix. A non-zero value marks "already chosen".
+  for (long long j = total - nnz; j < total; ++j) {
+    long long t = std::uniform_int_distribution<long long>(0, j)(rng);
+    bool seen = m[static_cast<std::size_t>(t)] != Real{0};
+    long long pos = seen ? j : t;
+    m[static_cast<std::size_t>(pos)] = dist(rng);
+  }
+  return m;
+}
+
+std::vector<int> random_permutation(int n, std::uint64_t seed) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(p.begin(), p.end(), rng);
+  return p;
+}
+
+}  // namespace cumb

@@ -1,0 +1,26 @@
+#pragma once
+
+// Deterministic workload generators. Every benchmark seeds its own generator
+// so runs (and therefore EXPERIMENTS.md numbers) are reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+
+namespace cumb {
+
+/// Uniform values in [lo, hi).
+std::vector<Real> random_vector(std::size_t n, std::uint64_t seed,
+                                Real lo = Real{0}, Real hi = Real{1});
+
+/// Row-major dense matrix with exactly `nnz` non-zero entries at random
+/// positions (the MiniTransfer sweep controls sparsity this way).
+std::vector<Real> random_sparse_dense(int rows, int cols, long long nnz,
+                                      std::uint64_t seed);
+
+/// Random permutation of [0, n), for random-gather access patterns (CoMem).
+std::vector<int> random_permutation(int n, std::uint64_t seed);
+
+}  // namespace cumb

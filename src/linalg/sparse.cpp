@@ -1,0 +1,118 @@
+#include "linalg/sparse.hpp"
+
+#include <stdexcept>
+
+namespace cumb {
+
+Csr dense_to_csr(std::span<const Real> dense, int rows, int cols) {
+  if (dense.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols))
+    throw std::invalid_argument("dense_to_csr: size mismatch");
+  Csr m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+  m.row_ptr.push_back(0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Real v = dense[static_cast<std::size_t>(r) * cols + c];
+      if (v != Real{0}) {
+        m.col_idx.push_back(c);
+        m.vals.push_back(v);
+      }
+    }
+    m.row_ptr.push_back(static_cast<int>(m.vals.size()));
+  }
+  return m;
+}
+
+std::vector<Real> csr_to_dense(const Csr& m) {
+  std::vector<Real> d(static_cast<std::size_t>(m.rows) * static_cast<std::size_t>(m.cols),
+                      Real{0});
+  for (int r = 0; r < m.rows; ++r)
+    for (int k = m.row_ptr[static_cast<std::size_t>(r)];
+         k < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      d[static_cast<std::size_t>(r) * m.cols +
+        static_cast<std::size_t>(m.col_idx[static_cast<std::size_t>(k)])] =
+          m.vals[static_cast<std::size_t>(k)];
+  return d;
+}
+
+Csc csr_to_csc(const Csr& m) {
+  Csc t;
+  t.rows = m.rows;
+  t.cols = m.cols;
+  std::size_t nnz = m.vals.size();
+  t.col_ptr.assign(static_cast<std::size_t>(m.cols) + 1, 0);
+  t.row_idx.resize(nnz);
+  t.vals.resize(nnz);
+  for (int c : m.col_idx) ++t.col_ptr[static_cast<std::size_t>(c) + 1];
+  for (int c = 0; c < m.cols; ++c)
+    t.col_ptr[static_cast<std::size_t>(c) + 1] += t.col_ptr[static_cast<std::size_t>(c)];
+  std::vector<int> cursor = t.col_ptr;
+  for (int r = 0; r < m.rows; ++r) {
+    for (int k = m.row_ptr[static_cast<std::size_t>(r)];
+         k < m.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      int c = m.col_idx[static_cast<std::size_t>(k)];
+      int pos = cursor[static_cast<std::size_t>(c)]++;
+      t.row_idx[static_cast<std::size_t>(pos)] = r;
+      t.vals[static_cast<std::size_t>(pos)] = m.vals[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+Csr csc_to_csr(const Csc& m) {
+  Csr t;
+  t.rows = m.rows;
+  t.cols = m.cols;
+  std::size_t nnz = m.vals.size();
+  t.row_ptr.assign(static_cast<std::size_t>(m.rows) + 1, 0);
+  t.col_idx.resize(nnz);
+  t.vals.resize(nnz);
+  for (int r : m.row_idx) ++t.row_ptr[static_cast<std::size_t>(r) + 1];
+  for (int r = 0; r < m.rows; ++r)
+    t.row_ptr[static_cast<std::size_t>(r) + 1] += t.row_ptr[static_cast<std::size_t>(r)];
+  std::vector<int> cursor = t.row_ptr;
+  for (int c = 0; c < m.cols; ++c) {
+    for (int k = m.col_ptr[static_cast<std::size_t>(c)];
+         k < m.col_ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+      int r = m.row_idx[static_cast<std::size_t>(k)];
+      int pos = cursor[static_cast<std::size_t>(r)]++;
+      t.col_idx[static_cast<std::size_t>(pos)] = c;
+      t.vals[static_cast<std::size_t>(pos)] = m.vals[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+std::vector<Real> spmv_ref(const Csr& a, std::span<const Real> x) {
+  if (x.size() != static_cast<std::size_t>(a.cols))
+    throw std::invalid_argument("spmv_ref: size mismatch");
+  std::vector<Real> y(static_cast<std::size_t>(a.rows), Real{0});
+  for (int r = 0; r < a.rows; ++r) {
+    Real acc = 0;
+    for (int k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      acc += a.vals[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<Real> spmv_dense_ref(std::span<const Real> a, int rows, int cols,
+                                 std::span<const Real> x) {
+  if (a.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) ||
+      x.size() != static_cast<std::size_t>(cols))
+    throw std::invalid_argument("spmv_dense_ref: size mismatch");
+  std::vector<Real> y(static_cast<std::size_t>(rows), Real{0});
+  for (int r = 0; r < rows; ++r) {
+    Real acc = 0;
+    for (int c = 0; c < cols; ++c)
+      acc += a[static_cast<std::size_t>(r) * cols + c] * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+}  // namespace cumb

@@ -1,0 +1,56 @@
+#pragma once
+
+// Sparse matrix formats (paper sections IV-B and V-D).
+//
+// CSR (compressed sparse row) is the format the MiniTransfer benchmark
+// offloads instead of the dense matrix; CSC exists because section IV-B
+// recommends "the right combination of CSR and CSC for the multiplier and
+// final matrices". Conversions and host SpMV references live here.
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace cumb {
+
+struct Csr {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> row_ptr;   // rows+1 entries.
+  std::vector<int> col_idx;   // nnz entries.
+  std::vector<Real> vals;     // nnz entries.
+
+  int nnz() const { return static_cast<int>(vals.size()); }
+  /// Bytes that must cross the PCIe link to offload this matrix.
+  std::size_t transfer_bytes() const {
+    return row_ptr.size() * sizeof(int) + col_idx.size() * sizeof(int) +
+           vals.size() * sizeof(Real);
+  }
+};
+
+struct Csc {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> col_ptr;   // cols+1 entries.
+  std::vector<int> row_idx;   // nnz entries.
+  std::vector<Real> vals;
+
+  int nnz() const { return static_cast<int>(vals.size()); }
+};
+
+/// Build CSR from a row-major dense matrix (exact zeros are dropped).
+Csr dense_to_csr(std::span<const Real> dense, int rows, int cols);
+/// Expand back to row-major dense.
+std::vector<Real> csr_to_dense(const Csr& m);
+
+Csc csr_to_csc(const Csr& m);
+Csr csc_to_csr(const Csc& m);
+
+/// y = A*x for CSR A.
+std::vector<Real> spmv_ref(const Csr& a, std::span<const Real> x);
+/// y = A*x for dense row-major A.
+std::vector<Real> spmv_dense_ref(std::span<const Real> a, int rows, int cols,
+                                 std::span<const Real> x);
+
+}  // namespace cumb

@@ -1,0 +1,41 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+namespace vgpu {
+
+Cache::Cache(std::size_t size_bytes, int assoc, std::size_t line_bytes)
+    : line_bytes_(line_bytes), assoc_(assoc) {
+  if (size_bytes == 0 || assoc <= 0) return;
+  std::size_t lines = size_bytes / line_bytes;
+  num_sets_ = std::max<std::size_t>(1, lines / static_cast<std::size_t>(assoc));
+  sets_.resize(num_sets_);
+  for (auto& s : sets_) s.tags.reserve(static_cast<std::size_t>(assoc_));
+}
+
+bool Cache::access(std::uint64_t addr) {
+  if (sets_.empty()) {
+    ++misses_;
+    return false;
+  }
+  std::uint64_t line = addr / line_bytes_;
+  Set& set = sets_[line % num_sets_];
+  auto it = std::find(set.tags.begin(), set.tags.end(), line);
+  if (it != set.tags.end()) {
+    // Move to MRU position.
+    std::rotate(set.tags.begin(), it, it + 1);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (set.tags.size() == static_cast<std::size_t>(assoc_)) set.tags.pop_back();
+  set.tags.insert(set.tags.begin(), line);
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& s : sets_) s.tags.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace vgpu

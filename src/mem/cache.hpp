@@ -1,0 +1,39 @@
+#pragma once
+
+// Set-associative LRU cache model, used for L1, L2, constant and texture
+// caches. Granularity is one 128-byte line, matching the paper's transaction
+// model (one 128-byte chunk moves per transaction).
+
+#include <cstdint>
+#include <vector>
+
+namespace vgpu {
+
+class Cache {
+ public:
+  /// size_bytes == 0 builds a disabled cache: every access misses.
+  Cache(std::size_t size_bytes, int assoc, std::size_t line_bytes = 128);
+
+  /// Look up the sector containing byte address `addr`; insert on miss.
+  /// Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  bool enabled() const { return !sets_.empty(); }
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Set {
+    std::vector<std::uint64_t> tags;  // MRU first.
+  };
+
+  std::size_t line_bytes_;
+  std::size_t num_sets_ = 0;
+  int assoc_;
+  std::vector<Set> sets_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,33 @@
+#include "mem/coalesce.hpp"
+
+#include <algorithm>
+
+namespace vgpu {
+
+CoalesceResult coalesce(const LaneVec<std::uint64_t>& addrs, Mask active,
+                        std::size_t elem_bytes) {
+  CoalesceResult r;
+  if (elem_bytes == 0) return r;
+
+  std::vector<std::uint64_t> sectors;
+  sectors.reserve(kWarpSize);
+  r.lines.reserve(kWarpSize);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!lane_in(active, lane)) continue;
+    std::uint64_t first = addrs[lane] / kSectorBytes;
+    std::uint64_t last = (addrs[lane] + elem_bytes - 1) / kSectorBytes;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      sectors.push_back(s);
+      r.lines.push_back(s / (kLineBytes / kSectorBytes));
+    }
+  }
+  std::sort(sectors.begin(), sectors.end());
+  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+  r.sectors = static_cast<int>(sectors.size());
+
+  std::sort(r.lines.begin(), r.lines.end());
+  r.lines.erase(std::unique(r.lines.begin(), r.lines.end()), r.lines.end());
+  return r;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,38 @@
+#pragma once
+
+// Memory-coalescing analysis (paper section IV-B, Fig. 7).
+//
+// The paper's model (which we adopt): "data transfer between global memory
+// and on-chip storage are by chunk for each memory transaction, e.g.
+// 128-byte chunk per transaction". A warp's load/store therefore needs one
+// transaction per distinct 128-byte line touched by the active lanes, and
+// each transaction moves the whole line: Fig. 7(a) 8 consecutive accesses =
+// 1 transaction; (b) 128-byte-strided = 8 transactions moving 8*128 bytes
+// for 128 useful bytes; (c) random = 5. Finer 32-byte sectors are also
+// reported for diagnostics.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/lanevec.hpp"
+
+namespace vgpu {
+
+inline constexpr std::uint64_t kSectorBytes = 32;
+inline constexpr std::uint64_t kLineBytes = 128;
+
+struct CoalesceResult {
+  /// Distinct 128-byte line ids touched, ascending. size() == transactions.
+  std::vector<std::uint64_t> lines;
+  /// Number of distinct 32-byte sectors touched (diagnostic).
+  int sectors = 0;
+
+  int transactions() const { return static_cast<int>(lines.size()); }
+};
+
+/// Analyze one warp memory instruction: each active lane accesses
+/// [addr[i], addr[i] + elem_bytes). Accesses may straddle line boundaries.
+CoalesceResult coalesce(const LaneVec<std::uint64_t>& addrs, Mask active,
+                        std::size_t elem_bytes);
+
+}  // namespace vgpu

@@ -1,0 +1,4 @@
+#include "mem/constant.hpp"
+
+// ConstantRegion is header-only; this TU anchors the module in the library.
+namespace vgpu {}

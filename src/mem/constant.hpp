@@ -1,0 +1,53 @@
+#pragma once
+
+// Constant memory (paper section V-B).
+//
+// Constant memory is a small (64 KiB) read-only region of DRAM fronted by a
+// per-SM broadcast cache: a warp reading one uniform address is serviced in a
+// single cycle, while divergent addresses serialize. ConstSpan is a distinct
+// handle type so kernels opt into the constant path explicitly, mirroring
+// CUDA's __constant__ qualifier.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "mem/heap.hpp"
+
+namespace vgpu {
+
+inline constexpr std::size_t kConstantCapacity = 64u << 10;
+
+/// Read-only handle into the constant region.
+template <typename T>
+struct ConstSpan {
+  std::uint64_t addr = 0;
+  std::size_t n = 0;
+  std::size_t size() const { return n; }
+  std::uint64_t addr_of(std::size_t i) const { return addr + i * sizeof(T); }
+};
+
+/// Allocator for the 64 KiB constant region (backed by the device heap).
+class ConstantRegion {
+ public:
+  explicit ConstantRegion(DeviceHeap& heap) : heap_(&heap) {}
+
+  template <typename T>
+  ConstSpan<T> upload(std::span<const T> data) {
+    std::size_t bytes = data.size_bytes();
+    if (used_ + bytes > kConstantCapacity)
+      throw std::runtime_error("constant memory capacity (64 KiB) exceeded");
+    used_ += bytes;
+    DevSpan<T> s = heap_->alloc_span<T>(data.size());
+    heap_->copy_in(s, data);
+    return ConstSpan<T>{s.addr, s.n};
+  }
+
+  std::size_t bytes_in_use() const { return used_; }
+
+ private:
+  DeviceHeap* heap_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,126 @@
+#include "mem/global.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vgpu {
+
+IssueCost GlobalMemory::begin_access(const LaneVec<std::uint64_t>& addrs, Mask active,
+                                     std::size_t elem_bytes, bool write,
+                                     KernelStats& stats,
+                                     std::vector<std::uint64_t>& sectors_out) {
+  IssueCost cost;
+  if (active == 0) return cost;
+  const DeviceProfile& p = *profile_;
+
+  CoalesceResult co = coalesce(addrs, active, elem_bytes);
+  if (write) {
+    ++stats.gst_requests;
+    stats.gst_transactions += static_cast<std::uint64_t>(co.transactions());
+  } else {
+    ++stats.gld_requests;
+    stats.gld_transactions += static_cast<std::uint64_t>(co.transactions());
+  }
+
+  // Unified-memory page residency, resolved at access time (first toucher
+  // pays the fault).
+  if (um_ != nullptr) {
+    for (std::uint64_t ln : co.lines) {
+      std::uint64_t byte = ln * kLineBytes;
+      if (um_->is_managed(byte)) {
+        UmTouch t = um_->on_device_access(byte, kLineBytes, write);
+        stats.um_page_faults += t.faulted_pages;
+        stats.um_migrated_bytes += t.migrated_bytes;
+        cost.um_us += static_cast<double>(t.faulted_pages) * p.um_fault_us;
+        cost.um_us += static_cast<double>(t.migrated_bytes) / (p.um_migrate_bw_gbps * 1e3);
+      }
+    }
+  }
+
+  cost.issue = static_cast<double>(co.transactions());
+  sectors_out.reserve(sectors_out.size() + co.lines.size());
+  for (std::uint64_t ln : co.lines) sectors_out.push_back(ln * kLineBytes);
+  return cost;
+}
+
+IssueCost GlobalMemory::begin_tex(const LaneVec<std::uint64_t>& keys, Mask active,
+                                  std::size_t elem_bytes, KernelStats& stats,
+                                  std::vector<std::uint64_t>& sectors_out) {
+  IssueCost cost;
+  if (active == 0) return cost;
+  ++stats.tex_requests;
+  CoalesceResult co = coalesce(keys, active, elem_bytes);
+  cost.issue = static_cast<double>(co.transactions());
+  for (std::uint64_t ln : co.lines) sectors_out.push_back(ln * kLineBytes);
+  return cost;
+}
+
+IssueCost GlobalMemory::begin_const(const LaneVec<std::uint64_t>& addrs, Mask active,
+                                    KernelStats& stats,
+                                    std::vector<std::uint64_t>& sectors_out) {
+  IssueCost cost;
+  if (active == 0) return cost;
+  ++stats.const_requests;
+
+  // The constant cache broadcasts one address per cycle: distinct addresses
+  // among the active lanes serialize the instruction.
+  std::vector<std::uint64_t> distinct;
+  distinct.reserve(kWarpSize);
+  for (int lane = 0; lane < kWarpSize; ++lane)
+    if (lane_in(active, lane)) distinct.push_back(addrs[lane]);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  stats.const_serializations += distinct.size() - 1;
+  cost.issue = static_cast<double>(distinct.size());
+
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (std::uint64_t a : distinct) {
+    std::uint64_t line = (a / kLineBytes) * kLineBytes;
+    if (line != prev) sectors_out.push_back(line);
+    prev = line;
+  }
+  return cost;
+}
+
+double GlobalMemory::replay_sector(MemPath path, bool write, std::uint64_t sector_addr,
+                                   BlockCaches& caches, KernelStats& stats) {
+  const DeviceProfile& p = *profile_;
+  switch (path) {
+    case MemPath::kTexture:
+      if (caches.tex.access(sector_addr)) {
+        ++stats.tex_hits;
+        return p.l1_latency;
+      }
+      ++stats.tex_misses;
+      stats.tex_dram_bytes += kLineBytes;
+      return p.dram_latency;
+
+    case MemPath::kConstant:
+      if (caches.cst.access(sector_addr)) return p.const_latency;
+      return p.l2_latency;  // Constant refills come from L2.
+
+    case MemPath::kGlobal:
+    default: {
+      const bool use_l1 = !write && p.l1_enabled_for_global && caches.l1.enabled();
+      if (use_l1 && caches.l1.access(sector_addr)) {
+        ++stats.l1_hits;
+        return p.l1_latency;
+      }
+      if (use_l1) ++stats.l1_misses;
+      if (caches.l2.access(sector_addr)) {
+        ++stats.l2_hits;
+        return write ? 0.0 : p.l2_latency;
+      }
+      ++stats.l2_misses;
+      if (write) {
+        stats.dram_write_bytes += kLineBytes;
+        return 0.0;  // Stores retire through the write queue without stalling.
+      }
+      stats.dram_read_bytes += kLineBytes;
+      return p.dram_latency;
+    }
+  }
+}
+
+}  // namespace vgpu

@@ -1,0 +1,21 @@
+#include "mem/heap.hpp"
+
+namespace vgpu {
+
+DevAddr DeviceHeap::alloc(std::size_t bytes, std::size_t align) {
+  return alloc_offset(bytes, 0, align);
+}
+
+DevAddr DeviceHeap::alloc_offset(std::size_t bytes, std::size_t offset, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("alignment must be a power of two");
+  if (offset >= align) throw std::invalid_argument("offset must be < align");
+  std::size_t base = (top_ + align - 1) & ~(align - 1);
+  std::size_t addr = base + offset;
+  std::size_t end = addr + bytes;
+  if (end > mem_.size()) mem_.resize(std::max(end, mem_.size() * 2), std::byte{0});
+  top_ = end;
+  return DevAddr{addr};
+}
+
+}  // namespace vgpu

@@ -1,0 +1,110 @@
+#pragma once
+
+// Simulated device memory arena.
+//
+// Device "global memory" is a flat byte-addressed arena. Addresses handed to
+// kernels are offsets into this arena, so the coalescing and cache models can
+// do real address arithmetic (alignment, 32-byte sectors, 128-byte lines)
+// against them. Allocations are 256-byte aligned by default, matching
+// cudaMalloc's guarantee; alloc_offset() deliberately mis-aligns a block for
+// the MemAlign benchmark.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace vgpu {
+
+/// Raw device address (byte offset into the arena). Address 0 is reserved so
+/// a zero DevAddr can act as "null".
+struct DevAddr {
+  std::uint64_t v = 0;
+  explicit operator bool() const { return v != 0; }
+};
+
+/// Typed, sized view of device memory: the handle kernels index into.
+template <typename T>
+struct DevSpan {
+  std::uint64_t addr = 0;   ///< Byte address of element 0.
+  std::size_t n = 0;        ///< Element count.
+
+  std::size_t size() const { return n; }
+  std::size_t bytes() const { return n * sizeof(T); }
+  bool empty() const { return n == 0; }
+
+  /// Byte address of element i (no bounds check; kernels predicate instead).
+  std::uint64_t addr_of(std::size_t i) const { return addr + i * sizeof(T); }
+
+  DevSpan subspan(std::size_t offset, std::size_t count) const {
+    if (offset + count > n) throw std::out_of_range("DevSpan::subspan");
+    return DevSpan{addr + offset * sizeof(T), count};
+  }
+};
+
+/// Growable arena backing all simulated device allocations.
+class DeviceHeap {
+ public:
+  DeviceHeap() : mem_(kReserved, std::byte{0}) {}
+
+  /// Allocate `bytes` with the given alignment; returns the byte address.
+  DevAddr alloc(std::size_t bytes, std::size_t align = 256);
+
+  /// Allocate with a deliberate byte offset past an aligned boundary, for
+  /// misalignment experiments. offset must be < align.
+  DevAddr alloc_offset(std::size_t bytes, std::size_t offset, std::size_t align = 256);
+
+  template <typename T>
+  DevSpan<T> alloc_span(std::size_t n, std::size_t align = 256) {
+    return DevSpan<T>{alloc(n * sizeof(T), align).v, n};
+  }
+
+  std::size_t bytes_in_use() const { return top_; }
+
+  // Functional accessors. All sizes in bytes.
+  void read(std::uint64_t addr, void* dst, std::size_t bytes) const {
+    check(addr, bytes);
+    std::memcpy(dst, mem_.data() + addr, bytes);
+  }
+  void write(std::uint64_t addr, const void* src, std::size_t bytes) {
+    check(addr, bytes);
+    std::memcpy(mem_.data() + addr, src, bytes);
+  }
+
+  template <typename T>
+  T load(std::uint64_t addr) const {
+    T t;
+    read(addr, &t, sizeof(T));
+    return t;
+  }
+  template <typename T>
+  void store(std::uint64_t addr, const T& t) {
+    write(addr, &t, sizeof(T));
+  }
+
+  template <typename T>
+  void copy_in(DevSpan<T> dst, std::span<const T> src) {
+    if (src.size() > dst.n) throw std::out_of_range("DeviceHeap::copy_in");
+    write(dst.addr, src.data(), src.size_bytes());
+  }
+  template <typename T>
+  void copy_out(std::span<T> dst, DevSpan<T> src) const {
+    if (dst.size() > src.n) throw std::out_of_range("DeviceHeap::copy_out");
+    read(src.addr, dst.data(), dst.size() * sizeof(T));
+  }
+
+ private:
+  static constexpr std::size_t kReserved = 256;  // Keeps address 0 unused.
+
+  void check(std::uint64_t addr, std::size_t bytes) const {
+    if (addr < kReserved || addr + bytes > top_)
+      throw std::out_of_range("device address out of range");
+  }
+
+  std::vector<std::byte> mem_;
+  std::size_t top_ = kReserved;
+};
+
+}  // namespace vgpu

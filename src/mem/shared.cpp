@@ -1,0 +1,40 @@
+#include "mem/shared.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace vgpu {
+
+int bank_conflict_degree(const LaneVec<std::uint64_t>& addrs, Mask active,
+                         std::size_t elem_bytes) {
+  if (active == 0) return 0;
+  // Distinct words per bank; same-word accesses broadcast.
+  std::array<std::vector<std::uint64_t>, kSharedBanks> words;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!lane_in(active, lane)) continue;
+    // A >4-byte element (e.g. double) touches multiple consecutive words.
+    std::uint64_t first = addrs[lane] / kBankWordBytes;
+    std::uint64_t last = (addrs[lane] + elem_bytes - 1) / kBankWordBytes;
+    for (std::uint64_t w = first; w <= last; ++w)
+      words[w % kSharedBanks].push_back(w);
+  }
+  int degree = 1;
+  for (auto& v : words) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    degree = std::max(degree, static_cast<int>(v.size()));
+  }
+  return degree;
+}
+
+std::uint32_t SharedSegment::alloc(std::size_t bytes, std::size_t align) {
+  std::size_t base = (top_ + align - 1) & ~(align - 1);
+  std::size_t end = base + bytes;
+  if (end > capacity_)
+    throw std::runtime_error("shared memory capacity exceeded for block");
+  if (end > data_.size()) data_.resize(end, std::byte{0});
+  top_ = end;
+  return static_cast<std::uint32_t>(base);
+}
+
+}  // namespace vgpu

@@ -1,0 +1,71 @@
+#pragma once
+
+// Banked shared memory (paper sections IV-A, IV-F).
+//
+// Shared memory is split into 32 banks of 4-byte words; consecutive words map
+// to consecutive banks. When the active lanes of a warp address distinct
+// words in the same bank, the accesses serialize: the conflict degree is the
+// maximum number of distinct words requested from any single bank (lanes
+// reading the *same* word broadcast and do not conflict).
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/lanevec.hpp"
+#include "sim/stats.hpp"
+
+namespace vgpu {
+
+inline constexpr int kSharedBanks = 32;
+inline constexpr std::uint64_t kBankWordBytes = 4;
+
+/// Typed handle to a block's shared-memory array (byte offset + length).
+template <typename T>
+struct SharedArray {
+  std::uint32_t offset = 0;  ///< Byte offset within the block's shared segment.
+  std::size_t n = 0;
+  std::uint64_t addr_of(std::size_t i) const { return offset + i * sizeof(T); }
+};
+
+/// Conflict degree of one warp shared-memory instruction: the number of
+/// serialized passes needed (1 = conflict-free).
+int bank_conflict_degree(const LaneVec<std::uint64_t>& addrs, Mask active,
+                         std::size_t elem_bytes);
+
+/// One thread block's shared-memory segment: functional storage + banking.
+class SharedSegment {
+ public:
+  explicit SharedSegment(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Bump allocation (block-wide; the block runner dedupes across warps).
+  std::uint32_t alloc(std::size_t bytes, std::size_t align = 8);
+
+  std::size_t bytes_in_use() const { return top_; }
+  std::size_t capacity() const { return capacity_; }
+
+  template <typename T>
+  T load(std::uint64_t offset) const {
+    check(offset, sizeof(T));
+    T t;
+    std::memcpy(&t, data_.data() + offset, sizeof(T));
+    return t;
+  }
+  template <typename T>
+  void store(std::uint64_t offset, const T& t) {
+    check(offset, sizeof(T));
+    std::memcpy(data_.data() + offset, &t, sizeof(T));
+  }
+
+ private:
+  void check(std::uint64_t offset, std::size_t bytes) const {
+    if (offset + bytes > top_) throw std::out_of_range("shared memory access out of range");
+  }
+
+  std::size_t capacity_;
+  std::size_t top_ = 0;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace vgpu

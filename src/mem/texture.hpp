@@ -1,0 +1,58 @@
+#pragma once
+
+// Texture objects (paper section V-B, Fig. 15).
+//
+// A texture is a read-only view of a 1-D or 2-D array fetched through the
+// texture cache. The cache is optimized for 2-D spatial locality: we model
+// this by keying cache lookups on Morton-swizzled element indices, so a warp
+// touching a 2-D neighbourhood lands in few cache lines regardless of pitch.
+// Out-of-range coordinates are clamped to the border (cudaAddressModeClamp).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mem/heap.hpp"
+
+namespace vgpu {
+
+/// Interleave the low 16 bits of x and y (Morton / Z-order).
+constexpr std::uint64_t morton2d(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+template <typename T>
+struct Texture {
+  DevSpan<T> data;       ///< Row-major backing store in device memory.
+  int width = 0;
+  int height = 1;        ///< 1 for 1-D textures.
+  std::uint32_t id = 0;  ///< Distinguishes cache keys of different textures.
+
+  bool is_2d() const { return height > 1; }
+
+  int clamp_x(int x) const { return std::clamp(x, 0, width - 1); }
+  int clamp_y(int y) const { return std::clamp(y, 0, height - 1); }
+
+  /// Byte address of the texel in the backing store (functional reads).
+  std::uint64_t addr_of(int x, int y) const {
+    return data.addr_of(static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                        static_cast<std::size_t>(x));
+  }
+
+  /// Synthetic cache key with 2-D locality. 1-D textures key linearly.
+  std::uint64_t cache_key(int x, int y) const {
+    std::uint64_t elem = is_2d()
+        ? morton2d(static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y))
+        : static_cast<std::uint64_t>(x);
+    return (static_cast<std::uint64_t>(id) << 48) + elem * sizeof(T);
+  }
+};
+
+}  // namespace vgpu

@@ -1,0 +1,28 @@
+#include "rt/runtime.hpp"
+
+namespace vgpu {
+
+Runtime::Runtime(DeviceProfile profile)
+    : profile_(std::move(profile)), gpu_(profile_), tl_(profile_), managed_(profile_) {
+  gpu_.gmem().set_um_hook(&managed_);
+  streams_.emplace_back(0);  // Default stream.
+}
+
+Stream& Runtime::create_stream() {
+  streams_.emplace_back(next_stream_id_++);
+  return streams_.back();
+}
+
+LaunchInfo Runtime::launch(Stream& s, const LaunchConfig& cfg, KernelFn fn) {
+  KernelRun run = gpu_.run_kernel(cfg, fn);
+  Timeline::Span span = tl_.kernel(s, run, profile_.kernel_launch_us);
+  return LaunchInfo{span, std::move(run.stats)};
+}
+
+Event Runtime::record_event(Stream& s) {
+  Event e;
+  tl_.record_event(s, e);
+  return e;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,222 @@
+#pragma once
+
+// vgpu::Runtime — the CUDA-runtime-shaped public API.
+//
+// One Runtime owns a simulated device (GpuExec), its host/device timeline,
+// streams, and the unified-memory directory. The method surface mirrors the
+// CUDA runtime calls the paper's benchmarks use:
+//
+//   cudaMalloc            -> rt.malloc<T>(n)
+//   cudaMallocManaged     -> rt.malloc_managed<T>(n)
+//   cudaMemcpy            -> rt.memcpy_h2d / rt.memcpy_d2h          (blocking)
+//   cudaMemcpyAsync       -> rt.memcpy_h2d_async / memcpy_d2h_async
+//   kernel<<<g,b,0,s>>>   -> rt.launch(s, {g, b, "name"}, fn)
+//   cudaDeviceSynchronize -> rt.synchronize()
+//   cudaEventRecord/...   -> rt.record_event / rt.elapsed_ms
+//   cudaMemPrefetchAsync  -> rt.prefetch_to_device
+//   cudaMemAdvise         -> rt.advise
+//   __constant__ upload   -> rt.const_upload
+//   texture objects       -> rt.texture1d / rt.texture2d
+//
+// Functional semantics are eager and in-order; *time* is modelled by the
+// Timeline, and `rt.now_us()` / spans report simulated microseconds.
+
+#include <deque>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mem/constant.hpp"
+#include "mem/texture.hpp"
+#include "sim/device.hpp"
+#include "sim/gpu.hpp"
+#include "um/managed.hpp"
+#include "xfer/graph.hpp"
+#include "xfer/stream.hpp"
+#include "xfer/timeline.hpp"
+
+namespace vgpu {
+
+/// What a kernel launch returns: when it ran and what it did.
+struct LaunchInfo {
+  Timeline::Span span;
+  KernelStats stats;
+  double duration_us() const { return span.duration(); }
+};
+
+/// Kind of host allocation a copy reads from / writes to. Pageable copies
+/// run at reduced bandwidth, and *async* copies of pageable memory silently
+/// synchronize the host — exactly as the CUDA runtime behaves.
+enum class HostMem { kPinned, kPageable };
+
+class Runtime {
+ public:
+  explicit Runtime(DeviceProfile profile = DeviceProfile::v100());
+
+  const DeviceProfile& profile() const { return profile_; }
+  GpuExec& gpu() { return gpu_; }
+  Timeline& timeline() { return tl_; }
+  ManagedDirectory& managed() { return managed_; }
+
+  // --- Streams ---------------------------------------------------------------
+  Stream& default_stream() { return streams_.front(); }
+  Stream& create_stream();
+
+  // --- Device memory ------------------------------------------------------------
+  template <typename T>
+  DevSpan<T> malloc(std::size_t n) {
+    return gpu_.heap().alloc_span<T>(n);
+  }
+  /// Deliberately misaligned allocation (MemAlign benchmark).
+  template <typename T>
+  DevSpan<T> malloc_offset(std::size_t n, std::size_t byte_offset) {
+    return DevSpan<T>{gpu_.heap().alloc_offset(n * sizeof(T), byte_offset, 256).v, n};
+  }
+  template <typename T>
+  DevSpan<T> malloc_managed(std::size_t n) {
+    DevSpan<T> s = gpu_.heap().alloc_span<T>(n, profile_.um_page_bytes);
+    managed_.register_range(s.addr, s.bytes());
+    return s;
+  }
+  template <typename T>
+  ConstSpan<T> const_upload(std::span<const T> host) {
+    ConstSpan<T> c = gpu_.constants().upload(host);
+    tl_.copy_h2d(default_stream(), static_cast<double>(host.size_bytes()), /*sync=*/true);
+    return c;
+  }
+  template <typename T>
+  Texture<T> texture1d(std::span<const T> host) {
+    return texture2d(host, static_cast<int>(host.size()), 1);
+  }
+  template <typename T>
+  Texture<T> texture2d(std::span<const T> host, int width, int height) {
+    DevSpan<T> d = malloc<T>(host.size());
+    memcpy_h2d(d, host);
+    return Texture<T>{d, width, height, gpu_.next_texture_id()};
+  }
+
+  // --- Copies (functional + timed) --------------------------------------------------
+  template <typename T>
+  Timeline::Span memcpy_h2d(DevSpan<T> dst, std::span<const T> src,
+                            HostMem mem = HostMem::kPinned) {
+    gpu_.heap().copy_in(dst, src);
+    return tl_.copy_h2d(default_stream(), static_cast<double>(src.size_bytes()),
+                        /*sync=*/true, /*charge_submit=*/true, bw_scale(mem));
+  }
+  template <typename T>
+  Timeline::Span memcpy_d2h(std::span<T> dst, DevSpan<T> src,
+                            HostMem mem = HostMem::kPinned) {
+    gpu_.heap().copy_out(dst, src);
+    return tl_.copy_d2h(default_stream(), static_cast<double>(dst.size_bytes()),
+                        /*sync=*/true, /*charge_submit=*/true, bw_scale(mem));
+  }
+  template <typename T>
+  Timeline::Span memcpy_h2d_async(Stream& s, DevSpan<T> dst, std::span<const T> src,
+                                  HostMem mem = HostMem::kPinned) {
+    gpu_.heap().copy_in(dst, src);
+    // Async copies of pageable memory synchronize, like the CUDA runtime.
+    return tl_.copy_h2d(s, static_cast<double>(src.size_bytes()),
+                        /*sync=*/mem == HostMem::kPageable,
+                        /*charge_submit=*/true, bw_scale(mem));
+  }
+  template <typename T>
+  Timeline::Span memcpy_d2h_async(Stream& s, std::span<T> dst, DevSpan<T> src,
+                                  HostMem mem = HostMem::kPinned) {
+    gpu_.heap().copy_out(dst, src);
+    return tl_.copy_d2h(s, static_cast<double>(dst.size_bytes()),
+                        /*sync=*/mem == HostMem::kPageable,
+                        /*charge_submit=*/true, bw_scale(mem));
+  }
+
+  /// cudaMemset-style device-side fill (runs at device-memory bandwidth on
+  /// the given stream).
+  template <typename T>
+  Timeline::Span memset(Stream& s, DevSpan<T> dst, T value) {
+    std::vector<T> fill(dst.n, value);
+    gpu_.heap().copy_in(dst, std::span<const T>(fill));
+    double us = static_cast<double>(dst.bytes()) / (profile_.dram_bw_gbps * 1e3);
+    return tl_.host_op(s, us);
+  }
+  template <typename T>
+  Timeline::Span memset(DevSpan<T> dst, T value) {
+    return memset(default_stream(), dst, value);
+  }
+
+  // --- Managed-memory host access ------------------------------------------------------
+  /// Host writes into a managed allocation; device-resident pages fault back.
+  template <typename T>
+  void managed_write(DevSpan<T> dst, std::span<const T> src) {
+    charge_host_touch(managed_.on_host_access(dst.addr, src.size_bytes(), true));
+    gpu_.heap().copy_in(dst, src);
+  }
+  template <typename T>
+  void managed_read(std::span<T> dst, DevSpan<T> src) {
+    charge_host_touch(
+        managed_.on_host_access(src.addr, dst.size() * sizeof(T), false));
+    gpu_.heap().copy_out(dst, src);
+  }
+  /// Simulate the host consuming `count` elements at `stride` from a managed
+  /// span: device-resident pages fault back on first touch. Functional bytes
+  /// are read separately with peek().
+  template <typename T>
+  void managed_host_touch(DevSpan<T> span, std::size_t stride, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      charge_host_touch(
+          managed_.on_host_access(span.addr_of(i * stride), sizeof(T), false));
+  }
+  /// Untimed functional read, for verification/debugging only.
+  template <typename T>
+  void peek(std::span<T> dst, DevSpan<T> src) {
+    gpu_.heap().copy_out(dst, src);
+  }
+  template <typename T>
+  void prefetch_to_device(Stream& s, DevSpan<T> span) {
+    std::uint64_t moved = managed_.prefetch_to_device(span.addr, span.bytes());
+    if (moved > 0) tl_.copy_h2d(s, static_cast<double>(moved), /*sync=*/false);
+  }
+  template <typename T>
+  void advise(DevSpan<T> span, MemAdvise advice) {
+    managed_.set_advise(span.addr, advice);
+  }
+
+  // --- Kernel launch -----------------------------------------------------------------
+  LaunchInfo launch(Stream& s, const LaunchConfig& cfg, KernelFn fn);
+  LaunchInfo launch(const LaunchConfig& cfg, KernelFn fn) {
+    return launch(default_stream(), cfg, std::move(fn));
+  }
+
+  // --- Events & sync ---------------------------------------------------------------------
+  Event record_event(Stream& s);
+  void stream_wait_event(Stream& s, const Event& e) { tl_.stream_wait_event(s, e); }
+  double elapsed_ms(const Event& start, const Event& stop) const {
+    return (stop.time - start.time) * 1e-3;
+  }
+  void synchronize() { tl_.device_synchronize(); }
+  void stream_synchronize(Stream& s) { tl_.stream_synchronize(s); }
+  /// Simulated host clock, microseconds.
+  double now_us() const { return tl_.host_now(); }
+
+  // --- Graphs -------------------------------------------------------------------------------
+  Timeline::Span launch_graph(ExecGraph& g, Stream& s) { return g.launch(gpu_, tl_, s); }
+
+ private:
+  double bw_scale(HostMem mem) const {
+    return mem == HostMem::kPinned ? 1.0 : profile_.pageable_bw_factor;
+  }
+
+  void charge_host_touch(const HostTouch& t) {
+    if (t.faulted_pages == 0) return;
+    tl_.host_advance(static_cast<double>(t.faulted_pages) * profile_.um_host_fault_us +
+                     static_cast<double>(t.migrated_bytes) /
+                         (profile_.um_migrate_bw_gbps * 1e3));
+  }
+
+  DeviceProfile profile_;
+  GpuExec gpu_;
+  Timeline tl_;
+  ManagedDirectory managed_;
+  std::deque<Stream> streams_;  // Deque keeps references stable.
+  int next_stream_id_ = 1;
+};
+
+}  // namespace vgpu

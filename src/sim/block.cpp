@@ -1,0 +1,162 @@
+#include "sim/block.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/gpu.hpp"
+
+namespace vgpu {
+
+BlockRunner::BlockRunner(GpuExec& gpu, const LaunchConfig& cfg, Dim3 block_idx,
+                         const KernelFn& fn, KernelStats& stats)
+    : gpu_(&gpu),
+      cfg_(&cfg),
+      block_idx_(block_idx),
+      fn_(&fn),
+      stats_(&stats),
+      shared_(gpu.profile().shared_mem_per_block),
+      caches_(gpu.profile(),
+              std::clamp(static_cast<int>((cfg.grid.count() +
+                                           gpu.profile().sm_count - 1) /
+                                          gpu.profile().sm_count),
+                         1, gpu.occupancy(static_cast<int>(cfg.block.count()), 0)),
+              std::min<long long>(
+                  cfg.grid.count(),
+                  static_cast<long long>(
+                      gpu.occupancy(static_cast<int>(cfg.block.count()), 0)) *
+                      gpu.profile().sm_count)) {
+  long long threads = cfg.block.count();
+  if (threads <= 0 || threads > gpu.profile().max_threads_per_sm)
+    throw std::invalid_argument("invalid block size");
+  num_warps_ = static_cast<int>((threads + kWarpSize - 1) / kWarpSize);
+}
+
+BlockRunner::~BlockRunner() = default;
+
+int BlockRunner::warp_index_of(const WarpCtx& w) const { return w.warp_in_block(); }
+
+std::uint32_t BlockRunner::shared_alloc(int warp, std::size_t bytes, std::size_t align) {
+  auto& cursor = alloc_cursor_[static_cast<std::size_t>(warp)];
+  if (static_cast<std::size_t>(cursor) < shared_offsets_.size()) {
+    // Another warp already performed this allocation in the shared sequence.
+    return shared_offsets_[static_cast<std::size_t>(cursor++)];
+  }
+  std::uint32_t off = shared_.alloc(bytes, align);
+  shared_offsets_.push_back(off);
+  ++cursor;
+  return off;
+}
+
+void BlockRunner::arrive(const WarpCtx& w) {
+  waiting_[static_cast<std::size_t>(warp_index_of(w))] = true;
+}
+
+void BlockRunner::replay_segment() {
+  // Round-robin: one queued memory instruction per live warp per round.
+  bool more = true;
+  std::vector<std::size_t> cursor(ctxs_.size(), 0);
+  while (more) {
+    more = false;
+    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+      WarpCtx& w = *ctxs_[i];
+      std::size_t& c = cursor[i];
+      if (c >= w.pending_.size()) continue;
+      const WarpCtx::PendingAccess& pa = w.pending_[c++];
+      more = true;
+      double worst = 0;
+      for (std::uint32_t k = 0; k < pa.sector_count; ++k) {
+        double lat = gpu_->gmem().replay_sector(
+            pa.path, pa.write, w.sector_buf_[pa.sector_begin + k], caches_, *stats_);
+        worst = std::max(worst, lat);
+      }
+      w.add_stall(worst * pa.stall_scale);
+    }
+  }
+  for (auto& ctx : ctxs_) {
+    ctx->pending_.clear();
+    ctx->sector_buf_.clear();
+  }
+}
+
+BlockOutcome BlockRunner::run() {
+  long long threads = cfg_->block.count();
+  ctxs_.reserve(static_cast<std::size_t>(num_warps_));
+  tasks_.reserve(static_cast<std::size_t>(num_warps_));
+  waiting_.assign(static_cast<std::size_t>(num_warps_), false);
+  alloc_cursor_.assign(static_cast<std::size_t>(num_warps_), 0);
+
+  ++stats_->blocks;
+  stats_->warps += static_cast<std::uint64_t>(num_warps_);
+
+  for (int wi = 0; wi < num_warps_; ++wi) {
+    long long first_thread = static_cast<long long>(wi) * kWarpSize;
+    int live = static_cast<int>(std::min<long long>(kWarpSize, threads - first_thread));
+    ctxs_.push_back(std::make_unique<WarpCtx>(*gpu_, *this, cfg_->grid, cfg_->block,
+                                              block_idx_, wi, first_lanes(live)));
+    tasks_.push_back((*fn_)(*ctxs_.back()));
+  }
+
+  while (true) {
+    bool progressed = false;
+    bool all_done = true;
+    for (int wi = 0; wi < num_warps_; ++wi) {
+      auto i = static_cast<std::size_t>(wi);
+      if (tasks_[i].done()) continue;
+      all_done = false;
+      if (waiting_[i]) continue;
+      tasks_[i].resume();
+      progressed = true;
+    }
+    if (all_done) break;
+
+    // Barrier release: every live warp has arrived.
+    bool all_waiting = true;
+    int live_warps = 0;
+    for (int wi = 0; wi < num_warps_; ++wi) {
+      auto i = static_cast<std::size_t>(wi);
+      if (tasks_[i].done()) continue;
+      ++live_warps;
+      if (!waiting_[i]) all_waiting = false;
+    }
+    if (live_warps > 0 && all_waiting) {
+      ++stats_->barriers;
+      replay_segment();  // Resolve this segment's cache behaviour and stalls.
+      double cycles_per_us = gpu_->profile().cycles_per_us();
+      double latest = 0;
+      for (int wi = 0; wi < num_warps_; ++wi) {
+        auto i = static_cast<std::size_t>(wi);
+        if (tasks_[i].done()) continue;
+        WarpCtx& w = *ctxs_[i];
+        latest = std::max(latest, w.issue_cycles() + w.stall_cycles() +
+                                      w.sync_stall_cycles() +
+                                      w.um_microseconds() * cycles_per_us);
+      }
+      for (int wi = 0; wi < num_warps_; ++wi) {
+        auto i = static_cast<std::size_t>(wi);
+        if (tasks_[i].done()) continue;
+        WarpCtx& w = *ctxs_[i];
+        double arrival = w.issue_cycles() + w.stall_cycles() +
+                         w.sync_stall_cycles() +
+                         w.um_microseconds() * cycles_per_us;
+        // Wait for the slowest warp, plus the barrier's own drain cost.
+        w.add_sync_stall(latest - arrival + gpu_->profile().barrier_latency);
+        waiting_[i] = false;
+      }
+      continue;
+    }
+    if (!progressed)
+      throw std::runtime_error("__syncthreads deadlock: barrier not reachable by all warps");
+  }
+
+  replay_segment();  // Final segment (after the last barrier).
+
+  BlockOutcome out;
+  out.shared_bytes = shared_.bytes_in_use();
+  out.warps.reserve(ctxs_.size());
+  for (auto& c : ctxs_)
+    out.warps.push_back(WarpCost{c->issue_cycles(), c->stall_cycles(),
+                                 c->sync_stall_cycles(), c->um_microseconds()});
+  return out;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,89 @@
+#pragma once
+
+// Block runner: executes all warps of one thread block.
+//
+// Warps are coroutines resumed round-robin; a warp runs until it either
+// finishes or suspends at a __syncthreads barrier. When every live warp has
+// arrived, the barrier releases and each warp's clock is advanced to the
+// latest arrival (that wait is charged as stall). A barrier some warps can
+// never reach (divergent __syncthreads) is detected and reported instead of
+// hanging, which on real hardware would be undefined behaviour.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mem/global.hpp"
+#include "mem/shared.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/warp.hpp"
+
+namespace vgpu {
+
+class GpuExec;
+
+/// Cycle totals for one warp after the block finished.
+struct WarpCost {
+  double issue = 0;
+  double stall = 0;      ///< Memory stalls (hidden across resident warps).
+  double sync_stall = 0; ///< Barrier waits (never hidden).
+  double um_us = 0;
+};
+
+struct BlockOutcome {
+  std::vector<WarpCost> warps;
+  std::size_t shared_bytes = 0;
+};
+
+class BlockRunner {
+ public:
+  BlockRunner(GpuExec& gpu, const LaunchConfig& cfg, Dim3 block_idx,
+              const KernelFn& fn, KernelStats& stats);
+  ~BlockRunner();
+
+  BlockRunner(const BlockRunner&) = delete;
+  BlockRunner& operator=(const BlockRunner&) = delete;
+
+  /// Run every warp to completion; returns per-warp costs.
+  BlockOutcome run();
+
+  // --- Services used by WarpCtx --------------------------------------------
+  SharedSegment& shared() { return shared_; }
+  BlockCaches& caches() { return caches_; }
+  KernelStats& stats() { return *stats_; }
+  GpuExec& gpu() { return *gpu_; }
+
+  /// Deduplicated shared allocation: the n-th allocation of every warp in
+  /// the block aliases the same storage (matching __shared__ semantics).
+  std::uint32_t shared_alloc(int warp, std::size_t bytes, std::size_t align);
+
+  /// Barrier arrival (called from BarrierAwaiter::await_suspend).
+  void arrive(const WarpCtx& w);
+
+ private:
+  int warp_index_of(const WarpCtx& w) const;
+
+  /// Drain every warp's queued memory accesses through the caches,
+  /// round-robin one instruction per warp — the reuse distances a real warp
+  /// scheduler produces. Called at each barrier and at block completion.
+  void replay_segment();
+
+  GpuExec* gpu_;
+  const LaunchConfig* cfg_;
+  Dim3 block_idx_;
+  const KernelFn* fn_;
+  KernelStats* stats_;
+
+  SharedSegment shared_;
+  BlockCaches caches_;
+
+  int num_warps_ = 0;
+  std::vector<std::unique_ptr<WarpCtx>> ctxs_;
+  std::vector<WarpTask> tasks_;
+  std::vector<bool> waiting_;
+  std::vector<std::uint32_t> shared_offsets_;  // Allocation sequence, shared by all warps.
+  std::vector<int> alloc_cursor_;              // Per-warp position in that sequence.
+};
+
+}  // namespace vgpu

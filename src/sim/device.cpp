@@ -1,0 +1,108 @@
+#include "sim/device.hpp"
+
+namespace vgpu {
+
+DeviceProfile DeviceProfile::v100() {
+  DeviceProfile p;
+  p.name = "Tesla V100 (Carina)";
+  p.sm_count = 80;
+  p.clock_ghz = 1.38;
+  p.max_threads_per_sm = 2048;
+  p.max_blocks_per_sm = 32;
+  p.shared_mem_per_sm = 96u << 10;
+  p.l1_enabled_for_global = true;
+  p.l1_size = 128u << 10;
+  p.l2_size = 6u << 20;
+  p.tex_cache_size = 0;      // Texture cache unified with L1 on Volta.
+  p.tex_bw_factor = 1.0;
+  p.dram_bw_gbps = 900.0;
+  p.supports_memcpy_async = false;
+  return p;
+}
+
+DeviceProfile DeviceProfile::k80() {
+  DeviceProfile p;
+  p.name = "Tesla K80 (Fornax)";
+  p.sm_count = 13;           // One GK210 die.
+  p.clock_ghz = 0.82;
+  p.max_threads_per_sm = 2048;
+  p.max_blocks_per_sm = 16;
+  p.shared_mem_per_sm = 112u << 10;
+  p.l1_enabled_for_global = false;  // Kepler: global loads bypass L1.
+  p.l1_size = 16u << 10;
+  p.l2_size = 1536u << 10;
+  p.tex_cache_size = 48u << 10;     // Dedicated read-only/texture cache per SMX.
+  p.tex_bw_factor = 4.0;            // Separate texture unit path (paper V-B).
+  p.dram_bw_gbps = 240.0;
+  p.l2_latency = 230;
+  p.dram_latency = 520;
+  p.pcie_bw_gbps = 10.0;
+  p.supports_memcpy_async = false;
+  return p;
+}
+
+DeviceProfile DeviceProfile::rtx3080() {
+  DeviceProfile p;
+  p.name = "GeForce RTX 3080";
+  p.sm_count = 68;
+  p.clock_ghz = 1.71;
+  p.max_threads_per_sm = 1536;
+  p.max_blocks_per_sm = 16;
+  p.shared_mem_per_sm = 100u << 10;
+  p.l1_enabled_for_global = true;
+  p.l1_size = 128u << 10;
+  p.l2_size = 5u << 20;
+  p.tex_cache_size = 0;
+  p.tex_bw_factor = 1.0;
+  p.dram_bw_gbps = 760.0;
+  p.pcie_bw_gbps = 20.0;            // PCIe 4.0 host link.
+  p.supports_memcpy_async = true;   // Ampere hardware global->shared async copy.
+  return p;
+}
+
+DeviceProfile DeviceProfile::a100() {
+  DeviceProfile p;
+  p.name = "A100-SXM4-40GB";
+  p.sm_count = 108;
+  p.clock_ghz = 1.41;
+  p.max_threads_per_sm = 2048;
+  p.max_blocks_per_sm = 32;
+  p.shared_mem_per_sm = 164u << 10;
+  p.shared_mem_per_block = 164u << 10;
+  p.l1_enabled_for_global = true;
+  p.l1_size = 192u << 10;
+  p.l2_size = 40u << 20;
+  p.tex_cache_size = 0;  // Unified with L1.
+  p.tex_bw_factor = 1.0;
+  p.dram_bw_gbps = 1555.0;
+  p.pcie_bw_gbps = 20.0;
+  p.supports_memcpy_async = true;  // Ampere hardware async copy.
+  return p;
+}
+
+DeviceProfile DeviceProfile::rtx3080_scaled() {
+  DeviceProfile p = rtx3080();
+  p.name = "GeForce RTX 3080 (12-SM scale model)";
+  p.sm_count = 12;
+  p.l2_size = 1u << 20;          // Scale L2 with the SM count.
+  p.dram_bw_gbps = 760.0 * 12 / 68;
+  return p;
+}
+
+DeviceProfile DeviceProfile::test_tiny() {
+  DeviceProfile p;
+  p.name = "test-tiny";
+  p.sm_count = 4;
+  p.clock_ghz = 1.0;
+  p.max_threads_per_sm = 1024;
+  p.max_blocks_per_sm = 4;
+  p.shared_mem_per_sm = 48u << 10;
+  p.l1_size = 16u << 10;
+  p.l2_size = 256u << 10;
+  p.tex_cache_size = 8u << 10;
+  p.dram_bw_gbps = 100.0;
+  p.pcie_bw_gbps = 10.0;
+  return p;
+}
+
+}  // namespace vgpu

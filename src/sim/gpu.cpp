@@ -1,0 +1,173 @@
+#include "sim/gpu.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace vgpu {
+
+namespace {
+
+/// Greedy list-scheduling makespan of `jobs` (cycles) on `slots` machines.
+double makespan(const std::vector<double>& jobs, int slots) {
+  if (jobs.empty()) return 0;
+  slots = std::max(1, slots);
+  // Min-heap of slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> pq;
+  for (int i = 0; i < slots; ++i) pq.push(0.0);
+  double end = 0;
+  for (double j : jobs) {
+    double t = pq.top();
+    pq.pop();
+    t += j;
+    end = std::max(end, t);
+    pq.push(t);
+  }
+  return end;
+}
+
+}  // namespace
+
+double KernelRun::duration_us(const DeviceProfile& p, int granted_sms) const {
+  granted_sms = std::clamp(granted_sms, 1, p.sm_count);
+  // One scheduling slot per SM: co-resident blocks add latency *hiding*
+  // (already applied inside each block's cycle count), not issue throughput.
+  int slots = granted_sms;
+  double cycles = 0;
+  for (const auto& level : level_block_cycles) cycles += makespan(level, slots);
+  double compute_us = cycles / p.cycles_per_us();
+
+  // DRAM roofline: bytes / bandwidth (GB/s == bytes/ns == 1e3 bytes/us).
+  double dram_us = dram_bytes / (p.dram_bw_gbps * 1e3);
+  double mem_us;
+  if (p.tex_bw_factor > 1.0) {
+    // Dedicated texture unit: a parallel path to DRAM.
+    double tex_us = tex_bytes / (p.dram_bw_gbps * p.tex_bw_factor * 1e3);
+    mem_us = std::max(dram_us, tex_us);
+  } else {
+    mem_us = (dram_bytes + tex_bytes) / (p.dram_bw_gbps * 1e3);
+  }
+  // Leaky roofline: compute and memory overlap, but not perfectly.
+  return std::max(compute_us, mem_us) +
+         p.roofline_interference * std::min(compute_us, mem_us);
+}
+
+int GpuExec::occupancy(int threads_per_block, std::size_t shared_bytes) const {
+  const DeviceProfile& p = profile_;
+  int by_threads = p.max_threads_per_sm / std::max(1, threads_per_block);
+  int by_shared = shared_bytes == 0
+                      ? p.max_blocks_per_sm
+                      : static_cast<int>(p.shared_mem_per_sm / shared_bytes);
+  return std::max(1, std::min({p.max_blocks_per_sm, by_threads, by_shared}));
+}
+
+double GpuExec::block_time_cycles(const BlockOutcome& b, int threads_per_block,
+                                  long long grid_blocks) const {
+  const DeviceProfile& p = profile_;
+  int warps_per_block = static_cast<int>(b.warps.size());
+  int occ = occupancy(threads_per_block, b.shared_bytes);
+  // Blocks actually co-resident on one SM: bounded by occupancy *and* by how
+  // many blocks the grid supplies (a one-block grid has nothing to hide
+  // behind, which is what makes the latency-ladder probe see raw latency).
+  int co_resident = static_cast<int>(std::clamp<long long>(
+      (grid_blocks + p.sm_count - 1) / p.sm_count, 1, occ));
+  // Memory stalls overlap across the warps resident on the SM.
+  double hiding =
+      std::max(1, std::min(p.latency_hiding, co_resident * warps_per_block));
+
+  double sum_issue = 0;
+  double critical = 0;
+  double max_warp_issue = 0;
+  double um_us = 0;
+  for (const WarpCost& w : b.warps) {
+    sum_issue += w.issue;
+    critical = std::max(critical, w.issue + w.stall / hiding + w.sync_stall);
+    max_warp_issue = std::max(max_warp_issue, w.issue);
+    um_us += w.um_us;
+  }
+  // A block occupies its SM slot for at least its longest warp's issue
+  // chain; the stall/synchronization part of the critical path overlaps with
+  // the other `occ` blocks resident on the same SM.
+  double exposed_critical =
+      max_warp_issue + (critical - max_warp_issue) / std::max(1, co_resident);
+  double cycles = std::max(sum_issue / p.warp_schedulers, exposed_critical);
+  // Page-fault servicing is driver work: partially concurrent, never hidden
+  // by warp scheduling.
+  constexpr double kUmFaultConcurrency = 4.0;
+  cycles += (um_us / kUmFaultConcurrency) * p.cycles_per_us();
+  return cycles;
+}
+
+std::vector<double> GpuExec::run_grid(const LaunchConfig& cfg, const KernelFn& fn,
+                                      KernelStats& stats,
+                                      std::size_t* shared_bytes_out) {
+  if (cfg.grid.count() <= 0) throw std::invalid_argument("empty grid");
+  std::vector<double> block_cycles;
+  block_cycles.reserve(static_cast<std::size_t>(cfg.grid.count()));
+  std::size_t shared_bytes = 0;
+  for (int bz = 0; bz < cfg.grid.z; ++bz) {
+    for (int by = 0; by < cfg.grid.y; ++by) {
+      for (int bx = 0; bx < cfg.grid.x; ++bx) {
+        BlockRunner runner(*this, cfg, Dim3{bx, by, bz}, fn, stats);
+        BlockOutcome out = runner.run();
+        shared_bytes = std::max(shared_bytes, out.shared_bytes);
+        block_cycles.push_back(block_time_cycles(
+            out, static_cast<int>(cfg.block.count()), cfg.grid.count()));
+      }
+    }
+  }
+  if (shared_bytes_out != nullptr) *shared_bytes_out = shared_bytes;
+  return block_cycles;
+}
+
+void GpuExec::enqueue_child(LaunchConfig cfg, KernelFn fn) {
+  pending_children_.push_back(Child{std::move(cfg), std::move(fn)});
+}
+
+KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
+  gmem_.begin_kernel();
+  pending_children_.clear();
+
+  KernelRun run;
+  run.name = cfg.name;
+  run.threads_per_block = static_cast<int>(cfg.block.count());
+
+  std::uint64_t dram_before = 0;  // stats start at zero for this run
+
+  std::size_t shared_bytes = 0;
+  run.level_block_cycles.push_back(run_grid(cfg, fn, run.stats, &shared_bytes));
+  run.blocks_per_sm = occupancy(run.threads_per_block, shared_bytes);
+
+  // Dynamic parallelism: run children level by level (children enqueued by
+  // level N form level N+1). Each level's blocks are pooled: on hardware the
+  // child grids of many parent blocks execute concurrently.
+  int depth = 0;
+  while (!pending_children_.empty()) {
+    if (++depth > kMaxLaunchDepth)
+      throw std::runtime_error("dynamic parallelism nesting exceeds depth limit");
+    std::vector<Child> level = std::move(pending_children_);
+    pending_children_.clear();
+    std::vector<double> cycles;
+    for (Child& c : level) {
+      std::vector<double> b = run_grid(c.cfg, c.fn, run.stats, nullptr);
+      cycles.insert(cycles.end(), b.begin(), b.end());
+    }
+    run.level_block_cycles.push_back(std::move(cycles));
+  }
+
+  run.dram_bytes = static_cast<double>(run.stats.dram_read_bytes +
+                                       run.stats.dram_write_bytes) -
+                   static_cast<double>(dram_before);
+  run.tex_bytes = static_cast<double>(run.stats.tex_dram_bytes);
+
+  long long total_blocks = 0;
+  for (const auto& l : run.level_block_cycles)
+    total_blocks += static_cast<long long>(l.size());
+  long long wanted =
+      (total_blocks + run.blocks_per_sm - 1) / std::max(1, run.blocks_per_sm);
+  run.preferred_sms = static_cast<int>(
+      std::clamp<long long>(wanted, 1, profile_.sm_count));
+  return run;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,87 @@
+#pragma once
+
+// GPU executor: runs whole grids and rolls per-warp cycle counts up into a
+// kernel duration (DESIGN.md section 4).
+//
+// Functional semantics are exact and deterministic: blocks execute
+// sequentially in row-major block order and children (dynamic parallelism)
+// run level by level after their parents. Timing is reconstructed from the
+// recorded per-block cycle costs: blocks are list-scheduled onto
+// sm_count x occupancy slots and the makespan is capped by the DRAM
+// roofline. The returned KernelRun is what the stream/graph timeline layer
+// schedules.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/constant.hpp"
+#include "mem/global.hpp"
+#include "sim/block.hpp"
+#include "sim/device.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace vgpu {
+
+/// Everything known about one executed kernel.
+struct KernelRun {
+  std::string name;
+  KernelStats stats;
+  /// Per-block cycle costs, one vector per dynamic-parallelism level
+  /// (level 0 = the host-launched grid).
+  std::vector<std::vector<double>> level_block_cycles;
+  double dram_bytes = 0;     ///< Global-path DRAM traffic.
+  double tex_bytes = 0;      ///< Texture-path DRAM traffic.
+  int threads_per_block = 1;
+  int blocks_per_sm = 1;     ///< Occupancy of the level-0 grid.
+  int preferred_sms = 1;     ///< SMs the grid can usefully occupy.
+
+  /// Kernel execution time given `granted_sms` SMs (excludes launch overhead).
+  double duration_us(const DeviceProfile& p, int granted_sms) const;
+};
+
+class GpuExec {
+ public:
+  explicit GpuExec(const DeviceProfile& profile)
+      : profile_(profile), gmem_(profile_), constants_(gmem_.heap()) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+  GlobalMemory& gmem() { return gmem_; }
+  DeviceHeap& heap() { return gmem_.heap(); }
+  ConstantRegion& constants() { return constants_; }
+
+  /// Execute a grid functionally and collect its timing profile.
+  KernelRun run_kernel(const LaunchConfig& cfg, const KernelFn& fn);
+
+  /// Occupancy: resident blocks per SM for a given block shape.
+  int occupancy(int threads_per_block, std::size_t shared_bytes) const;
+
+  // --- Used by WarpCtx -------------------------------------------------------
+  void enqueue_child(LaunchConfig cfg, KernelFn fn);
+  std::uint32_t next_texture_id() { return ++texture_ids_; }
+
+  /// Maximum dynamic-parallelism nesting (CUDA default depth limit is 24).
+  static constexpr int kMaxLaunchDepth = 24;
+
+ private:
+  struct Child {
+    LaunchConfig cfg;
+    KernelFn fn;
+  };
+
+  /// Run one grid; appends block cycle costs and returns them.
+  std::vector<double> run_grid(const LaunchConfig& cfg, const KernelFn& fn,
+                               KernelStats& stats, std::size_t* shared_bytes_out);
+
+  double block_time_cycles(const BlockOutcome& b, int threads_per_block,
+                           long long grid_blocks) const;
+
+  const DeviceProfile& profile_;
+  GlobalMemory gmem_;
+  ConstantRegion constants_;
+  std::vector<Child> pending_children_;
+  std::uint32_t texture_ids_ = 0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,101 @@
+#pragma once
+
+// Kernel representation.
+//
+// A simulated kernel is a C++20 coroutine executed once per *warp* (not per
+// thread): all 32 lanes advance in lock-step through LaneVec operations,
+// which is exactly the SIMT model of section II-A of the paper. The
+// coroutine suspends only at block barriers (__syncthreads), letting the
+// block runner interleave warps of the same block.
+//
+// Kernels are written as free functions returning WarpTask and launched via
+// a KernelFn that binds their arguments:
+//
+//   WarpTask axpy(WarpCtx& w, DevSpan<float> x, DevSpan<float> y, int n, float a);
+//   rt.launch(stream, {grid, block, "axpy"},
+//             [=](WarpCtx& w) { return axpy(w, x, y, n, a); });
+//
+// Note the lambda itself is not a coroutine; it merely *creates* one, so the
+// usual capture-lifetime pitfalls of coroutine lambdas do not apply (the
+// arguments are copied into the coroutine frame).
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace vgpu {
+
+class WarpCtx;
+
+/// Move-only handle to one warp's coroutine.
+class WarpTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    WarpTask get_return_object() {
+      return WarpTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  WarpTask() = default;
+  explicit WarpTask(Handle h) : h_(h) {}
+  WarpTask(WarpTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  WarpTask& operator=(WarpTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  WarpTask(const WarpTask&) = delete;
+  WarpTask& operator=(const WarpTask&) = delete;
+  ~WarpTask() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return h_.done(); }
+
+  /// Run the warp until its next barrier or completion. Rethrows any
+  /// exception the kernel body raised.
+  void resume() {
+    h_.resume();
+    if (h_.done() && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (h_) h_.destroy();
+    h_ = nullptr;
+  }
+  Handle h_{};
+};
+
+/// Type-erased kernel entry point with bound arguments.
+using KernelFn = std::function<WarpTask(WarpCtx&)>;
+
+/// CUDA dim3 equivalent.
+struct Dim3 {
+  int x = 1, y = 1, z = 1;
+  constexpr Dim3() = default;
+  constexpr Dim3(int x_, int y_ = 1, int z_ = 1) : x(x_), y(y_), z(z_) {}
+  constexpr long long count() const {
+    return static_cast<long long>(x) * y * z;
+  }
+};
+
+/// <<<grid, block>>> plus a display name.
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::string name = "kernel";
+};
+
+}  // namespace vgpu

@@ -1,0 +1,135 @@
+#pragma once
+
+// 32-lane warp-register values and active masks.
+//
+// A LaneVec<T> is the simulator's model of one warp register: one value of T
+// per lane. All arithmetic is elementwise across the 32 lanes, mirroring the
+// lock-step SIMT execution the paper's section II-A describes. Comparison
+// operators produce a Mask (bit i set = lane i true), which is the currency
+// of predication, divergence handling and warp-vote intrinsics.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace vgpu {
+
+inline constexpr int kWarpSize = 32;
+
+/// One bit per lane; bit i corresponds to lane i.
+using Mask = std::uint32_t;
+inline constexpr Mask kFullMask = 0xffffffffu;
+
+constexpr bool lane_in(Mask m, int lane) { return (m >> lane) & 1u; }
+constexpr int popcount(Mask m) { return std::popcount(m); }
+constexpr Mask lane_bit(int lane) { return 1u << lane; }
+
+/// Mask with the first n lanes active (n in [0, 32]).
+constexpr Mask first_lanes(int n) {
+  return n >= kWarpSize ? kFullMask : ((1u << n) - 1u);
+}
+
+template <typename T>
+class LaneVec {
+ public:
+  LaneVec() = default;
+  /// Broadcast: every lane holds `splat`.
+  explicit LaneVec(T splat) { v_.fill(splat); }
+
+  /// Lane i holds start + i * step.
+  static LaneVec iota(T start = T{0}, T step = T{1}) {
+    LaneVec r;
+    for (int i = 0; i < kWarpSize; ++i) r.v_[i] = static_cast<T>(start + step * static_cast<T>(i));
+    return r;
+  }
+
+  T& operator[](int lane) { return v_[static_cast<std::size_t>(lane)]; }
+  const T& operator[](int lane) const { return v_[static_cast<std::size_t>(lane)]; }
+
+  /// Elementwise transform.
+  template <typename F>
+  auto map(F&& f) const -> LaneVec<std::invoke_result_t<F, T>> {
+    LaneVec<std::invoke_result_t<F, T>> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = f(v_[static_cast<std::size_t>(i)]);
+    return r;
+  }
+
+  template <typename U>
+  LaneVec<U> cast() const {
+    return map([](T x) { return static_cast<U>(x); });
+  }
+
+#define VGPU_LANEVEC_BINOP(op)                                      \
+  friend LaneVec operator op(const LaneVec& a, const LaneVec& b) {  \
+    LaneVec r;                                                      \
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b[i];        \
+    return r;                                                       \
+  }                                                                 \
+  friend LaneVec operator op(const LaneVec& a, T b) {               \
+    LaneVec r;                                                      \
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b;           \
+    return r;                                                       \
+  }                                                                 \
+  friend LaneVec operator op(T a, const LaneVec& b) {               \
+    LaneVec r;                                                      \
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a op b[i];           \
+    return r;                                                       \
+  }
+
+  VGPU_LANEVEC_BINOP(+)
+  VGPU_LANEVEC_BINOP(-)
+  VGPU_LANEVEC_BINOP(*)
+  VGPU_LANEVEC_BINOP(/)
+#undef VGPU_LANEVEC_BINOP
+
+  friend LaneVec operator%(const LaneVec& a, T b) requires std::is_integral_v<T> {
+    LaneVec r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] % b;
+    return r;
+  }
+
+  LaneVec& operator+=(const LaneVec& o) { return *this = *this + o; }
+  LaneVec& operator-=(const LaneVec& o) { return *this = *this - o; }
+  LaneVec& operator*=(const LaneVec& o) { return *this = *this * o; }
+
+#define VGPU_LANEVEC_CMP(op)                                        \
+  friend Mask operator op(const LaneVec& a, const LaneVec& b) {     \
+    Mask m = 0;                                                     \
+    for (int i = 0; i < kWarpSize; ++i)                             \
+      if (a[i] op b[i]) m |= lane_bit(i);                           \
+    return m;                                                       \
+  }                                                                 \
+  friend Mask operator op(const LaneVec& a, T b) {                  \
+    Mask m = 0;                                                     \
+    for (int i = 0; i < kWarpSize; ++i)                             \
+      if (a[i] op b) m |= lane_bit(i);                              \
+    return m;                                                       \
+  }
+
+  VGPU_LANEVEC_CMP(<)
+  VGPU_LANEVEC_CMP(<=)
+  VGPU_LANEVEC_CMP(>)
+  VGPU_LANEVEC_CMP(>=)
+  VGPU_LANEVEC_CMP(==)
+  VGPU_LANEVEC_CMP(!=)
+#undef VGPU_LANEVEC_CMP
+
+  /// Lane-conditional select: lane i gets (m bit i ? a[i] : b[i]).
+  friend LaneVec select(Mask m, const LaneVec& a, const LaneVec& b) {
+    LaneVec r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = lane_in(m, i) ? a[i] : b[i];
+    return r;
+  }
+
+ private:
+  std::array<T, kWarpSize> v_{};
+};
+
+using LaneF = LaneVec<float>;
+using LaneD = LaneVec<double>;
+using LaneI = LaneVec<int>;
+using LaneU = LaneVec<std::uint32_t>;
+using LaneL = LaneVec<std::int64_t>;
+
+}  // namespace vgpu

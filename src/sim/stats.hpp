@@ -1,0 +1,106 @@
+#pragma once
+
+// nvprof-style counters collected while a kernel executes.
+//
+// The paper validates several of its benchmarks with profiler metrics (warp
+// execution efficiency for WarpDivRedux, transaction counts for CoMem, bank
+// conflicts for BankRedux). KernelStats makes the equivalent counters a
+// first-class simulator output so tests can assert on them exactly.
+
+#include <cstdint>
+
+namespace vgpu {
+
+struct KernelStats {
+  // Launch shape.
+  std::uint64_t blocks = 0;
+  std::uint64_t warps = 0;
+
+  // Issue accounting. `useful_lane_ops` counts lanes that were active for
+  // each issued instruction; warp execution efficiency is their ratio.
+  std::uint64_t instructions = 0;
+  std::uint64_t useful_lane_ops = 0;
+
+  // Global memory.
+  std::uint64_t gld_requests = 0;       ///< Global load instructions.
+  std::uint64_t gld_transactions = 0;   ///< 32-byte sectors moved for loads.
+  std::uint64_t gst_requests = 0;
+  std::uint64_t gst_transactions = 0;
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t dram_read_bytes = 0;
+  std::uint64_t dram_write_bytes = 0;
+
+  // Shared memory.
+  std::uint64_t smem_loads = 0;
+  std::uint64_t smem_stores = 0;
+  std::uint64_t bank_conflicts = 0;     ///< Extra serialized passes beyond the first.
+
+  // Constant / texture paths.
+  std::uint64_t const_requests = 0;
+  std::uint64_t const_serializations = 0;  ///< Extra cycles from divergent const addresses.
+  std::uint64_t tex_requests = 0;
+  std::uint64_t tex_hits = 0, tex_misses = 0;
+  std::uint64_t tex_dram_bytes = 0;
+
+  // Atomics. `atomic_serializations` counts the extra passes spent on lanes
+  // that target the same address within one warp instruction.
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t atomic_serializations = 0;
+
+  // Control flow and warp intrinsics.
+  std::uint64_t branches = 0;
+  std::uint64_t divergent_branches = 0;
+  std::uint64_t shuffles = 0;
+  std::uint64_t barriers = 0;
+
+  // Dynamic parallelism and unified memory.
+  std::uint64_t device_launches = 0;
+  std::uint64_t um_page_faults = 0;
+  std::uint64_t um_migrated_bytes = 0;
+
+  /// nvprof `warp_execution_efficiency`, in percent.
+  double warp_execution_efficiency() const {
+    if (instructions == 0) return 100.0;
+    return 100.0 * static_cast<double>(useful_lane_ops) /
+           (32.0 * static_cast<double>(instructions));
+  }
+
+  KernelStats& operator+=(const KernelStats& o) {
+    blocks += o.blocks;
+    warps += o.warps;
+    instructions += o.instructions;
+    useful_lane_ops += o.useful_lane_ops;
+    gld_requests += o.gld_requests;
+    gld_transactions += o.gld_transactions;
+    gst_requests += o.gst_requests;
+    gst_transactions += o.gst_transactions;
+    l1_hits += o.l1_hits;
+    l1_misses += o.l1_misses;
+    l2_hits += o.l2_hits;
+    l2_misses += o.l2_misses;
+    dram_read_bytes += o.dram_read_bytes;
+    dram_write_bytes += o.dram_write_bytes;
+    smem_loads += o.smem_loads;
+    smem_stores += o.smem_stores;
+    bank_conflicts += o.bank_conflicts;
+    const_requests += o.const_requests;
+    const_serializations += o.const_serializations;
+    atomic_ops += o.atomic_ops;
+    atomic_serializations += o.atomic_serializations;
+    tex_requests += o.tex_requests;
+    tex_hits += o.tex_hits;
+    tex_misses += o.tex_misses;
+    tex_dram_bytes += o.tex_dram_bytes;
+    branches += o.branches;
+    divergent_branches += o.divergent_branches;
+    shuffles += o.shuffles;
+    barriers += o.barriers;
+    device_launches += o.device_launches;
+    um_page_faults += o.um_page_faults;
+    um_migrated_bytes += o.um_migrated_bytes;
+    return *this;
+  }
+};
+
+}  // namespace vgpu

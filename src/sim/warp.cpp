@@ -1,0 +1,263 @@
+#include "sim/warp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/block.hpp"
+#include "sim/gpu.hpp"
+
+namespace vgpu {
+
+void BarrierAwaiter::await_suspend(std::coroutine_handle<>) noexcept {
+  w->block_->arrive(*w);
+}
+
+WarpCtx::WarpCtx(GpuExec& gpu, BlockRunner& block, Dim3 grid_dim, Dim3 block_dim,
+                 Dim3 block_idx, int warp_in_block, Mask valid)
+    : gpu_(&gpu),
+      block_(&block),
+      grid_dim_(grid_dim),
+      block_dim_(block_dim),
+      block_idx_(block_idx),
+      warp_in_block_(warp_in_block),
+      valid_(valid) {
+  mask_stack_.reserve(8);
+  mask_stack_.push_back(valid_);
+}
+
+KernelStats& WarpCtx::stats() { return block_->stats(); }
+
+LaneI WarpCtx::thread_x() const {
+  LaneI lin = thread_linear();
+  if (block_dim_.y == 1 && block_dim_.z == 1) return lin;
+  return lin % block_dim_.x;
+}
+
+LaneI WarpCtx::thread_y() const {
+  if (block_dim_.y == 1) return LaneI(0);
+  LaneI lin = thread_linear();
+  return (lin / block_dim_.x) % block_dim_.y;
+}
+
+LaneI WarpCtx::global_tid_x() const {
+  return thread_x() + block_idx_.x * block_dim_.x;
+}
+
+void WarpCtx::branch(Mask pred, const std::function<void()>& then_f,
+                     const std::function<void()>& else_f) {
+  KernelStats& s = stats();
+  ++s.branches;
+  charge_instr(1);  // The branch instruction itself.
+  Mask taken = pred & active();
+  Mask fallthrough = ~pred & active();
+  if (taken != 0 && fallthrough != 0) ++s.divergent_branches;
+  if (taken != 0) {
+    push_mask(taken);
+    then_f();
+    pop_mask();
+  }
+  if (fallthrough != 0 && else_f) {
+    push_mask(fallthrough);
+    else_f();
+    pop_mask();
+  }
+}
+
+void WarpCtx::loop_while(const std::function<Mask()>& cond,
+                         const std::function<void()>& body) {
+  KernelStats& s = stats();
+  Mask live = active();
+  while (true) {
+    ++s.branches;
+    charge_instr(1);
+    live &= cond();
+    if (live == 0) break;
+    if (live != active()) ++s.divergent_branches;
+    push_mask(live);
+    body();
+    pop_mask();
+  }
+}
+
+void WarpCtx::launch_device(Dim3 grid, Dim3 block, KernelFn fn, std::string name) {
+  if (!gpu_->profile().supports_dynamic_parallelism)
+    throw std::runtime_error("device does not support dynamic parallelism");
+  ++stats().device_launches;
+  charge_instr(1);
+  // The launching warp pays the device-side launch overhead locally; this is
+  // what makes dynamic parallelism lose at small problem sizes (Fig. 5).
+  // It is queueing latency, not SM work, so it lands on the sync component.
+  sync_stall_ += gpu_->profile().device_launch_us * gpu_->profile().cycles_per_us();
+  gpu_->enqueue_child(LaunchConfig{grid, block, std::move(name)}, std::move(fn));
+}
+
+void WarpCtx::pipeline_commit() { charge_instr(1); }
+
+void WarpCtx::pipeline_wait() { charge_instr(1); }
+
+DeviceHeap& WarpCtx::heap() { return gpu_->heap(); }
+SharedSegment& WarpCtx::shared_mem() { return block_->shared(); }
+
+std::uint32_t WarpCtx::shared_alloc_raw(std::size_t bytes, std::size_t align) {
+  return block_->shared_alloc(warp_in_block_, bytes, align);
+}
+
+void WarpCtx::queue_access(MemPath path, bool write, float stall_scale,
+                           const std::vector<std::uint64_t>& sectors) {
+  if (sectors.empty()) return;
+  PendingAccess pa;
+  pa.path = path;
+  pa.write = write;
+  pa.stall_scale = stall_scale;
+  pa.sector_begin = static_cast<std::uint32_t>(sector_buf_.size());
+  pa.sector_count = static_cast<std::uint32_t>(sectors.size());
+  sector_buf_.insert(sector_buf_.end(), sectors.begin(), sectors.end());
+  pending_.push_back(pa);
+}
+
+void WarpCtx::global_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem,
+                          bool write) {
+  charge_instr(1);
+  scratch_sectors_.clear();
+  IssueCost c = gpu_->gmem().begin_access(addrs, active(), elem, write, stats(),
+                                          scratch_sectors_);
+  issue_ += c.issue;
+  um_us_ += c.um_us;
+  queue_access(MemPath::kGlobal, write, 1.0f, scratch_sectors_);
+}
+
+void WarpCtx::shared_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem,
+                          bool write) {
+  charge_instr(1);
+  KernelStats& s = stats();
+  if (write)
+    ++s.smem_stores;
+  else
+    ++s.smem_loads;
+  int degree = bank_conflict_degree(addrs, active(), elem);
+  if (degree > 1) s.bank_conflicts += static_cast<std::uint64_t>(degree - 1);
+  // Conflicting accesses replay the instruction degree times; the replays
+  // serialize on the shared-memory unit, exposing part of its latency to
+  // this warp on top of the extra issue slots.
+  issue_ += degree;
+  stall_ += gpu_->profile().smem_latency;
+  if (degree > 1)
+    sync_stall_ += 0.1 * (degree - 1) * gpu_->profile().smem_latency;
+}
+
+namespace {
+
+/// Maximum number of active lanes hitting any single address: the
+/// serialization depth of an atomic warp instruction.
+int max_address_multiplicity(const LaneVec<std::uint64_t>& addrs, Mask active) {
+  std::vector<std::uint64_t> v;
+  v.reserve(kWarpSize);
+  for (int l = 0; l < kWarpSize; ++l)
+    if (lane_in(active, l)) v.push_back(addrs[l]);
+  std::sort(v.begin(), v.end());
+  int best = 0, run = 0;
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (std::uint64_t a : v) {
+    run = a == prev ? run + 1 : 1;
+    prev = a;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace
+
+void WarpCtx::atomic_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem) {
+  charge_instr(1);
+  KernelStats& s = stats();
+  ++s.atomic_ops;
+  int depth = max_address_multiplicity(addrs, active());
+  if (depth > 1) s.atomic_serializations += static_cast<std::uint64_t>(depth - 1);
+  // The read-modify-write resolves at the L2: the lines move like a load...
+  scratch_sectors_.clear();
+  IssueCost c = gpu_->gmem().begin_access(addrs, active(), elem, /*write=*/true,
+                                          s, scratch_sectors_);
+  // (begin_access counted it as a store request; that is close enough to
+  // nvprof's accounting of atom transactions.)
+  issue_ += c.issue;
+  um_us_ += c.um_us;
+  queue_access(MemPath::kGlobal, /*write=*/false, 1.0f, scratch_sectors_);
+  // ...and conflicting lanes replay serially against L2 latency.
+  double l2 = gpu_->profile().l2_latency;
+  issue_ += depth;
+  sync_stall_ += 0.25 * (depth - 1) * l2;
+}
+
+void WarpCtx::sh_atomic_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem) {
+  charge_instr(1);
+  KernelStats& s = stats();
+  ++s.atomic_ops;
+  ++s.smem_stores;
+  int depth = max_address_multiplicity(addrs, active());
+  if (depth > 1) s.atomic_serializations += static_cast<std::uint64_t>(depth - 1);
+  int degree = bank_conflict_degree(addrs, active(), elem);
+  if (degree > 1) s.bank_conflicts += static_cast<std::uint64_t>(degree - 1);
+  int replays = std::max(depth, degree);
+  issue_ += replays;
+  stall_ += gpu_->profile().smem_latency;
+  if (replays > 1)
+    sync_stall_ += 0.1 * (replays - 1) * gpu_->profile().smem_latency;
+}
+
+void WarpCtx::const_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem) {
+  charge_instr(1);
+  (void)elem;
+  scratch_sectors_.clear();
+  IssueCost c = gpu_->gmem().begin_const(addrs, active(), stats(), scratch_sectors_);
+  issue_ += c.issue;
+  queue_access(MemPath::kConstant, false, 1.0f, scratch_sectors_);
+}
+
+void WarpCtx::tex_cost(const LaneVec<std::uint64_t>& keys, std::size_t elem) {
+  charge_instr(1);
+  scratch_sectors_.clear();
+  IssueCost c = gpu_->gmem().begin_tex(keys, active(), elem, stats(), scratch_sectors_);
+  issue_ += c.issue;
+  queue_access(MemPath::kTexture, false, 1.0f, scratch_sectors_);
+}
+
+void WarpCtx::async_copy_cost(const LaneVec<std::uint64_t>& gaddrs,
+                              const LaneVec<std::uint64_t>& saddrs,
+                              std::size_t elem) {
+  const DeviceProfile& p = gpu_->profile();
+  KernelStats& s = stats();
+  if (p.supports_memcpy_async) {
+    // Hardware path: one LDGSTS-style instruction. The global transactions
+    // still occupy the LSU, but the register round-trip and the shared-store
+    // instruction disappear, and the pipeline hides most of the latency
+    // (stall_scale < 1) until pipeline_wait().
+    charge_instr(1);
+    scratch_sectors_.clear();
+    IssueCost c = gpu_->gmem().begin_access(gaddrs, active(), elem, /*write=*/false,
+                                            s, scratch_sectors_);
+    issue_ += c.issue;
+    um_us_ += c.um_us;
+    queue_access(MemPath::kGlobal, false, 0.25f, scratch_sectors_);
+    ++s.smem_stores;  // The DMA write still lands in shared memory.
+  } else {
+    // Software emulation: an ordinary load + shared store, stalling now.
+    global_cost(gaddrs, elem, /*write=*/false);
+    shared_cost(saddrs, elem, /*write=*/true);
+  }
+}
+
+void WarpCtx::charge_instr(int n) {
+  KernelStats& s = stats();
+  s.instructions += static_cast<std::uint64_t>(n);
+  s.useful_lane_ops +=
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(popcount(active()));
+  issue_ += n;
+}
+
+void WarpCtx::charge_shuffle() {
+  ++stats().shuffles;
+  charge_instr(1);
+}
+
+}  // namespace vgpu

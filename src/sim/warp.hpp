@@ -1,0 +1,353 @@
+#pragma once
+
+// WarpCtx: the device-side programming surface of the simulator.
+//
+// One WarpCtx is handed to each warp coroutine. It exposes
+//   - thread identity (threadIdx/blockIdx/blockDim/gridDim equivalents),
+//   - predicated SIMT control flow (branch, loop_while) with divergence
+//     accounting (paper section III-A),
+//   - global / shared / constant / texture memory access with full
+//     coalescing, banking and cache modelling,
+//   - warp intrinsics: shuffles, ballot/any/all (section IV-E),
+//   - block barriers (co_await w.syncthreads()),
+//   - device-side kernel launch (dynamic parallelism, section III-B),
+//   - the Ampere memcpy_async global->shared pipeline (section IV-D).
+//
+// Every operation charges issue and stall cycles to the warp; the block
+// runner rolls these up into block times (DESIGN.md section 4).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/constant.hpp"
+#include "mem/global.hpp"
+#include "mem/shared.hpp"
+#include "mem/texture.hpp"
+#include "sim/kernel.hpp"
+#include "sim/lanevec.hpp"
+#include "sim/stats.hpp"
+
+namespace vgpu {
+
+class BlockRunner;
+class GpuExec;
+
+/// Awaitable returned by WarpCtx::syncthreads().
+struct BarrierAwaiter {
+  WarpCtx* w;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) noexcept;
+  void await_resume() const noexcept {}
+};
+
+class WarpCtx {
+ public:
+  WarpCtx(GpuExec& gpu, BlockRunner& block, Dim3 grid_dim, Dim3 block_dim,
+          Dim3 block_idx, int warp_in_block, Mask valid);
+
+  WarpCtx(const WarpCtx&) = delete;
+  WarpCtx& operator=(const WarpCtx&) = delete;
+
+  // --- Identity -----------------------------------------------------------
+  const Dim3& grid_dim() const { return grid_dim_; }
+  const Dim3& block_dim() const { return block_dim_; }
+  const Dim3& block_idx() const { return block_idx_; }
+  int warp_in_block() const { return warp_in_block_; }
+  /// Lanes that correspond to real threads (the tail warp may be partial).
+  Mask valid_lanes() const { return valid_; }
+
+  /// threadIdx linearized within the block (warp*32 + lane).
+  LaneI thread_linear() const { return LaneI::iota(warp_in_block_ * kWarpSize, 1); }
+  LaneI thread_x() const;  ///< threadIdx.x for 1-D/2-D blocks.
+  LaneI thread_y() const;  ///< threadIdx.y.
+  /// blockIdx.x*blockDim.x + threadIdx.x — the 1-D global id of Fig. 2/8.
+  LaneI global_tid_x() const;
+  /// Total threads in the grid (gridDim.x * blockDim.x), for cyclic loops.
+  int total_threads_x() const { return grid_dim_.x * block_dim_.x; }
+
+  // --- Predication ----------------------------------------------------------
+  Mask active() const { return mask_stack_.back(); }
+
+  /// SIMT branch. Executes `then_f` with the active lanes where pred holds,
+  /// then `else_f` with the rest; if both sides are non-empty the warp has
+  /// diverged and pays for both paths, exactly like hardware.
+  void branch(Mask pred, const std::function<void()>& then_f,
+              const std::function<void()>& else_f = nullptr);
+
+  /// SIMT loop: iterate while any lane's `cond` holds; lanes drop out as
+  /// their condition fails (the Mandelbrot escape loop pattern).
+  void loop_while(const std::function<Mask()>& cond,
+                  const std::function<void()>& body);
+
+  /// Charge `n` ALU instructions (FMA-class) to the active lanes.
+  void alu(int n = 1) { charge_instr(n); }
+
+  // --- Global memory ----------------------------------------------------------
+  template <typename T>
+  LaneVec<T> load(const DevSpan<T>& a, const LaneI& idx) {
+    LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
+    global_cost(addrs, sizeof(T), /*write=*/false);
+    LaneVec<T> out;
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l)) out[l] = heap().load<T>(addrs[l]);
+    return out;
+  }
+
+  template <typename T>
+  void store(const DevSpan<T>& a, const LaneI& idx, const LaneVec<T>& v) {
+    LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
+    global_cost(addrs, sizeof(T), /*write=*/true);
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l)) heap().store<T>(addrs[l], v[l]);
+  }
+
+  // --- Atomics -----------------------------------------------------------------
+  /// Global atomicAdd: lanes targeting the same address serialize (resolved
+  /// at the L2, like hardware). Returns each lane's pre-update value.
+  template <typename T>
+  LaneVec<T> atomic_add(const DevSpan<T>& a, const LaneI& idx, const LaneVec<T>& v) {
+    LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
+    atomic_cost(addrs, sizeof(T));
+    LaneVec<T> old;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!lane_in(active(), l)) continue;
+      T cur = heap().load<T>(addrs[l]);
+      old[l] = cur;
+      heap().store<T>(addrs[l], static_cast<T>(cur + v[l]));
+    }
+    return old;
+  }
+
+  /// Shared-memory atomicAdd: serializes per duplicated address and per
+  /// bank conflict, like hardware shared atomics.
+  template <typename T>
+  LaneVec<T> sh_atomic_add(const SharedArray<T>& a, const LaneI& idx,
+                           const LaneVec<T>& v) {
+    LaneVec<std::uint64_t> addrs = shared_addrs(a, idx);
+    sh_atomic_cost(addrs, sizeof(T));
+    LaneVec<T> old;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!lane_in(active(), l)) continue;
+      T cur = shared_mem().load<T>(addrs[l]);
+      old[l] = cur;
+      shared_mem().store<T>(addrs[l], static_cast<T>(cur + v[l]));
+    }
+    return old;
+  }
+
+  // --- Shared memory -----------------------------------------------------------
+  /// Block-level shared array; every warp of the block executing the same
+  /// allocation sequence receives the same storage (like __shared__).
+  template <typename T>
+  SharedArray<T> shared_array(std::size_t n) {
+    return SharedArray<T>{shared_alloc_raw(n * sizeof(T), alignof(T)), n};
+  }
+
+  template <typename T>
+  LaneVec<T> sh_load(const SharedArray<T>& a, const LaneI& idx) {
+    LaneVec<std::uint64_t> addrs = shared_addrs(a, idx);
+    shared_cost(addrs, sizeof(T), /*write=*/false);
+    LaneVec<T> out;
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l)) out[l] = shared_mem().load<T>(addrs[l]);
+    return out;
+  }
+
+  template <typename T>
+  void sh_store(const SharedArray<T>& a, const LaneI& idx, const LaneVec<T>& v) {
+    LaneVec<std::uint64_t> addrs = shared_addrs(a, idx);
+    shared_cost(addrs, sizeof(T), /*write=*/true);
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l)) shared_mem().store<T>(addrs[l], v[l]);
+  }
+
+  // --- Constant / texture ---------------------------------------------------------
+  template <typename T>
+  LaneVec<T> cload(const ConstSpan<T>& a, const LaneI& idx) {
+    LaneVec<std::uint64_t> addrs;
+    for (int l = 0; l < kWarpSize; ++l)
+      addrs[l] = lane_in(active(), l) ? a.addr_of(static_cast<std::size_t>(idx[l])) : a.addr;
+    const_cost(addrs, sizeof(T));
+    LaneVec<T> out;
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l)) out[l] = heap().load<T>(addrs[l]);
+    return out;
+  }
+
+  template <typename T>
+  LaneVec<T> tex1d(const Texture<T>& t, const LaneI& x) {
+    return tex_fetch(t, x, LaneI(0));
+  }
+  template <typename T>
+  LaneVec<T> tex2d(const Texture<T>& t, const LaneI& x, const LaneI& y) {
+    return tex_fetch(t, x, y);
+  }
+
+  // --- Warp intrinsics -----------------------------------------------------------
+  template <typename T>
+  LaneVec<T> shfl_down(const LaneVec<T>& v, int delta) {
+    charge_shuffle();
+    LaneVec<T> r = v;
+    for (int l = 0; l + delta < kWarpSize; ++l) r[l] = v[l + delta];
+    return r;
+  }
+  template <typename T>
+  LaneVec<T> shfl_up(const LaneVec<T>& v, int delta) {
+    charge_shuffle();
+    LaneVec<T> r = v;
+    for (int l = kWarpSize - 1; l - delta >= 0; --l) r[l] = v[l - delta];
+    return r;
+  }
+  template <typename T>
+  LaneVec<T> shfl_xor(const LaneVec<T>& v, int lane_mask) {
+    charge_shuffle();
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = v[l ^ lane_mask];
+    return r;
+  }
+  template <typename T>
+  LaneVec<T> shfl_idx(const LaneVec<T>& v, const LaneI& src) {
+    charge_shuffle();
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = v[src[l] & (kWarpSize - 1)];
+    return r;
+  }
+
+  Mask ballot(Mask pred) {
+    charge_instr(1);
+    return pred & active();
+  }
+  bool warp_any(Mask pred) { return ballot(pred) != 0; }
+  bool warp_all(Mask pred) { return ballot(pred) == active(); }
+
+  // --- Barrier ------------------------------------------------------------------
+  BarrierAwaiter syncthreads() { return BarrierAwaiter{this}; }
+
+  // --- Dynamic parallelism ---------------------------------------------------------
+  /// Device-side kernel launch; charged at the cheaper device-launch cost.
+  /// Child grids complete before the parent grid is considered finished.
+  void launch_device(Dim3 grid, Dim3 block, KernelFn fn, std::string name = "child");
+
+  // --- memcpy_async pipeline (Ampere) -------------------------------------------------
+  /// Stage src[src_idx[lane]] -> dst[dst_idx[lane]] for the active lanes
+  /// without bouncing through registers. On hardware without async-copy
+  /// support this degrades to the software load+store path, as CUDA does.
+  template <typename T>
+  void memcpy_async(const SharedArray<T>& dst, const LaneI& dst_idx,
+                    const DevSpan<T>& src, const LaneI& src_idx) {
+    LaneVec<std::uint64_t> gaddrs = element_addrs(src, src_idx);
+    LaneVec<std::uint64_t> saddrs = shared_addrs(dst, dst_idx);
+    async_copy_cost(gaddrs, saddrs, sizeof(T));
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l))
+        shared_mem().store<T>(saddrs[l], heap().load<T>(gaddrs[l]));
+  }
+  /// Commit the staged batch (cuda::pipeline producer_commit).
+  void pipeline_commit();
+  /// Block until the oldest committed batch has landed (consumer_wait).
+  void pipeline_wait();
+
+  // --- Cost accounting (read by the block runner) -----------------------------------------
+  double issue_cycles() const { return issue_; }
+  double stall_cycles() const { return stall_; }
+  double sync_stall_cycles() const { return sync_stall_; }
+  double um_microseconds() const { return um_us_; }
+  void add_issue(double c) { issue_ += c; }
+  void add_stall(double c) { stall_ += c; }
+  /// Synchronization time (barrier waits/drains): never hidden by the warp
+  /// scheduler, unlike memory stalls.
+  void add_sync_stall(double c) { sync_stall_ += c; }
+
+  KernelStats& stats();
+  BlockRunner& block() { return *block_; }
+
+ private:
+  friend struct BarrierAwaiter;
+
+  template <typename T>
+  LaneVec<std::uint64_t> element_addrs(const DevSpan<T>& a, const LaneI& idx) const {
+    LaneVec<std::uint64_t> addrs;
+    for (int l = 0; l < kWarpSize; ++l)
+      addrs[l] = lane_in(active(), l)
+                     ? a.addr_of(static_cast<std::size_t>(idx[l]))
+                     : a.addr;
+    return addrs;
+  }
+  template <typename T>
+  LaneVec<std::uint64_t> shared_addrs(const SharedArray<T>& a, const LaneI& idx) const {
+    LaneVec<std::uint64_t> addrs;
+    for (int l = 0; l < kWarpSize; ++l)
+      addrs[l] = lane_in(active(), l)
+                     ? a.addr_of(static_cast<std::size_t>(idx[l]))
+                     : a.offset;
+    return addrs;
+  }
+
+  template <typename T>
+  LaneVec<T> tex_fetch(const Texture<T>& t, const LaneI& x, const LaneI& y) {
+    LaneVec<std::uint64_t> keys;
+    LaneVec<std::uint64_t> addrs;
+    for (int l = 0; l < kWarpSize; ++l) {
+      int cx = t.clamp_x(x[l]);
+      int cy = t.clamp_y(y[l]);
+      keys[l] = lane_in(active(), l) ? t.cache_key(cx, cy) : t.cache_key(0, 0);
+      addrs[l] = t.addr_of(cx, cy);
+    }
+    tex_cost(keys, sizeof(T));
+    LaneVec<T> out;
+    for (int l = 0; l < kWarpSize; ++l)
+      if (lane_in(active(), l)) out[l] = heap().load<T>(addrs[l]);
+    return out;
+  }
+
+  friend class BlockRunner;
+
+  /// One queued memory instruction awaiting the interleaved cache replay.
+  struct PendingAccess {
+    MemPath path;
+    bool write;
+    float stall_scale;            ///< <1 for pipelined (memcpy_async) copies.
+    std::uint32_t sector_begin;   ///< Range into sector_buf_.
+    std::uint32_t sector_count;
+  };
+
+  // Non-template helpers implemented in warp.cpp (they need BlockRunner/GpuExec).
+  DeviceHeap& heap();
+  SharedSegment& shared_mem();
+  std::uint32_t shared_alloc_raw(std::size_t bytes, std::size_t align);
+  void global_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem, bool write);
+  void shared_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem, bool write);
+  void atomic_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem);
+  void sh_atomic_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem);
+  void const_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem);
+  void tex_cost(const LaneVec<std::uint64_t>& keys, std::size_t elem);
+  void async_copy_cost(const LaneVec<std::uint64_t>& gaddrs,
+                       const LaneVec<std::uint64_t>& saddrs, std::size_t elem);
+  void queue_access(MemPath path, bool write, float stall_scale,
+                    const std::vector<std::uint64_t>& sectors);
+  void charge_instr(int n);
+  void charge_shuffle();
+  void push_mask(Mask m) { mask_stack_.push_back(m); }
+  void pop_mask() { mask_stack_.pop_back(); }
+
+  GpuExec* gpu_;
+  BlockRunner* block_;
+  Dim3 grid_dim_, block_dim_, block_idx_;
+  int warp_in_block_;
+  Mask valid_;
+  std::vector<Mask> mask_stack_;
+
+  double issue_ = 0;
+  double stall_ = 0;
+  double sync_stall_ = 0;
+  double um_us_ = 0;
+
+  // Deferred cache work, drained by BlockRunner::replay_segment().
+  std::vector<PendingAccess> pending_;
+  std::vector<std::uint64_t> sector_buf_;
+  std::vector<std::uint64_t> scratch_sectors_;
+};
+
+}  // namespace vgpu

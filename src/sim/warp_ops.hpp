@@ -1,0 +1,87 @@
+#pragma once
+
+// Warp-level cooperative primitives, built on the shuffle intrinsics the
+// paper's Shuffle benchmark introduces (section IV-E). These are the
+// building blocks CUB-style libraries provide: butterfly reductions and
+// shuffle-based inclusive/exclusive scans, all register-only (no shared
+// memory, no barrier).
+//
+// All primitives assume a fully active warp (call them outside divergent
+// regions, like __shfl_sync with a full mask); inactive-lane handling is the
+// caller's job via select() with a neutral element.
+
+#include "sim/warp.hpp"
+
+namespace vgpu {
+
+/// Butterfly all-reduce: every lane ends with the sum over all 32 lanes.
+template <typename T>
+LaneVec<T> warp_all_reduce_add(WarpCtx& w, LaneVec<T> v) {
+  for (int m = kWarpSize / 2; m > 0; m /= 2) {
+    LaneVec<T> other = w.shfl_xor(v, m);
+    w.alu(1);
+    v = v + other;
+  }
+  return v;
+}
+
+/// Tree reduce: lane 0 ends with the sum; other lanes hold partials.
+template <typename T>
+LaneVec<T> warp_reduce_add(WarpCtx& w, LaneVec<T> v) {
+  for (int off = kWarpSize / 2; off > 0; off /= 2) {
+    LaneVec<T> other = w.shfl_down(v, off);
+    w.alu(1);
+    v = v + other;
+  }
+  return v;
+}
+
+template <typename T>
+LaneVec<T> warp_all_reduce_max(WarpCtx& w, LaneVec<T> v) {
+  for (int m = kWarpSize / 2; m > 0; m /= 2) {
+    LaneVec<T> other = w.shfl_xor(v, m);
+    w.alu(1);
+    v = select(other > v, other, v);
+  }
+  return v;
+}
+
+template <typename T>
+LaneVec<T> warp_all_reduce_min(WarpCtx& w, LaneVec<T> v) {
+  for (int m = kWarpSize / 2; m > 0; m /= 2) {
+    LaneVec<T> other = w.shfl_xor(v, m);
+    w.alu(1);
+    v = select(other < v, other, v);
+  }
+  return v;
+}
+
+/// Kogge-Stone inclusive prefix sum across the warp.
+template <typename T>
+LaneVec<T> warp_inclusive_scan_add(WarpCtx& w, LaneVec<T> v) {
+  for (int off = 1; off < kWarpSize; off *= 2) {
+    LaneVec<T> other = w.shfl_up(v, off);
+    w.alu(1);
+    // shfl_up keeps the own value in the low lanes; mask them out.
+    Mask has_source = ~first_lanes(off);
+    v = select(has_source, v + other, v);
+  }
+  return v;
+}
+
+/// Exclusive prefix sum (lane 0 gets identity).
+template <typename T>
+LaneVec<T> warp_exclusive_scan_add(WarpCtx& w, LaneVec<T> v, T identity = T{}) {
+  LaneVec<T> inc = warp_inclusive_scan_add(w, v);
+  LaneVec<T> shifted = w.shfl_up(inc, 1);
+  shifted[0] = identity;
+  return shifted;
+}
+
+/// Broadcast one lane's value to the whole warp.
+template <typename T>
+LaneVec<T> warp_broadcast(WarpCtx& w, const LaneVec<T>& v, int src_lane) {
+  return w.shfl_idx(v, LaneI(src_lane));
+}
+
+}  // namespace vgpu

@@ -1,0 +1,134 @@
+#include "um/managed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vgpu {
+
+void ManagedDirectory::register_range(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("empty managed range");
+  Range r;
+  r.start = addr;
+  r.end = addr + bytes;
+  std::size_t pages = (bytes + profile_->um_page_bytes - 1) / profile_->um_page_bytes;
+  r.pages.assign(pages, PageHome::kHost);
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(), r.start,
+                             [](const Range& a, std::uint64_t s) { return a.start < s; });
+  if (it != ranges_.end() && it->start < r.end)
+    throw std::invalid_argument("overlapping managed range");
+  if (it != ranges_.begin() && std::prev(it)->end > r.start)
+    throw std::invalid_argument("overlapping managed range");
+  ranges_.insert(it, std::move(r));
+}
+
+void ManagedDirectory::set_advise(std::uint64_t addr, MemAdvise advise) {
+  Range* r = find(addr);
+  if (r == nullptr) throw std::invalid_argument("not a managed address");
+  r->advise = advise;
+}
+
+ManagedDirectory::Range* ManagedDirectory::find(std::uint64_t addr) {
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), addr,
+                             [](std::uint64_t a, const Range& r) { return a < r.start; });
+  if (it == ranges_.begin()) return nullptr;
+  --it;
+  return addr < it->end ? &*it : nullptr;
+}
+
+const ManagedDirectory::Range* ManagedDirectory::find(std::uint64_t addr) const {
+  return const_cast<ManagedDirectory*>(this)->find(addr);
+}
+
+bool ManagedDirectory::is_managed(std::uint64_t addr) const {
+  return find(addr) != nullptr;
+}
+
+UmTouch ManagedDirectory::on_device_access(std::uint64_t addr, std::size_t bytes,
+                                           bool write) {
+  UmTouch t;
+  Range* r = find(addr);
+  if (r == nullptr) return t;
+  std::uint64_t pb = profile_->um_page_bytes;
+  std::uint64_t first = (addr - r->start) / pb;
+  std::uint64_t last = (std::min<std::uint64_t>(addr + bytes, r->end) - 1 - r->start) / pb;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    PageHome& home = r->pages[p];
+    if (home == PageHome::kDevice || home == PageHome::kBoth) {
+      if (write && home == PageHome::kBoth) home = PageHome::kDevice;  // Invalidate copy.
+      continue;
+    }
+    // Host-resident page: fault + migrate.
+    ++device_faults_;
+    ++t.faulted_pages;
+    t.migrated_bytes += pb;
+    home = (!write && r->advise == MemAdvise::kReadMostly) ? PageHome::kBoth
+                                                           : PageHome::kDevice;
+  }
+  return t;
+}
+
+HostTouch ManagedDirectory::on_host_access(std::uint64_t addr, std::size_t bytes,
+                                           bool write) {
+  HostTouch t;
+  Range* r = find(addr);
+  if (r == nullptr) return t;
+  std::uint64_t pb = profile_->um_page_bytes;
+  std::uint64_t first = (addr - r->start) / pb;
+  std::uint64_t last = (std::min<std::uint64_t>(addr + bytes, r->end) - 1 - r->start) / pb;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    PageHome& home = r->pages[p];
+    if (home == PageHome::kHost || home == PageHome::kBoth) {
+      if (write && home == PageHome::kBoth) home = PageHome::kHost;
+      continue;
+    }
+    ++host_faults_;
+    ++t.faulted_pages;
+    t.migrated_bytes += pb;
+    home = (!write && r->advise == MemAdvise::kReadMostly) ? PageHome::kBoth
+                                                           : PageHome::kHost;
+  }
+  return t;
+}
+
+std::uint64_t ManagedDirectory::prefetch_to_device(std::uint64_t addr, std::size_t bytes) {
+  Range* r = find(addr);
+  if (r == nullptr) throw std::invalid_argument("not a managed address");
+  std::uint64_t pb = profile_->um_page_bytes;
+  std::uint64_t first = (addr - r->start) / pb;
+  std::uint64_t last = (std::min<std::uint64_t>(addr + bytes, r->end) - 1 - r->start) / pb;
+  std::uint64_t moved = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (r->pages[p] == PageHome::kHost) {
+      r->pages[p] = PageHome::kDevice;
+      moved += pb;
+    }
+  }
+  return moved;
+}
+
+std::uint64_t ManagedDirectory::prefetch_to_host(std::uint64_t addr, std::size_t bytes) {
+  Range* r = find(addr);
+  if (r == nullptr) throw std::invalid_argument("not a managed address");
+  std::uint64_t pb = profile_->um_page_bytes;
+  std::uint64_t first = (addr - r->start) / pb;
+  std::uint64_t last = (std::min<std::uint64_t>(addr + bytes, r->end) - 1 - r->start) / pb;
+  std::uint64_t moved = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (r->pages[p] == PageHome::kDevice) {
+      r->pages[p] = PageHome::kHost;
+      moved += pb;
+    }
+  }
+  return moved;
+}
+
+std::uint64_t ManagedDirectory::device_resident_bytes(std::uint64_t addr) const {
+  const Range* r = find(addr);
+  if (r == nullptr) return 0;
+  std::uint64_t n = 0;
+  for (PageHome h : r->pages)
+    if (h != PageHome::kHost) n += profile_->um_page_bytes;
+  return n;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,85 @@
+#pragma once
+
+// Unified (managed) memory (paper section V-C, Fig. 16).
+//
+// cudaMallocManaged-style allocations are registered here with page-granular
+// residency. A device access to a host-resident page triggers a fault:
+// the page migrates over the host link and the fault cost lands on the
+// faulting kernel. Host accesses to device-resident pages migrate back.
+// Because only *touched* pages move, low-access-density workloads transfer
+// far fewer bytes than an explicit whole-array cudaMemcpy — the entire
+// UniMem story.
+//
+// The paper's stated future work — cudaMemPrefetchAsync and cudaMemAdvise —
+// is implemented too: prefetch moves a range in bulk without faults, and
+// the kReadMostly advice duplicates read-only pages so they never thrash.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/global.hpp"
+#include "sim/device.hpp"
+
+namespace vgpu {
+
+enum class PageHome : std::uint8_t {
+  kHost = 0,
+  kDevice = 1,
+  kBoth = 2,  ///< Duplicated (read-mostly data after a read on each side).
+};
+
+enum class MemAdvise : std::uint8_t {
+  kNone = 0,
+  kReadMostly,        ///< cudaMemAdviseSetReadMostly: duplicate instead of migrate.
+  kPreferredDevice,   ///< cudaMemAdviseSetPreferredLocation(device).
+};
+
+/// Result of a host-side touch (host faults are charged to the host timeline).
+struct HostTouch {
+  std::uint64_t faulted_pages = 0;
+  std::uint64_t migrated_bytes = 0;
+};
+
+class ManagedDirectory final : public UmHook {
+ public:
+  explicit ManagedDirectory(const DeviceProfile& profile) : profile_(&profile) {}
+
+  /// Register a managed allocation; pages start host-resident.
+  void register_range(std::uint64_t addr, std::size_t bytes);
+  void set_advise(std::uint64_t addr, MemAdvise advise);
+
+  // --- UmHook (device side) -------------------------------------------------
+  UmTouch on_device_access(std::uint64_t addr, std::size_t bytes, bool write) override;
+  bool is_managed(std::uint64_t addr) const override;
+
+  // --- Host side --------------------------------------------------------------
+  HostTouch on_host_access(std::uint64_t addr, std::size_t bytes, bool write);
+
+  /// Bulk migration without faults; returns bytes actually moved.
+  std::uint64_t prefetch_to_device(std::uint64_t addr, std::size_t bytes);
+  std::uint64_t prefetch_to_host(std::uint64_t addr, std::size_t bytes);
+
+  // --- Introspection -----------------------------------------------------------
+  std::uint64_t total_device_faults() const { return device_faults_; }
+  std::uint64_t total_host_faults() const { return host_faults_; }
+  std::uint64_t device_resident_bytes(std::uint64_t addr) const;
+  std::size_t page_bytes() const { return profile_->um_page_bytes; }
+
+ private:
+  struct Range {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    MemAdvise advise = MemAdvise::kNone;
+    std::vector<PageHome> pages;
+  };
+
+  Range* find(std::uint64_t addr);
+  const Range* find(std::uint64_t addr) const;
+
+  const DeviceProfile* profile_;
+  std::vector<Range> ranges_;  // Sorted by start, non-overlapping.
+  std::uint64_t device_faults_ = 0;
+  std::uint64_t host_faults_ = 0;
+};
+
+}  // namespace vgpu

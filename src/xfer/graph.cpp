@@ -1,0 +1,138 @@
+#include "xfer/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vgpu {
+
+GraphNodeId GraphBuilder::add(Node n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<GraphNodeId>(nodes_.size() - 1);
+}
+
+GraphNodeId GraphBuilder::add_kernel(LaunchConfig cfg, KernelFn fn) {
+  Node n;
+  n.kind = Kind::kKernel;
+  n.name = cfg.name;
+  n.cfg = std::move(cfg);
+  n.fn = std::move(fn);
+  return add(std::move(n));
+}
+
+GraphNodeId GraphBuilder::add_h2d(double bytes, std::function<void()> action,
+                                  std::string name) {
+  Node n;
+  n.kind = Kind::kH2D;
+  n.name = std::move(name);
+  n.bytes = bytes;
+  n.action = std::move(action);
+  return add(std::move(n));
+}
+
+GraphNodeId GraphBuilder::add_d2h(double bytes, std::function<void()> action,
+                                  std::string name) {
+  Node n;
+  n.kind = Kind::kD2H;
+  n.name = std::move(name);
+  n.bytes = bytes;
+  n.action = std::move(action);
+  return add(std::move(n));
+}
+
+GraphNodeId GraphBuilder::add_host(double duration_us, std::function<void()> action,
+                                   std::string name) {
+  Node n;
+  n.kind = Kind::kHost;
+  n.name = std::move(name);
+  n.host_us = duration_us;
+  n.action = std::move(action);
+  return add(std::move(n));
+}
+
+void GraphBuilder::add_dependency(GraphNodeId node, GraphNodeId after) {
+  if (node < 0 || node >= size() || after < 0 || after >= size())
+    throw std::out_of_range("graph node id out of range");
+  if (node == after) throw std::invalid_argument("graph node cannot depend on itself");
+  nodes_[static_cast<std::size_t>(node)].deps.push_back(after);
+}
+
+ExecGraph GraphBuilder::instantiate() const {
+  // Kahn's algorithm: topological order + cycle detection.
+  std::size_t n = nodes_.size();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (GraphNodeId d : nodes_[i].deps) {
+      out[static_cast<std::size_t>(d)].push_back(static_cast<int>(i));
+      ++indegree[i];
+    }
+  }
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  std::vector<int> topo;
+  topo.reserve(n);
+  while (!ready.empty()) {
+    int v = ready.back();
+    ready.pop_back();
+    topo.push_back(v);
+    for (int succ : out[static_cast<std::size_t>(v)])
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) ready.push_back(succ);
+  }
+  if (topo.size() != n)
+    throw std::invalid_argument("graph contains a dependency cycle");
+  return ExecGraph(nodes_, std::move(topo));
+}
+
+Timeline::Span ExecGraph::launch(GpuExec& gpu, Timeline& tl, Stream& stream) {
+  const DeviceProfile& p = gpu.profile();
+  if (!p.supports_graphs)
+    throw std::runtime_error("device does not support task graphs");
+  // One submission for the entire graph.
+  tl.host_advance(p.graph_launch_us + p.graph_per_node_us * size());
+
+  double base = std::max(tl.host_now(), stream.last_end());
+  std::vector<double> end(nodes_.size(), 0.0);
+  // Private engine cursors: graph nodes contend with each other for the DMA
+  // engines and SMs exactly like stream ops would, starting from `base`.
+  double span_start = base;
+  double span_end = base;
+
+  // Borrow per-launch scratch streams so Timeline's engine bookkeeping applies.
+  for (int id : topo_) {
+    auto& node = nodes_[static_cast<std::size_t>(id)];
+    double ready = base;
+    for (GraphNodeId d : node.deps)
+      ready = std::max(ready, end[static_cast<std::size_t>(d)]);
+
+    Stream scratch(-1);
+    scratch.set_last_end(ready);
+    Timeline::Span s{};
+    switch (node.kind) {
+      case GraphBuilder::Kind::kKernel: {
+        KernelRun run = gpu.run_kernel(node.cfg, node.fn);
+        s = tl.kernel(scratch, run, /*launch_overhead_us=*/0);
+        break;
+      }
+      case GraphBuilder::Kind::kH2D:
+        if (node.action) node.action();
+        s = tl.copy_h2d(scratch, node.bytes, /*sync=*/false, /*charge_submit=*/false);
+        break;
+      case GraphBuilder::Kind::kD2H:
+        if (node.action) node.action();
+        s = tl.copy_d2h(scratch, node.bytes, /*sync=*/false, /*charge_submit=*/false);
+        break;
+      case GraphBuilder::Kind::kHost:
+        if (node.action) node.action();
+        s = tl.host_op(scratch, node.host_us, /*charge_submit=*/false);
+        break;
+    }
+    end[static_cast<std::size_t>(id)] = s.end;
+    span_start = std::min(span_start, s.start);
+    span_end = std::max(span_end, s.end);
+  }
+  stream.set_last_end(span_end);
+  return Timeline::Span{span_start, span_end};
+}
+
+}  // namespace vgpu

@@ -1,0 +1,80 @@
+#pragma once
+
+// Task graphs (paper section III-D; CUDA 10 cudaGraph).
+//
+// A GraphBuilder collects kernel / memcpy / host nodes connected by explicit
+// dependency edges. instantiate() validates the DAG (cycle detection,
+// dangling dependencies) and produces an ExecGraph whose launch() submits the
+// whole graph with a single fixed overhead plus a small per-node cost —
+// versus the full per-op stream submission overhead the non-graph path pays.
+// That overhead gap is the feature's entire performance story, and what
+// bench/taskgraph_overhead measures.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hpp"
+#include "xfer/timeline.hpp"
+
+namespace vgpu {
+
+using GraphNodeId = int;
+
+class ExecGraph;
+
+class GraphBuilder {
+ public:
+  /// Kernel node; the kernel runs functionally at every graph launch.
+  GraphNodeId add_kernel(LaunchConfig cfg, KernelFn fn);
+  /// Copy nodes: `action` performs the functional copy; `bytes` drives timing.
+  GraphNodeId add_h2d(double bytes, std::function<void()> action, std::string name = "h2d");
+  GraphNodeId add_d2h(double bytes, std::function<void()> action, std::string name = "d2h");
+  /// Host callback node.
+  GraphNodeId add_host(double duration_us, std::function<void()> action,
+                       std::string name = "host");
+
+  /// `after` must complete before `node` starts.
+  void add_dependency(GraphNodeId node, GraphNodeId after);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Validate and freeze. Throws std::invalid_argument on cycles.
+  ExecGraph instantiate() const;
+
+ private:
+  friend class ExecGraph;
+  enum class Kind { kKernel, kH2D, kD2H, kHost };
+  struct Node {
+    Kind kind;
+    std::string name;
+    double bytes = 0;
+    double host_us = 0;
+    LaunchConfig cfg;
+    KernelFn fn;
+    std::function<void()> action;
+    std::vector<GraphNodeId> deps;
+  };
+  GraphNodeId add(Node n);
+  std::vector<Node> nodes_;
+};
+
+/// An instantiated, launchable graph.
+class ExecGraph {
+ public:
+  /// Submit the whole graph to `stream`. Functional actions execute in
+  /// topological order; the returned span covers the device-side execution.
+  Timeline::Span launch(GpuExec& gpu, Timeline& tl, Stream& stream);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  friend class GraphBuilder;
+  ExecGraph(std::vector<GraphBuilder::Node> nodes, std::vector<int> topo)
+      : nodes_(std::move(nodes)), topo_(std::move(topo)) {}
+
+  std::vector<GraphBuilder::Node> nodes_;
+  std::vector<int> topo_;
+};
+
+}  // namespace vgpu

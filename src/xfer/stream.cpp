@@ -1,0 +1,4 @@
+#include "xfer/stream.hpp"
+
+// Stream/Event are header-only; this TU anchors the module in the library.
+namespace vgpu {}

@@ -1,0 +1,38 @@
+#pragma once
+
+// Streams and events (paper sections III-C and V-A).
+//
+// A Stream is a FIFO of device operations: each newly submitted op starts no
+// earlier than the previous op of the same stream finished. Events capture a
+// stream's frontier so other streams (or the host) can wait on it —
+// the cudaEvent/cudaStreamWaitEvent model.
+
+#include <cstdint>
+
+namespace vgpu {
+
+class Stream {
+ public:
+  explicit Stream(int id = 0) : id_(id) {}
+
+  int id() const { return id_; }
+  /// Completion time (us) of the last op submitted to this stream.
+  double last_end() const { return last_end_; }
+  void set_last_end(double t) { last_end_ = t; }
+  /// Make this stream wait for timestamp t (event wait).
+  void wait_until(double t) {
+    if (t > last_end_) last_end_ = t;
+  }
+
+ private:
+  int id_;
+  double last_end_ = 0;
+};
+
+/// A recorded timestamp on a stream.
+struct Event {
+  double time = 0;
+  bool recorded = false;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,92 @@
+#include "xfer/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vgpu {
+
+Timeline::Span Timeline::copy(Stream& s, double bytes, bool sync, bool charge_submit,
+                              double bw_scale, double& engine_free) {
+  if (charge_submit) host_advance(profile_->stream_op_us);
+  double ready = std::max(host_now_, s.last_end());
+  double start = std::max(ready, engine_free);
+  double end = start + profile_->pcie_latency_us +
+               bytes / (profile_->pcie_bw_gbps * bw_scale * 1e3);
+  engine_free = end;
+  s.set_last_end(end);
+  note(end);
+  if (sync) host_now_ = std::max(host_now_, end);
+  return Span{start, end};
+}
+
+Timeline::Span Timeline::copy_h2d(Stream& s, double bytes, bool sync,
+                                  bool charge_submit, double bw_scale) {
+  Span span = copy(s, bytes, sync, charge_submit, bw_scale, h2d_free_);
+  trace("h2d", s, span, TraceOp::Kind::kH2D);
+  return span;
+}
+
+Timeline::Span Timeline::copy_d2h(Stream& s, double bytes, bool sync,
+                                  bool charge_submit, double bw_scale) {
+  Span span = copy(s, bytes, sync, charge_submit, bw_scale, d2h_free_);
+  trace("d2h", s, span, TraceOp::Kind::kD2H);
+  return span;
+}
+
+Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
+                                double launch_overhead_us) {
+  host_advance(launch_overhead_us);
+  double ready = std::max(host_now_, s.last_end());
+
+  int want = std::clamp(run.preferred_sms, 1, profile_->sm_count);
+  // Take the `want` earliest-available SM slots.
+  std::vector<std::size_t> order(sm_free_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sm_free_[a] < sm_free_[b]; });
+  double slots_ready = sm_free_[order[static_cast<std::size_t>(want - 1)]];
+  double start = std::max(ready, slots_ready);
+  double end = start + run.duration_us(*profile_, want);
+  for (int i = 0; i < want; ++i) sm_free_[order[static_cast<std::size_t>(i)]] = end;
+
+  s.set_last_end(end);
+  note(end);
+  Span span{start, end};
+  trace(run.name.c_str(), s, span, TraceOp::Kind::kKernel);
+  return span;
+}
+
+Timeline::Span Timeline::host_op(Stream& s, double duration_us, bool charge_submit) {
+  if (charge_submit) host_advance(profile_->stream_op_us);
+  double start = std::max(host_now_, s.last_end());
+  double end = start + duration_us;
+  s.set_last_end(end);
+  note(end);
+  Span span{start, end};
+  trace("host", s, span, TraceOp::Kind::kHost);
+  return span;
+}
+
+void Timeline::record_event(Stream& s, Event& e) {
+  host_advance(profile_->stream_op_us * 0.25);
+  e.time = s.last_end();
+  e.recorded = true;
+}
+
+void Timeline::stream_wait_event(Stream& s, const Event& e) {
+  if (!e.recorded) throw std::logic_error("waiting on unrecorded event");
+  s.wait_until(e.time);
+}
+
+void Timeline::event_synchronize(const Event& e) {
+  if (!e.recorded) throw std::logic_error("synchronizing on unrecorded event");
+  host_now_ = std::max(host_now_, e.time);
+}
+
+void Timeline::stream_synchronize(Stream& s) {
+  host_now_ = std::max(host_now_, s.last_end());
+}
+
+void Timeline::device_synchronize() { host_now_ = std::max(host_now_, frontier_); }
+
+}  // namespace vgpu

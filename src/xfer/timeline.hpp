@@ -1,0 +1,94 @@
+#pragma once
+
+// Discrete-event timeline of one GPU-accelerated system.
+//
+// Models the resources asynchrony plays against (paper sections III-C, V-A):
+//   - the host thread (submission overheads, synchronization),
+//   - one H2D and one D2H DMA engine (copies in opposite directions overlap;
+//     same-direction copies serialize),
+//   - the SM pool (kernels from different streams co-reside on disjoint SMs —
+//     the concurrent-kernels mechanism of Fig. 6).
+//
+// All times are microseconds since timeline start.
+
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/gpu.hpp"
+#include "xfer/stream.hpp"
+#include "xfer/trace.hpp"
+
+namespace vgpu {
+
+class Timeline {
+ public:
+  struct Span {
+    double start = 0;
+    double end = 0;
+    double duration() const { return end - start; }
+  };
+
+  explicit Timeline(const DeviceProfile& profile)
+      : profile_(&profile),
+        sm_free_(static_cast<std::size_t>(profile.sm_count), 0.0) {}
+
+  double host_now() const { return host_now_; }
+  void host_advance(double us) {
+    host_now_ += us;
+    note(host_now_);
+  }
+
+  /// Host<->device copy on the DMA engine for that direction.
+  /// `sync` makes the host block until completion (cudaMemcpy semantics).
+  /// `charge_submit=false` is used by graph launches, which pay a single
+  /// whole-graph overhead instead of per-op submission costs.
+  /// `bw_scale` < 1 models pageable (non-pinned) host memory.
+  Span copy_h2d(Stream& s, double bytes, bool sync, bool charge_submit = true,
+                double bw_scale = 1.0);
+  Span copy_d2h(Stream& s, double bytes, bool sync, bool charge_submit = true,
+                double bw_scale = 1.0);
+
+  /// Schedule a kernel: waits for its stream, grabs preferred_sms SM slots,
+  /// and runs for run.duration_us(granted). launch_overhead_us is host time
+  /// (cheaper when the launch comes from an instantiated graph).
+  Span kernel(Stream& s, const KernelRun& run, double launch_overhead_us);
+
+  /// A host callback occupying the stream (cudaLaunchHostFunc).
+  Span host_op(Stream& s, double duration_us, bool charge_submit = true);
+
+  /// cudaEventRecord / cudaStreamWaitEvent / cudaEventSynchronize.
+  void record_event(Stream& s, Event& e);
+  void stream_wait_event(Stream& s, const Event& e);
+  void event_synchronize(const Event& e);
+
+  /// cudaStreamSynchronize / cudaDeviceSynchronize.
+  void stream_synchronize(Stream& s);
+  void device_synchronize();
+
+  /// Latest completion time seen anywhere (device frontier).
+  double device_frontier() const { return frontier_; }
+
+  /// Attach an nvvp-style trace recorder (nullptr to detach).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  void note(double t) {
+    if (t > frontier_) frontier_ = t;
+  }
+  void trace(const char* name, const Stream& s, Span span, TraceOp::Kind kind) {
+    if (trace_ != nullptr)
+      trace_->record(TraceOp{name, s.id(), span.start, span.end, kind});
+  }
+  Span copy(Stream& s, double bytes, bool sync, bool charge_submit,
+            double bw_scale, double& engine_free);
+
+  const DeviceProfile* profile_;
+  double host_now_ = 0;
+  double h2d_free_ = 0;
+  double d2h_free_ = 0;
+  double frontier_ = 0;
+  std::vector<double> sm_free_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,52 @@
+#include "xfer/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace vgpu {
+
+std::string TraceRecorder::render_gantt(int width) const {
+  if (ops_.empty()) return "(empty trace)\n";
+  double t0 = ops_.front().start_us, t1 = ops_.front().end_us;
+  for (const TraceOp& op : ops_) {
+    t0 = std::min(t0, op.start_us);
+    t1 = std::max(t1, op.end_us);
+  }
+  if (t1 <= t0) t1 = t0 + 1;
+  double scale = width / (t1 - t0);
+
+  auto glyph = [](TraceOp::Kind k) {
+    switch (k) {
+      case TraceOp::Kind::kKernel: return '#';
+      case TraceOp::Kind::kH2D: return '>';
+      case TraceOp::Kind::kD2H: return '<';
+      default: return '@';
+    }
+  };
+
+  // Group by stream id, preserving numeric order.
+  std::map<int, std::string> rows;
+  for (const TraceOp& op : ops_) {
+    std::string& row = rows.try_emplace(op.stream, std::string(
+        static_cast<std::size_t>(width), '.')).first->second;
+    int b = static_cast<int>((op.start_us - t0) * scale);
+    int e = std::max(b + 1, static_cast<int>((op.end_us - t0) * scale));
+    for (int i = b; i < e && i < width; ++i) row[static_cast<std::size_t>(i)] = glyph(op.kind);
+  }
+
+  std::ostringstream os;
+  char hdr[128];
+  std::snprintf(hdr, sizeof hdr,
+                "timeline %.1f..%.1f us  (#=kernel >=H2D <=D2H @=host)\n", t0, t1);
+  os << hdr;
+  for (auto& [stream, row] : rows) {
+    char label[32];
+    std::snprintf(label, sizeof label, "stream %2d |", stream);
+    os << label << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace vgpu

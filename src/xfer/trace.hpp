@@ -1,0 +1,38 @@
+#pragma once
+
+// nvvp-style execution traces.
+//
+// The paper demonstrates concurrent kernels with an NVIDIA Visual Profiler
+// timeline (Fig. 6). TraceRecorder captures every device-side operation the
+// Timeline schedules (kernel, H2D, D2H, host op) with its stream and
+// simulated start/end, and render_gantt() draws the same picture as ASCII:
+// one row per stream, one lane of '#' per operation.
+
+#include <string>
+#include <vector>
+
+namespace vgpu {
+
+struct TraceOp {
+  std::string name;
+  int stream = 0;
+  double start_us = 0;
+  double end_us = 0;
+  enum class Kind { kKernel, kH2D, kD2H, kHost } kind = Kind::kKernel;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceOp op) { ops_.push_back(std::move(op)); }
+  void clear() { ops_.clear(); }
+  const std::vector<TraceOp>& ops() const { return ops_; }
+
+  /// ASCII Gantt chart: one row per stream, `width` columns spanning
+  /// [min(start), max(end)].
+  std::string render_gantt(int width = 100) const;
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+}  // namespace vgpu

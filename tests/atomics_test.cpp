@@ -1,0 +1,213 @@
+// Atomic operations and warp-level cooperative primitives.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "rt/runtime.hpp"
+#include "sim/warp_ops.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+template <typename MakeKernel>
+KernelStats run1(Runtime& rt, MakeKernel mk, int threads = 32) {
+  return rt.launch({Dim3{1}, Dim3{threads}, "t"}, mk).stats;
+}
+
+TEST(Atomics, GlobalAddAccumulatesAcrossLanes) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto counter = rt.malloc<int>(1);
+  std::vector<int> zero{0};
+  rt.memcpy_h2d(counter, std::span<const int>(zero));
+  auto stats = run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.atomic_add(counter, LaneI(0), LaneVec<int>(1));
+    co_return;
+  });
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), counter);
+  EXPECT_EQ(got[0], 32);
+  EXPECT_EQ(stats.atomic_ops, 1u);
+  EXPECT_EQ(stats.atomic_serializations, 31u);  // Full warp on one address.
+}
+
+TEST(Atomics, DistinctAddressesDoNotSerialize) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto counters = rt.malloc<int>(32);
+  std::vector<int> zero(32, 0);
+  rt.memcpy_h2d(counters, std::span<const int>(zero));
+  auto stats = run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.atomic_add(counters, LaneI::iota(), LaneVec<int>(2));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), counters);
+  for (int v : got) EXPECT_EQ(v, 2);
+  EXPECT_EQ(stats.atomic_serializations, 0u);
+}
+
+TEST(Atomics, ReturnsPreUpdateValue) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto counter = rt.malloc<int>(1);
+  auto olds = rt.malloc<int>(32);
+  std::vector<int> zero{0};
+  rt.memcpy_h2d(counter, std::span<const int>(zero));
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneVec<int> old = w.atomic_add(counter, LaneI(0), LaneVec<int>(1));
+    w.store(olds, LaneI::iota(), old);
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), olds);
+  // Lanes commit in lane order: old values are 0..31 in order.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Atomics, SharedAddAcrossWarpsWithBarrier) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(1);
+  auto stats = rt.launch({Dim3{1}, Dim3{256}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    auto acc = w.shared_array<int>(1);
+    w.branch(w.thread_linear() == 0, [&] { w.sh_store(acc, LaneI(0), LaneI(0)); });
+    co_await w.syncthreads();
+    w.sh_atomic_add(acc, LaneI(0), LaneVec<int>(1));
+    co_await w.syncthreads();
+    w.branch(w.thread_linear() == 0,
+             [&] { w.store(out, LaneI(0), w.sh_load(acc, LaneI(0))); });
+    co_return;
+  }).stats;
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], 256);
+  EXPECT_GT(stats.atomic_serializations, 0u);
+}
+
+TEST(Atomics, ContendedCostsMoreThanUncontended) {
+  Runtime rt(DeviceProfile::v100());
+  auto bins = rt.malloc<int>(1 << 16);
+  std::vector<int> zero(1 << 16, 0);
+  auto time_kernel = [&](bool contended) {
+    rt.memcpy_h2d(bins, std::span<const int>(zero));
+    return rt
+        .launch({Dim3{64}, Dim3{256}, "t"},
+                [=](WarpCtx& w) -> WarpTask {
+                  LaneI target = contended ? LaneI(0) : w.global_tid_x();
+                  w.atomic_add(bins, target, LaneVec<int>(1));
+                  co_return;
+                })
+        .duration_us();
+  };
+  EXPECT_GT(time_kernel(true), time_kernel(false));
+}
+
+TEST(WarpOps, AllReduceAdd) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneVec<int> s = warp_all_reduce_add(w, LaneI::iota());
+    w.store(out, LaneI::iota(), s);
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int v : got) EXPECT_EQ(v, 496);  // Every lane has the total.
+}
+
+TEST(WarpOps, AllReduceMaxMin) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(2);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneVec<int> v = LaneI::iota();
+    v[7] = 1000;
+    v[13] = -50;
+    LaneVec<int> mx = warp_all_reduce_max(w, v);
+    LaneVec<int> mn = warp_all_reduce_min(w, v);
+    w.branch(LaneI::iota() == 0, [&] {
+      w.store(out, LaneI(0), mx);
+      w.store(out, LaneI(1), mn);
+    });
+    co_return;
+  });
+  std::vector<int> got(2);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], 1000);
+  EXPECT_EQ(got[1], -50);
+}
+
+TEST(WarpOps, InclusiveScan) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.store(out, LaneI::iota(), warp_inclusive_scan_add(w, LaneI(1)));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], i + 1);
+}
+
+TEST(WarpOps, InclusiveScanArbitraryValues) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneVec<int> v = LaneI::iota() * 3 + 1;
+    w.store(out, LaneI::iota(), warp_inclusive_scan_add(w, v));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  int acc = 0;
+  for (int i = 0; i < 32; ++i) {
+    acc += 3 * i + 1;
+    EXPECT_EQ(got[i], acc);
+  }
+}
+
+TEST(WarpOps, ExclusiveScan) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.store(out, LaneI::iota(), warp_exclusive_scan_add(w, LaneI(2)));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], 2 * i);
+}
+
+TEST(WarpOps, Broadcast) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.store(out, LaneI::iota(), warp_broadcast(w, LaneI::iota(100), 17));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int v : got) EXPECT_EQ(v, 117);
+}
+
+class HistogramSkew : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramSkew, PrivatizationCorrectAtAllSkews) {
+  cumb::Runtime rt(vgpu::DeviceProfile::v100());
+  auto r = cumb::run_histogram(rt, 1 << 16, 256, GetParam());
+  EXPECT_TRUE(r.results_match) << "skew=" << GetParam();
+  EXPECT_GE(r.speedup(), 0.8);  // Never catastrophically worse...
+  if (GetParam() >= 0.5) {
+    EXPECT_GT(r.speedup(), 1.2);  // ...and wins under contention.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, HistogramSkew, ::testing::Values(0.0, 0.25, 0.5, 0.9, 1.0));
+
+TEST(Histogram, ValidatesArguments) {
+  cumb::Runtime rt(vgpu::DeviceProfile::test_tiny());
+  EXPECT_THROW(cumb::run_histogram(rt, 1024, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(cumb::run_histogram(rt, 1024, 256, 1.5), std::invalid_argument);
+}
+
+}  // namespace

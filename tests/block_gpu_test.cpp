@@ -1,0 +1,212 @@
+// Block execution (barriers, shared allocation) and GPU-level scheduling
+// (occupancy, duration model, dynamic parallelism plumbing).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+TEST(Block, BarrierOrdersCrossWarpCommunication) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(256);
+  // Warp w writes slot w; after the barrier every thread reads slot 0's value.
+  rt.launch({Dim3{1}, Dim3{256}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    auto slots = w.shared_array<int>(8);
+    LaneI lane = LaneI::iota();
+    w.branch(lane == 0, [&] {
+      w.sh_store(slots, LaneI(w.warp_in_block()), LaneI(w.warp_in_block() + 100));
+    });
+    co_await w.syncthreads();
+    LaneVec<int> v = w.sh_load(slots, LaneI(0));
+    w.store(out, w.thread_linear(), v);
+    co_return;
+  });
+  std::vector<int> got(256);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int v : got) EXPECT_EQ(v, 100);
+}
+
+TEST(Block, MultipleBarrierGenerations) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(1);
+  auto info = rt.launch({Dim3{1}, Dim3{128}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    auto acc = w.shared_array<int>(1);
+    LaneI lane = w.thread_linear();
+    w.branch(lane == 0, [&] { w.sh_store(acc, LaneI(0), LaneI(0)); });
+    co_await w.syncthreads();
+    for (int round = 0; round < 5; ++round) {
+      // Only one thread increments per round; everyone synchronizes.
+      w.branch(lane == round, [&] {
+        LaneVec<int> v = w.sh_load(acc, LaneI(0));
+        w.sh_store(acc, LaneI(0), v + 1);
+      });
+      co_await w.syncthreads();
+    }
+    w.branch(lane == 0, [&] { w.store(out, LaneI(0), w.sh_load(acc, LaneI(0))); });
+    co_return;
+  });
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], 5);
+  EXPECT_EQ(info.stats.barriers, 6u);
+}
+
+TEST(Block, BarrierReleasesAmongLiveWarps) {
+  // Warps that already exited the kernel do not participate in barriers
+  // (Volta-style semantics); the remaining warp must not hang.
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(1);
+  rt.launch({Dim3{1}, Dim3{64}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    if (w.warp_in_block() == 0) {
+      co_await w.syncthreads();
+      w.branch(LaneI::iota() == 0, [&] { w.store(out, LaneI(0), LaneI(42)); });
+    }
+    co_return;
+  });
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], 42);
+}
+
+TEST(Block, SharedAllocationDedupedAcrossWarps) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(256);
+  // Every warp allocates the "same" array; writes must alias.
+  rt.launch({Dim3{1}, Dim3{256}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    auto a = w.shared_array<int>(256);
+    w.sh_store(a, w.thread_linear(), w.thread_linear() * 2);
+    co_await w.syncthreads();
+    w.store(out, w.thread_linear(), w.sh_load(a, w.thread_linear()));
+    co_return;
+  });
+  std::vector<int> got(256);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(got[i], 2 * i);
+}
+
+TEST(Block, SharedCapacityExceededThrows) {
+  Runtime rt(DeviceProfile::test_tiny());
+  EXPECT_THROW(rt.launch({Dim3{1}, Dim3{32}, "big"},
+                         [](WarpCtx& w) -> WarpTask {
+                           (void)w.shared_array<double>(1 << 20);
+                           co_return;
+                         }),
+               std::runtime_error);
+}
+
+TEST(Block, InvalidBlockSizeRejected) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto noop = [](WarpCtx&) -> WarpTask { co_return; };
+  EXPECT_THROW(rt.launch({Dim3{1}, Dim3{0}, "zero"}, noop), std::invalid_argument);
+  EXPECT_THROW(rt.launch({Dim3{1}, Dim3{4096}, "huge"}, noop), std::invalid_argument);
+  EXPECT_THROW(rt.launch({Dim3{0}, Dim3{32}, "nogrid"}, noop), std::invalid_argument);
+}
+
+TEST(Gpu, GridIterates3D) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(2 * 3 * 4);
+  auto info = rt.launch({Dim3{2, 3, 4}, Dim3{32}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    int id = w.block_idx().x + 2 * (w.block_idx().y + 3 * w.block_idx().z);
+    w.branch(LaneI::iota() == 0, [&] { w.store(out, LaneI(id), LaneI(id)); });
+    co_return;
+  });
+  EXPECT_EQ(info.stats.blocks, 24u);
+  std::vector<int> got(24);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 24; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Gpu, OccupancyLimits) {
+  GpuExec gpu(DeviceProfile::v100());
+  // Thread-limited: 2048 / 256 = 8.
+  EXPECT_EQ(gpu.occupancy(256, 0), 8);
+  // Block-limited: tiny blocks hit max_blocks_per_sm.
+  EXPECT_EQ(gpu.occupancy(32, 0), 32);
+  // Shared-memory-limited: 40 KiB per block -> 2 blocks in 96 KiB.
+  EXPECT_EQ(gpu.occupancy(128, 40u << 10), 2);
+  // Never zero.
+  EXPECT_EQ(gpu.occupancy(2048, 96u << 10), 1);
+}
+
+TEST(Gpu, DurationScalesWithGrantedSms) {
+  GpuExec gpu(DeviceProfile::v100());
+  KernelRun run;
+  run.blocks_per_sm = 1;
+  run.level_block_cycles.push_back(std::vector<double>(160, 1000.0));
+  double d80 = run.duration_us(DeviceProfile::v100(), 80);
+  double d40 = run.duration_us(DeviceProfile::v100(), 40);
+  double d1 = run.duration_us(DeviceProfile::v100(), 1);
+  EXPECT_LT(d80, d40);
+  EXPECT_LT(d40, d1);
+  EXPECT_NEAR(d40 / d80, 2.0, 0.01);
+}
+
+TEST(Gpu, DurationCappedByDramRoofline) {
+  DeviceProfile p = DeviceProfile::v100();
+  KernelRun run;
+  run.blocks_per_sm = 1;
+  run.level_block_cycles.push_back({100.0});  // Negligible compute.
+  run.dram_bytes = 900e6;                     // 1 ms at 900 GB/s.
+  double d = run.duration_us(p, p.sm_count);
+  EXPECT_GT(d, 999.0);
+}
+
+TEST(Gpu, DeviceLaunchRunsChildGrids) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(64);
+  auto info = rt.launch({Dim3{1}, Dim3{32}, "parent"}, [=](WarpCtx& w) -> WarpTask {
+    w.store(out, LaneI::iota(), LaneI(1));
+    w.launch_device(Dim3{1}, Dim3{32}, [=](WarpCtx& c) -> WarpTask {
+      c.store(out, LaneI::iota(32), LaneI(2));
+      co_return;
+    });
+    co_return;
+  });
+  EXPECT_EQ(info.stats.device_launches, 1u);
+  EXPECT_EQ(info.stats.blocks, 2u);  // Parent + child.
+  std::vector<int> got(64);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], 1);
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(got[i], 2);
+}
+
+TEST(Gpu, RunawayRecursionHitsDepthLimit) {
+  Runtime rt(DeviceProfile::test_tiny());
+  // A kernel that launches itself forever must hit the CUDA-style depth cap.
+  std::function<WarpTask(WarpCtx&)> bomb = [&bomb](WarpCtx& w) -> WarpTask {
+    w.launch_device(Dim3{1}, Dim3{32}, bomb);
+    co_return;
+  };
+  EXPECT_THROW(rt.launch({Dim3{1}, Dim3{32}, "bomb"}, bomb), std::runtime_error);
+}
+
+TEST(Gpu, DynamicParallelismRequiresSupport) {
+  DeviceProfile p = DeviceProfile::test_tiny();
+  p.supports_dynamic_parallelism = false;
+  Runtime rt(p);
+  EXPECT_THROW(rt.launch({Dim3{1}, Dim3{32}, "t"},
+                         [](WarpCtx& w) -> WarpTask {
+                           w.launch_device(Dim3{1}, Dim3{32},
+                                           [](WarpCtx&) -> WarpTask { co_return; });
+                           co_return;
+                         }),
+               std::runtime_error);
+}
+
+TEST(Gpu, KernelExceptionPropagates) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto small = rt.malloc<int>(4);
+  EXPECT_THROW(rt.launch({Dim3{1}, Dim3{32}, "oob"},
+                         [=](WarpCtx& w) -> WarpTask {
+                           w.store(small, LaneI::iota(100), LaneI(1));
+                           co_return;
+                         }),
+               std::out_of_range);
+}
+
+}  // namespace

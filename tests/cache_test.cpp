@@ -1,0 +1,91 @@
+// Set-associative LRU cache model tests.
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace {
+
+using vgpu::Cache;
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(1024, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // Same 128-byte line.
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DisabledCacheAlwaysMisses) {
+  Cache c(0, 4);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 2 sets x 2 ways x 128 B = 512 B. Lines 0, 256, 512 map to set 0.
+  Cache c(512, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(256));
+  EXPECT_FALSE(c.access(512));  // Evicts line 0 (LRU).
+  EXPECT_FALSE(c.access(0));    // Miss again.
+  EXPECT_TRUE(c.access(512));   // Still resident.
+}
+
+TEST(Cache, LruPromotionOnHit) {
+  Cache c(512, 2);
+  c.access(0);
+  c.access(256);
+  c.access(0);    // Promote line 0 to MRU.
+  c.access(512);  // Evicts 256, not 0.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(256));
+}
+
+TEST(Cache, SetsIsolateAddresses) {
+  Cache c(512, 2);  // 2 sets.
+  EXPECT_FALSE(c.access(0));    // Set 0.
+  EXPECT_FALSE(c.access(128));  // Set 1.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(128));
+}
+
+TEST(Cache, Reset) {
+  Cache c(1024, 2);
+  c.access(0);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, CustomLineSize) {
+  Cache c(256, 2, /*line_bytes=*/32);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(31));
+  EXPECT_FALSE(c.access(32));  // Next 32-byte line.
+}
+
+TEST(Cache, StreamingWorkingSetLargerThanCacheThrashes) {
+  Cache c(1024, 4);  // 8 lines total.
+  // Cycle through 16 distinct lines twice: second pass still misses (LRU).
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t line = 0; line < 16; ++line)
+      c.access(line * 128);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 32u);
+}
+
+TEST(Cache, WorkingSetWithinCacheAllHitsSecondPass) {
+  Cache c(1024, 8);  // Fully associative, 8 lines.
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t line = 0; line < 8; ++line) c.access(line * 128);
+  EXPECT_EQ(c.hits(), 8u);
+  EXPECT_EQ(c.misses(), 8u);
+}
+
+}  // namespace

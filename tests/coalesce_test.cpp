@@ -1,0 +1,129 @@
+// Coalescing analyzer tests, including the paper's Fig. 7 cases verbatim:
+// (a) 8 threads accessing 128 consecutive bytes -> 1 transaction,
+// (b) 8 threads with 128-byte strides -> 8 transactions,
+// (c) the random pattern -> 5 transactions.
+
+#include <gtest/gtest.h>
+
+#include "mem/coalesce.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+LaneVec<std::uint64_t> addrs_with_stride(std::uint64_t base, std::uint64_t stride) {
+  LaneVec<std::uint64_t> a;
+  for (int i = 0; i < kWarpSize; ++i) a[i] = base + stride * static_cast<std::uint64_t>(i);
+  return a;
+}
+
+TEST(Coalesce, Fig7aConsecutive) {
+  // 8 threads, 16 bytes each, consecutive: one 128-byte transaction.
+  auto a = addrs_with_stride(0, 16);
+  auto r = coalesce(a, first_lanes(8), 16);
+  EXPECT_EQ(r.transactions(), 1);
+}
+
+TEST(Coalesce, Fig7bStrided) {
+  // 8 threads at 128-byte strides: 8 transactions for 8*128 bytes moved.
+  auto a = addrs_with_stride(0, 128);
+  auto r = coalesce(a, first_lanes(8), 16);
+  EXPECT_EQ(r.transactions(), 8);
+}
+
+TEST(Coalesce, Fig7cRandom) {
+  // 8 threads, unevenly distributed: lands in 5 distinct lines.
+  LaneVec<std::uint64_t> a;
+  std::uint64_t offs[8] = {0, 80, 130, 300, 310, 560, 700, 710};
+  for (int i = 0; i < 8; ++i) a[i] = offs[i];
+  auto r = coalesce(a, first_lanes(8), 16);
+  EXPECT_EQ(r.transactions(), 5);
+}
+
+TEST(Coalesce, FullWarpFloatConsecutiveIsOneLine) {
+  auto a = addrs_with_stride(0, 4);
+  auto r = coalesce(a, kFullMask, 4);
+  EXPECT_EQ(r.transactions(), 1);
+  EXPECT_EQ(r.sectors, 4);
+}
+
+TEST(Coalesce, FullWarpDoubleConsecutiveIsTwoLines) {
+  auto a = addrs_with_stride(0, 8);
+  auto r = coalesce(a, kFullMask, 8);
+  EXPECT_EQ(r.transactions(), 2);
+  EXPECT_EQ(r.sectors, 8);
+}
+
+TEST(Coalesce, MisalignmentAddsOneLine) {
+  auto aligned = coalesce(addrs_with_stride(0, 4), kFullMask, 4);
+  auto shifted = coalesce(addrs_with_stride(4, 4), kFullMask, 4);
+  EXPECT_EQ(aligned.transactions(), 1);
+  EXPECT_EQ(shifted.transactions(), 2);
+}
+
+TEST(Coalesce, FullyScatteredIs32Lines) {
+  auto a = addrs_with_stride(0, 128);
+  auto r = coalesce(a, kFullMask, 4);
+  EXPECT_EQ(r.transactions(), 32);
+}
+
+TEST(Coalesce, BroadcastSameAddressIsOneLine) {
+  LaneVec<std::uint64_t> a(std::uint64_t{512});
+  auto r = coalesce(a, kFullMask, 4);
+  EXPECT_EQ(r.transactions(), 1);
+  EXPECT_EQ(r.sectors, 1);
+}
+
+TEST(Coalesce, InactiveLanesIgnored) {
+  auto a = addrs_with_stride(0, 128);
+  auto r = coalesce(a, lane_bit(0) | lane_bit(31), 4);
+  EXPECT_EQ(r.transactions(), 2);
+}
+
+TEST(Coalesce, EmptyMaskIsEmpty) {
+  auto r = coalesce(addrs_with_stride(0, 4), 0, 4);
+  EXPECT_EQ(r.transactions(), 0);
+  EXPECT_EQ(r.sectors, 0);
+}
+
+TEST(Coalesce, ElementSpanningLineBoundary) {
+  // A 16-byte element starting 8 bytes before a line boundary touches both.
+  LaneVec<std::uint64_t> a(std::uint64_t{120});
+  auto r = coalesce(a, lane_bit(0), 16);
+  EXPECT_EQ(r.transactions(), 2);
+}
+
+TEST(Coalesce, LinesAreSortedAndUnique) {
+  LaneVec<std::uint64_t> a;
+  for (int i = 0; i < kWarpSize; ++i) a[i] = static_cast<std::uint64_t>((31 - i) % 4) * 128;
+  auto r = coalesce(a, kFullMask, 4);
+  ASSERT_EQ(r.transactions(), 4);
+  for (std::size_t i = 1; i < r.lines.size(); ++i)
+    EXPECT_LT(r.lines[i - 1], r.lines[i]);
+}
+
+// Property sweep: transaction count vs element stride (in floats).
+class CoalesceStride : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoalesceStride, TransactionsBoundedAndMonotone) {
+  int stride = GetParam();
+  auto r = coalesce(addrs_with_stride(0, static_cast<std::uint64_t>(stride) * 4),
+                    kFullMask, 4);
+  EXPECT_GE(r.transactions(), 1);
+  EXPECT_LE(r.transactions(), 32);
+  if (stride >= 1) {
+    auto denser =
+        coalesce(addrs_with_stride(0, static_cast<std::uint64_t>(stride - 1) * 4),
+                 kFullMask, 4);
+    EXPECT_LE(denser.transactions(), r.transactions());
+  }
+  // With stride >= 32 floats (128 B), every lane is in its own line.
+  if (stride >= 32) {
+    EXPECT_EQ(r.transactions(), 32);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CoalesceStride,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 31, 32, 33, 64));
+
+}  // namespace

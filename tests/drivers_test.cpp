@@ -1,0 +1,133 @@
+// Benchmark-driver behaviour: argument validation, determinism of the
+// simulation, and functional verification across non-default configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/bankredux.hpp"
+#include "core/comem.hpp"
+#include "core/conkernels.hpp"
+#include "core/dynparallel.hpp"
+#include "core/gsoverlap.hpp"
+#include "core/hdoverlap.hpp"
+#include "core/histogram.hpp"
+#include "core/layout.hpp"
+#include "core/minitransfer.hpp"
+#include "core/readonly.hpp"
+#include "core/shmem_mm.hpp"
+#include "core/shuffle_reduce.hpp"
+#include "core/taskgraph.hpp"
+#include "core/unimem.hpp"
+#include "core/warpdiv.hpp"
+
+namespace {
+
+using namespace cumb;
+using vgpu::DeviceProfile;
+
+TEST(DriverValidation, RejectsBadArguments) {
+  Runtime rt(DeviceProfile::test_tiny());
+  EXPECT_THROW(run_comem(rt, 1000, 64), std::invalid_argument);       // Not a multiple.
+  EXPECT_THROW(run_bankredux(rt, 100), std::invalid_argument);        // % 256 != 0.
+  EXPECT_THROW(run_shuffle_reduce(rt, 100), std::invalid_argument);
+  EXPECT_THROW(run_gsoverlap(rt, 100), std::invalid_argument);
+  EXPECT_THROW(run_shmem_mm(rt, 100), std::invalid_argument);         // % 16 != 0.
+  EXPECT_THROW(run_readonly(rt, 100), std::invalid_argument);
+  EXPECT_THROW(run_unimem(rt, 1 << 10, 3), std::invalid_argument);    // Stride !| n.
+  EXPECT_THROW(run_unimem(rt, 1 << 10, 0), std::invalid_argument);
+  EXPECT_THROW(run_hdoverlap(rt, 1000, 4), std::invalid_argument);
+  EXPECT_THROW(run_dynparallel(rt, 100), std::invalid_argument);      // Not pow2.
+  EXPECT_THROW(run_dynparallel(rt, 32), std::invalid_argument);       // Too small.
+}
+
+TEST(DriverDeterminism, SameSeedsSameResultsAndSameSimulatedTime) {
+  auto run = [] {
+    Runtime rt(DeviceProfile::v100());
+    return run_comem(rt, 1 << 18, 64);
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.naive_us, b.naive_us);
+  EXPECT_EQ(a.optimized_us, b.optimized_us);
+  EXPECT_EQ(a.block_transactions, b.block_transactions);
+  EXPECT_EQ(a.naive_stats.instructions, b.naive_stats.instructions);
+  EXPECT_EQ(a.naive_stats.dram_read_bytes, b.naive_stats.dram_read_bytes);
+}
+
+TEST(DriverDeterminism, MandelbrotIsDeterministic) {
+  auto run = [] {
+    Runtime rt(DeviceProfile::rtx3080_scaled());
+    return run_dynparallel(rt, 128, 128);
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.naive_us, b.naive_us);
+  EXPECT_EQ(a.optimized_us, b.optimized_us);
+  EXPECT_EQ(a.device_launches, b.device_launches);
+}
+
+TEST(DriverConfigs, ConKernelsVerifiesAtVariousCounts) {
+  for (int k : {1, 2, 5}) {
+    Runtime rt(DeviceProfile::test_tiny());
+    auto r = run_conkernels(rt, k, 2000);
+    EXPECT_TRUE(r.results_match) << k;
+    if (k == 1) {
+      EXPECT_NEAR(r.speedup(), 1.0, 0.05);  // Nothing to overlap.
+    }
+  }
+}
+
+TEST(DriverConfigs, TaskGraphShortAndLongChains) {
+  for (int chain : {1, 3, 32}) {
+    Runtime rt(DeviceProfile::test_tiny());
+    auto r = run_taskgraph(rt, 1024, chain, 3);
+    EXPECT_TRUE(r.results_match) << chain;
+    EXPECT_GT(r.speedup(), 1.0) << chain;
+  }
+}
+
+TEST(DriverConfigs, HdOverlapSingleChunkDegradesGracefully) {
+  Runtime rt(DeviceProfile::v100());
+  auto r = run_hdoverlap(rt, 1 << 18, 1, 1);
+  EXPECT_TRUE(r.results_match);
+  EXPECT_NEAR(r.speedup(), 1.0, 0.15);  // One chunk: nothing overlaps.
+}
+
+TEST(DriverConfigs, HdOverlapMoreStreamsNeverWorseThanOne) {
+  Runtime rt(DeviceProfile::v100());
+  auto one = run_hdoverlap(rt, 1 << 20, 4, 1);
+  auto four = run_hdoverlap(rt, 1 << 20, 4, 4);
+  EXPECT_TRUE(one.results_match);
+  EXPECT_TRUE(four.results_match);
+  EXPECT_LE(four.optimized_us, one.optimized_us * 1.05);
+}
+
+TEST(DriverConfigs, MiniTransferFullyDenseFavoursDenseLayout) {
+  // When the "sparse" matrix is actually full, CSR ships *more* bytes
+  // (values + indices) than the dense array.
+  Runtime rt(DeviceProfile::test_tiny());
+  const int n = 256;
+  auto r = run_minitransfer(rt, n, static_cast<long long>(n) * n);
+  EXPECT_TRUE(r.results_match);
+  EXPECT_GT(r.csr_bytes, r.dense_bytes);
+}
+
+TEST(DriverConfigs, LayoutAndHistogramOnTinyDevice) {
+  Runtime rt(DeviceProfile::test_tiny());
+  EXPECT_TRUE(run_layout(rt, 1 << 12).results_match);
+  EXPECT_TRUE(run_histogram(rt, 1 << 12, 64, 0.3).results_match);
+}
+
+TEST(DriverConfigs, WarpDivOddSizes) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto r = run_warpdiv(rt, 1000);  // Partial tail block.
+  EXPECT_TRUE(r.results_match);
+}
+
+TEST(DriverConfigs, UniMemStrideEqualsNTouchesOneElement) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto r = run_unimem(rt, 1 << 12, 1 << 12);
+  EXPECT_TRUE(r.results_match);
+  EXPECT_LE(r.page_faults, 4u);  // One element of x and of y.
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Task-graph tests: builder validation, cycle detection, dependency-ordered
+// execution, launch-overhead advantage over per-op stream submission.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "xfer/graph.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+WarpTask write_value(WarpCtx& w, DevSpan<int> out, int idx, int value) {
+  w.branch(w.thread_linear() == 0, [&] { w.store(out, LaneI(idx), LaneI(value)); });
+  co_return;
+}
+
+TEST(Graph, SelfDependencyRejected) {
+  GraphBuilder b;
+  auto n = b.add_host(1.0, nullptr);
+  EXPECT_THROW(b.add_dependency(n, n), std::invalid_argument);
+}
+
+TEST(Graph, BadNodeIdRejected) {
+  GraphBuilder b;
+  auto n = b.add_host(1.0, nullptr);
+  EXPECT_THROW(b.add_dependency(n, 42), std::out_of_range);
+}
+
+TEST(Graph, CycleDetectedAtInstantiate) {
+  GraphBuilder b;
+  auto n1 = b.add_host(1.0, nullptr);
+  auto n2 = b.add_host(1.0, nullptr);
+  auto n3 = b.add_host(1.0, nullptr);
+  b.add_dependency(n2, n1);
+  b.add_dependency(n3, n2);
+  b.add_dependency(n1, n3);
+  EXPECT_THROW(b.instantiate(), std::invalid_argument);
+}
+
+TEST(Graph, EmptyGraphInstantiates) {
+  GraphBuilder b;
+  ExecGraph g = b.instantiate();
+  EXPECT_EQ(g.size(), 0);
+}
+
+TEST(Graph, HostActionsRunInDependencyOrder) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<int> order;
+  GraphBuilder b;
+  auto n1 = b.add_host(1.0, [&] { order.push_back(1); });
+  auto n2 = b.add_host(1.0, [&] { order.push_back(2); });
+  auto n3 = b.add_host(1.0, [&] { order.push_back(3); });
+  // n3 -> n2 -> n1 (reverse of insertion).
+  b.add_dependency(n2, n3);
+  b.add_dependency(n1, n2);
+  ExecGraph g = b.instantiate();
+  rt.launch_graph(g, rt.default_stream());
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(Graph, DiamondDependencyTiming) {
+  DeviceProfile p = DeviceProfile::test_tiny();
+  p.graph_launch_us = 0;
+  p.graph_per_node_us = 0;
+  Runtime rt(p);
+  GraphBuilder b;
+  auto top = b.add_host(10.0, nullptr);
+  auto left = b.add_host(20.0, nullptr);
+  auto right = b.add_host(30.0, nullptr);
+  auto bottom = b.add_host(5.0, nullptr);
+  b.add_dependency(left, top);
+  b.add_dependency(right, top);
+  b.add_dependency(bottom, left);
+  b.add_dependency(bottom, right);
+  ExecGraph g = b.instantiate();
+  auto span = rt.launch_graph(g, rt.default_stream());
+  // Critical path: 10 + 30 + 5 (left/right overlap).
+  EXPECT_NEAR(span.duration(), 45.0, 1e-6);
+}
+
+TEST(Graph, KernelChainProducesSameResultAsStreams) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(4);
+  GraphBuilder b;
+  GraphNodeId prev = -1;
+  for (int i = 0; i < 4; ++i) {
+    auto n = b.add_kernel({Dim3{1}, Dim3{32}, "w"},
+                          [=](WarpCtx& w) { return write_value(w, out, i, i * 10); });
+    if (prev >= 0) b.add_dependency(n, prev);
+    prev = n;
+  }
+  ExecGraph g = b.instantiate();
+  rt.launch_graph(g, rt.default_stream());
+  rt.synchronize();
+  std::vector<int> got(4);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got, (std::vector<int>{0, 10, 20, 30}));
+}
+
+TEST(Graph, RepeatedLaunchReexecutesKernels) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(1);
+  std::vector<int> h{0};
+  rt.memcpy_h2d(out, std::span<const int>(h));
+  GraphBuilder b;
+  b.add_kernel({Dim3{1}, Dim3{32}, "inc"}, [=](WarpCtx& w) -> WarpTask {
+    w.branch(w.thread_linear() == 0, [&] {
+      LaneVec<int> v = w.load(out, LaneI(0));
+      w.store(out, LaneI(0), v + 1);
+    });
+    co_return;
+  });
+  ExecGraph g = b.instantiate();
+  for (int i = 0; i < 5; ++i) rt.launch_graph(g, rt.default_stream());
+  rt.synchronize();
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], 5);
+}
+
+TEST(Graph, CopiesMoveDataAtLaunch) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto dev = rt.malloc<int>(4);
+  std::vector<int> src{1, 2, 3, 4};
+  std::vector<int> dst(4, 0);
+  GraphBuilder b;
+  auto up = b.add_h2d(static_cast<double>(src.size() * sizeof(int)), [&] {
+    rt.gpu().heap().copy_in(dev, std::span<const int>(src));
+  });
+  auto down = b.add_d2h(static_cast<double>(dst.size() * sizeof(int)), [&] {
+    rt.gpu().heap().copy_out(std::span<int>(dst), dev);
+  });
+  b.add_dependency(down, up);
+  ExecGraph g = b.instantiate();
+  rt.launch_graph(g, rt.default_stream());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Graph, LaunchCheaperThanPerOpSubmission) {
+  DeviceProfile p = DeviceProfile::v100();
+  Runtime rt(p);
+  // Host time consumed submitting N ops one by one...
+  auto noop = [](WarpCtx&) -> WarpTask { co_return; };
+  double t0 = rt.now_us();
+  for (int i = 0; i < 16; ++i)
+    rt.launch({Dim3{1}, Dim3{32}, "noop"}, noop);
+  double stream_submit = rt.now_us() - t0;
+
+  GraphBuilder b;
+  for (int i = 0; i < 16; ++i) b.add_kernel({Dim3{1}, Dim3{32}, "noop"}, noop);
+  ExecGraph g = b.instantiate();
+  t0 = rt.now_us();
+  rt.launch_graph(g, rt.default_stream());
+  double graph_submit = rt.now_us() - t0;
+  EXPECT_LT(graph_submit, stream_submit / 2);
+}
+
+TEST(Graph, RequiresDeviceSupport) {
+  DeviceProfile p = DeviceProfile::test_tiny();
+  p.supports_graphs = false;
+  Runtime rt(p);
+  GraphBuilder b;
+  b.add_host(1.0, nullptr);
+  ExecGraph g = b.instantiate();
+  EXPECT_THROW(rt.launch_graph(g, rt.default_stream()), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Device heap and DevSpan tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/heap.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+TEST(Heap, AllocationsAre256ByteAligned) {
+  DeviceHeap h;
+  for (int i = 0; i < 5; ++i) {
+    DevAddr a = h.alloc(100 + i);
+    EXPECT_EQ(a.v % 256, 0u);
+  }
+}
+
+TEST(Heap, AddressZeroIsNull) {
+  DeviceHeap h;
+  DevAddr a = h.alloc(16);
+  EXPECT_NE(a.v, 0u);
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(DevAddr{}));
+}
+
+TEST(Heap, OffsetAllocationMisaligns) {
+  DeviceHeap h;
+  DevAddr a = h.alloc_offset(64, 4, 256);
+  EXPECT_EQ(a.v % 256, 4u);
+}
+
+TEST(Heap, OffsetValidation) {
+  DeviceHeap h;
+  EXPECT_THROW(h.alloc_offset(16, 300, 256), std::invalid_argument);
+  EXPECT_THROW(h.alloc(16, 100), std::invalid_argument);  // Not a power of two.
+}
+
+TEST(Heap, AllocationsDoNotOverlap) {
+  DeviceHeap h;
+  DevAddr a = h.alloc(1000);
+  DevAddr b = h.alloc(1000);
+  EXPECT_GE(b.v, a.v + 1000);
+}
+
+TEST(Heap, ScalarRoundTrip) {
+  DeviceHeap h;
+  DevAddr a = h.alloc(64);
+  h.store<double>(a.v + 8, 2.25);
+  EXPECT_EQ(h.load<double>(a.v + 8), 2.25);
+}
+
+TEST(Heap, SpanCopyInOut) {
+  DeviceHeap h;
+  DevSpan<int> s = h.alloc_span<int>(10);
+  std::vector<int> in{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  h.copy_in(s, std::span<const int>(in));
+  std::vector<int> out(10);
+  h.copy_out(std::span<int>(out), s);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Heap, OutOfRangeAccessThrows) {
+  DeviceHeap h;
+  DevSpan<int> s = h.alloc_span<int>(4);
+  EXPECT_THROW(h.load<int>(s.addr_of(4)), std::out_of_range);
+  EXPECT_THROW(h.load<int>(0), std::out_of_range);  // Reserved null page.
+}
+
+TEST(Heap, CopySizeValidation) {
+  DeviceHeap h;
+  DevSpan<int> s = h.alloc_span<int>(4);
+  std::vector<int> big(5);
+  EXPECT_THROW(h.copy_in(s, std::span<const int>(big)), std::out_of_range);
+  EXPECT_THROW(h.copy_out(std::span<int>(big), s), std::out_of_range);
+}
+
+TEST(DevSpan, SubspanAddressing) {
+  DeviceHeap h;
+  DevSpan<float> s = h.alloc_span<float>(100);
+  DevSpan<float> sub = s.subspan(10, 20);
+  EXPECT_EQ(sub.addr, s.addr + 10 * sizeof(float));
+  EXPECT_EQ(sub.n, 20u);
+  EXPECT_EQ(sub.addr_of(0), s.addr_of(10));
+  EXPECT_THROW(s.subspan(90, 20), std::out_of_range);
+}
+
+TEST(Heap, GrowsBeyondInitialReservation) {
+  DeviceHeap h;
+  DevSpan<char> s = h.alloc_span<char>(1 << 22);  // 4 MiB.
+  h.store<char>(s.addr_of((1 << 22) - 1), 'x');
+  EXPECT_EQ(h.load<char>(s.addr_of((1 << 22) - 1)), 'x');
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Cross-subsystem integration tests: kernels that combine texture, constant,
+// shared and managed memory; event-ordered producer/consumer pipelines;
+// graph-vs-stream equivalence on a full offload; dynamic parallelism with
+// barriers inside children.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "sim/warp_ops.hpp"
+#include "xfer/graph.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+// out[i] = tex(i) * const_scale[0] + managed[i], staged through shared memory.
+WarpTask fused_kernel(WarpCtx& w, Texture<float> tex, ConstSpan<float> scale,
+                      DevSpan<float> managed, DevSpan<float> out, int n) {
+  auto tile = w.shared_array<float>(256);
+  LaneI i = w.global_tid_x();
+  LaneI lid = w.thread_linear();
+  w.branch(i < n, [&] {
+    LaneVec<float> t = w.tex1d(tex, i);
+    LaneVec<float> s = w.cload(scale, LaneI(0));
+    w.alu(1);
+    w.sh_store(tile, lid, t * s);
+  });
+  co_await w.syncthreads();
+  w.branch(i < n, [&] {
+    LaneVec<float> v = w.sh_load(tile, lid);
+    LaneVec<float> m = w.load(managed, i);
+    w.alu(1);
+    w.store(out, i, v + m);
+  });
+  co_return;
+}
+
+TEST(Integration, AllMemorySpacesInOneKernel) {
+  Runtime rt(DeviceProfile::v100());
+  const int n = 4096;
+  std::vector<float> tex_data(n), managed_data(n);
+  std::iota(tex_data.begin(), tex_data.end(), 0.0f);
+  std::iota(managed_data.begin(), managed_data.end(), 100.0f);
+  std::vector<float> scale{2.0f};
+
+  Texture<float> tex = rt.texture1d(std::span<const float>(tex_data));
+  ConstSpan<float> cs = rt.const_upload(std::span<const float>(scale));
+  DevSpan<float> managed = rt.malloc_managed<float>(n);
+  rt.managed_write(managed, std::span<const float>(managed_data));
+  DevSpan<float> out = rt.malloc<float>(n);
+
+  auto info = rt.launch({Dim3{n / 256}, Dim3{256}, "fused"}, [=](WarpCtx& w) {
+    return fused_kernel(w, tex, cs, managed, out, n);
+  });
+
+  std::vector<float> got(n);
+  rt.memcpy_d2h(std::span<float>(got), out);
+  for (int i = 0; i < n; ++i)
+    ASSERT_EQ(got[i], tex_data[static_cast<std::size_t>(i)] * 2.0f +
+                          managed_data[static_cast<std::size_t>(i)]);
+  EXPECT_GT(info.stats.tex_requests, 0u);
+  EXPECT_GT(info.stats.const_requests, 0u);
+  EXPECT_GT(info.stats.um_page_faults, 0u);
+  EXPECT_GT(info.stats.barriers, 0u);
+}
+
+TEST(Integration, EventOrderedProducerConsumerAcrossStreams) {
+  Runtime rt(DeviceProfile::v100());
+  const int n = 1 << 14;
+  DevSpan<float> buf = rt.malloc<float>(n);
+  DevSpan<float> out = rt.malloc<float>(n);
+  Stream& producer = rt.create_stream();
+  Stream& consumer = rt.create_stream();
+
+  auto pinfo = rt.launch(producer, {Dim3{n / 256}, Dim3{256}, "produce"},
+                         [=](WarpCtx& w) -> WarpTask {
+                           LaneI i = w.global_tid_x();
+                           w.store(buf, i, i.cast<float>());
+                           co_return;
+                         });
+  Event e = rt.record_event(producer);
+  rt.stream_wait_event(consumer, e);
+  auto cinfo = rt.launch(consumer, {Dim3{n / 256}, Dim3{256}, "consume"},
+                         [=](WarpCtx& w) -> WarpTask {
+                           LaneI i = w.global_tid_x();
+                           w.store(out, i, w.load(buf, i) + 1.0f);
+                           co_return;
+                         });
+  // The consumer must start after the producer finished.
+  EXPECT_GE(cinfo.span.start, pinfo.span.end);
+  rt.synchronize();
+  std::vector<float> got(n);
+  rt.memcpy_d2h(std::span<float>(got), out);
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[i], static_cast<float>(i) + 1.0f);
+}
+
+TEST(Integration, GraphOffloadMatchesStreamOffload) {
+  const int n = 1 << 12;
+  std::vector<float> hx(n);
+  std::iota(hx.begin(), hx.end(), 1.0f);
+
+  auto offload_stream = [&](std::vector<float>& result) {
+    Runtime rt(DeviceProfile::v100());
+    auto x = rt.malloc<float>(n);
+    rt.memcpy_h2d(x, std::span<const float>(hx));
+    rt.launch({Dim3{n / 256}, Dim3{256}, "sq"}, [=](WarpCtx& w) -> WarpTask {
+      LaneI i = w.global_tid_x();
+      LaneVec<float> v = w.load(x, i);
+      w.store(x, i, v * v);
+      co_return;
+    });
+    rt.memcpy_d2h(std::span<float>(result), x);
+  };
+
+  auto offload_graph = [&](std::vector<float>& result) {
+    Runtime rt(DeviceProfile::v100());
+    auto x = rt.malloc<float>(n);
+    GraphBuilder b;
+    auto up = b.add_h2d(n * sizeof(float), [&] {
+      rt.gpu().heap().copy_in(x, std::span<const float>(hx));
+    });
+    auto k = b.add_kernel({Dim3{n / 256}, Dim3{256}, "sq"},
+                          [=](WarpCtx& w) -> WarpTask {
+                            LaneI i = w.global_tid_x();
+                            LaneVec<float> v = w.load(x, i);
+                            w.store(x, i, v * v);
+                            co_return;
+                          });
+    auto down = b.add_d2h(n * sizeof(float), [&] {
+      rt.gpu().heap().copy_out(std::span<float>(result), x);
+    });
+    b.add_dependency(k, up);
+    b.add_dependency(down, k);
+    ExecGraph g = b.instantiate();
+    rt.launch_graph(g, rt.default_stream());
+    rt.synchronize();
+  };
+
+  std::vector<float> via_stream(n), via_graph(n);
+  offload_stream(via_stream);
+  offload_graph(via_graph);
+  EXPECT_EQ(via_stream, via_graph);
+}
+
+TEST(Integration, DynamicParallelismChildrenUseBarriers) {
+  Runtime rt(DeviceProfile::test_tiny());
+  const int n = 256;
+  DevSpan<int> out = rt.malloc<int>(1);
+  DevSpan<int> data = rt.malloc<int>(n);
+  std::vector<int> h(n, 1);
+  rt.memcpy_h2d(data, std::span<const int>(h));
+
+  // Parent launches a child that performs a block reduction with barriers.
+  auto info = rt.launch({Dim3{1}, Dim3{32}, "parent"}, [=](WarpCtx& w) -> WarpTask {
+    if (w.warp_in_block() == 0) {
+      w.launch_device(Dim3{1}, Dim3{256}, [=](WarpCtx& c) -> WarpTask {
+        auto cache = c.shared_array<int>(256);
+        LaneI cid = c.thread_linear();
+        c.sh_store(cache, cid, c.load(data, cid));
+        co_await c.syncthreads();
+        for (int s = 128; s > 0; s /= 2) {
+          c.branch(cid < s, [&] {
+            c.sh_store(cache, cid,
+                       c.sh_load(cache, cid) + c.sh_load(cache, cid + s));
+          });
+          co_await c.syncthreads();
+        }
+        c.branch(cid == 0, [&] { c.store(out, LaneI(0), c.sh_load(cache, cid)); });
+        co_return;
+      });
+    }
+    co_return;
+  });
+  EXPECT_EQ(info.stats.device_launches, 1u);
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], n);
+}
+
+TEST(Integration, ManagedMemoryRoundTripThroughKernelAndGraph) {
+  Runtime rt(DeviceProfile::v100());
+  const int n = 1 << 12;
+  auto m = rt.malloc_managed<float>(n);
+  std::vector<float> h(n, 3.0f);
+  rt.managed_write(m, std::span<const float>(h));
+
+  GraphBuilder b;
+  b.add_kernel({Dim3{n / 256}, Dim3{256}, "triple"}, [=](WarpCtx& w) -> WarpTask {
+    LaneI i = w.global_tid_x();
+    w.store(m, i, w.load(m, i) * 3.0f);
+    co_return;
+  });
+  ExecGraph g = b.instantiate();
+  rt.launch_graph(g, rt.default_stream());
+  rt.synchronize();
+
+  std::vector<float> got(n);
+  rt.managed_read(std::span<float>(got), m);
+  for (float v : got) ASSERT_EQ(v, 9.0f);
+  EXPECT_GT(rt.managed().total_host_faults(), 0u);
+}
+
+TEST(Integration, WarpOpsInsideDivergentKernels) {
+  Runtime rt(DeviceProfile::test_tiny());
+  const int n = 2048;
+  auto x = rt.malloc<int>(n);
+  auto out = rt.malloc<int>(1);
+  std::vector<int> h(n);
+  std::iota(h.begin(), h.end(), 0);
+  rt.memcpy_h2d(x, std::span<const int>(h));
+  std::vector<int> zero{0};
+  rt.memcpy_h2d(out, std::span<const int>(zero));
+
+  // Sum only the even elements: predicated load + neutral fill + warp reduce.
+  rt.launch({Dim3{n / 256}, Dim3{256}, "evensum"}, [=](WarpCtx& w) -> WarpTask {
+    LaneI i = w.global_tid_x();
+    LaneVec<int> v(0);
+    w.branch(i % 2 == 0, [&] { v = select(w.active(), w.load(x, i), v); });
+    v = warp_reduce_add(w, v);
+    w.branch(w.thread_linear() % kWarpSize == 0,
+             [&] { w.atomic_add(out, LaneI(0), v); });
+    co_return;
+  });
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  long long want = 0;
+  for (int i = 0; i < n; i += 2) want += i;
+  EXPECT_EQ(got[0], static_cast<int>(want));
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Unified-memory directory tests: page residency, fault accounting,
+// prefetch, and cudaMemAdvise-style read-mostly duplication.
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "um/managed.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+DeviceProfile profile() {
+  DeviceProfile p = DeviceProfile::test_tiny();
+  p.um_page_bytes = 4096;
+  return p;
+}
+
+TEST(Managed, UnregisteredAddressIsNotManaged) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  EXPECT_FALSE(d.is_managed(0x1000));
+  d.register_range(0x10000, 8192);
+  EXPECT_TRUE(d.is_managed(0x10000));
+  EXPECT_TRUE(d.is_managed(0x10000 + 8191));
+  EXPECT_FALSE(d.is_managed(0x10000 + 8192));
+  EXPECT_FALSE(d.is_managed(0xffff));
+}
+
+TEST(Managed, FirstDeviceTouchFaultsWholePage) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 16384);  // 4 pages.
+  UmTouch t = d.on_device_access(0x10000 + 100, 4, false);
+  EXPECT_EQ(t.faulted_pages, 1u);
+  EXPECT_EQ(t.migrated_bytes, 4096u);
+  // Second touch of the same page: resident, no fault.
+  t = d.on_device_access(0x10000 + 200, 4, true);
+  EXPECT_EQ(t.faulted_pages, 0u);
+}
+
+TEST(Managed, AccessSpanningPageBoundaryFaultsBoth) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 16384);
+  UmTouch t = d.on_device_access(0x10000 + 4090, 16, false);
+  EXPECT_EQ(t.faulted_pages, 2u);
+}
+
+TEST(Managed, HostAccessMigratesBack) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 8192);
+  d.on_device_access(0x10000, 4, true);  // Page 0 -> device.
+  HostTouch h = d.on_host_access(0x10000, 4, false);
+  EXPECT_EQ(h.faulted_pages, 1u);
+  // Page 1 never left the host: free.
+  h = d.on_host_access(0x10000 + 4096, 4, false);
+  EXPECT_EQ(h.faulted_pages, 0u);
+}
+
+TEST(Managed, PingPongFaultsEveryTransition) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 4096);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.on_device_access(0x10000, 4, true).faulted_pages, 1u);
+    EXPECT_EQ(d.on_host_access(0x10000, 4, true).faulted_pages, 1u);
+  }
+  EXPECT_EQ(d.total_device_faults(), 3u);
+  EXPECT_EQ(d.total_host_faults(), 3u);
+}
+
+TEST(Managed, ReadMostlyDuplicatesInsteadOfBouncing) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 4096);
+  d.set_advise(0x10000, MemAdvise::kReadMostly);
+  // Device read duplicates the page...
+  EXPECT_EQ(d.on_device_access(0x10000, 4, false).faulted_pages, 1u);
+  // ...so a host read afterwards is free...
+  EXPECT_EQ(d.on_host_access(0x10000, 4, false).faulted_pages, 0u);
+  // ...and so is another device read.
+  EXPECT_EQ(d.on_device_access(0x10000, 4, false).faulted_pages, 0u);
+}
+
+TEST(Managed, WriteInvalidatesReadMostlyCopy) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 4096);
+  d.set_advise(0x10000, MemAdvise::kReadMostly);
+  d.on_device_access(0x10000, 4, false);   // Duplicated.
+  d.on_device_access(0x10000, 4, true);    // Device write invalidates host copy.
+  EXPECT_EQ(d.on_host_access(0x10000, 4, false).faulted_pages, 1u);
+}
+
+TEST(Managed, PrefetchMovesOnlyNonResidentPages) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 16384);  // 4 pages.
+  d.on_device_access(0x10000, 4, false);  // Page 0 resident already.
+  std::uint64_t moved = d.prefetch_to_device(0x10000, 16384);
+  EXPECT_EQ(moved, 3u * 4096u);
+  // After prefetch no access faults.
+  EXPECT_EQ(d.on_device_access(0x10000 + 12288, 4, false).faulted_pages, 0u);
+  // Prefetch back to host.
+  EXPECT_EQ(d.prefetch_to_host(0x10000, 16384), 4u * 4096u);
+}
+
+TEST(Managed, PartialRangePrefetch) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 16384);
+  EXPECT_EQ(d.prefetch_to_device(0x10000 + 4096, 4096), 4096u);
+  EXPECT_EQ(d.device_resident_bytes(0x10000), 4096u);
+}
+
+TEST(Managed, OverlappingRegistrationRejected) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 8192);
+  EXPECT_THROW(d.register_range(0x10000 + 4096, 4096), std::invalid_argument);
+  EXPECT_THROW(d.register_range(0x10000 - 100, 4096), std::invalid_argument);
+  d.register_range(0x10000 + 8192, 4096);  // Adjacent is fine.
+}
+
+TEST(Managed, AdviseOnUnmanagedAddressThrows) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  EXPECT_THROW(d.set_advise(0x5000, MemAdvise::kReadMostly), std::invalid_argument);
+  EXPECT_THROW(d.prefetch_to_device(0x5000, 64), std::invalid_argument);
+}
+
+TEST(Managed, UnmanagedAccessIsFree) {
+  DeviceProfile p = profile();
+  ManagedDirectory d(p);
+  d.register_range(0x10000, 4096);
+  UmTouch t = d.on_device_access(0x100, 4, false);
+  EXPECT_EQ(t.faulted_pages, 0u);
+  EXPECT_EQ(t.migrated_bytes, 0u);
+}
+
+}  // namespace

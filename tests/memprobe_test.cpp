@@ -1,0 +1,56 @@
+// Memory-probe tests: the latency ladder must step up through the cache
+// levels and the bandwidth probe must stay at or under the peak.
+
+#include <gtest/gtest.h>
+
+#include "core/memprobe.hpp"
+
+namespace {
+
+using namespace cumb;
+using vgpu::DeviceProfile;
+
+TEST(LatencyLadder, MonotoneThroughTheHierarchy) {
+  Runtime rt(DeviceProfile::v100());
+  auto pts = run_latency_ladder(rt, {8u << 10, 512u << 10, 16u << 20}, 1024);
+  ASSERT_EQ(pts.size(), 3u);
+  // Larger footprints can only be slower (tiny fp tolerance: the two
+  // largest footprints both sit on the DRAM plateau).
+  EXPECT_LE(pts[0].cycles_per_hop, pts[1].cycles_per_hop * 1.0001);
+  EXPECT_LE(pts[1].cycles_per_hop, pts[2].cycles_per_hop * 1.0001);
+  // The biggest footprint must actually reach DRAM-class latency and the
+  // smallest must stay well below it.
+  EXPECT_GT(pts[2].cycles_per_hop, rt.profile().l2_latency);
+  EXPECT_LT(pts[0].cycles_per_hop, rt.profile().l2_latency);
+}
+
+TEST(LatencyLadder, DramLatencyVisibleWithoutWarpParallelism) {
+  Runtime rt(DeviceProfile::v100());
+  auto pts = run_latency_ladder(rt, {32u << 20}, 512);
+  // One dependent lane: the raw DRAM latency must show (within the model's
+  // per-hop instruction overhead).
+  EXPECT_GT(pts[0].cycles_per_hop, rt.profile().dram_latency * 0.8);
+  EXPECT_LT(pts[0].cycles_per_hop, rt.profile().dram_latency * 2.0);
+}
+
+TEST(LatencyLadder, RejectsTinyFootprint) {
+  Runtime rt(DeviceProfile::test_tiny());
+  EXPECT_THROW(run_latency_ladder(rt, {4}, 16), std::invalid_argument);
+}
+
+TEST(Bandwidth, AchievedBelowPeakButClose) {
+  Runtime rt(DeviceProfile::v100());
+  auto r = run_bandwidth(rt, 1 << 22);
+  EXPECT_LE(r.achieved_gbps, r.peak_gbps * 1.001);
+  EXPECT_GT(r.efficiency(), 0.5);  // Streaming copy should be near the roof.
+}
+
+TEST(Bandwidth, ScalesWithDeviceProfile) {
+  Runtime v100(DeviceProfile::v100());
+  Runtime k80(DeviceProfile::k80());
+  auto fast = run_bandwidth(v100, 1 << 21);
+  auto slow = run_bandwidth(k80, 1 << 21);
+  EXPECT_GT(fast.achieved_gbps, slow.achieved_gbps * 2);
+}
+
+}  // namespace

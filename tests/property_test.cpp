@@ -1,0 +1,152 @@
+// Parameterized property tests: invariants that must hold across sweeps of
+// problem sizes, strides and sparsities (DESIGN.md section 5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bankredux.hpp"
+#include "core/comem.hpp"
+#include "core/memalign.hpp"
+#include "core/minitransfer.hpp"
+#include "core/shuffle_reduce.hpp"
+#include "core/unimem.hpp"
+#include "core/warpdiv.hpp"
+#include "linalg/generate.hpp"
+
+namespace {
+
+using namespace cumb;
+using vgpu::DeviceProfile;
+
+// --- Reductions agree with the serial sum for arbitrary sizes. -------------
+class ReductionSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionSizes, ShuffleAndSharedMatchSerialSum) {
+  Runtime rt(DeviceProfile::test_tiny());
+  int n = GetParam();
+  auto r = run_shuffle_reduce(rt, n);
+  EXPECT_TRUE(r.results_match) << "n=" << n;
+  EXPECT_NEAR(r.device_sum, r.reference_sum,
+              1e-4 * std::abs(r.reference_sum) + 1e-3);
+}
+
+TEST_P(ReductionSizes, BankReduxBothVariantsCorrect) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto r = run_bankredux(rt, GetParam());
+  EXPECT_TRUE(r.results_match);
+  EXPECT_EQ(r.conflict_free, 0u);
+  EXPECT_GT(r.conflicted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReductionSizes,
+                         ::testing::Values(256, 512, 4096, 65536, 262144));
+
+// --- Divergence never makes a kernel cheaper. -------------------------------
+class DivergenceSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivergenceSizes, DivergentAtLeastAsExpensive) {
+  Runtime rt(DeviceProfile::v100());
+  auto r = run_warpdiv(rt, GetParam());
+  EXPECT_TRUE(r.results_match);
+  EXPECT_GE(r.naive_us, r.optimized_us * 0.999);
+  EXPECT_GE(r.naive_stats.instructions, r.optimized_stats.instructions);
+  EXPECT_LE(r.wd_efficiency_pct, 100.0);
+  EXPECT_GE(r.wd_efficiency_pct, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DivergenceSizes,
+                         ::testing::Values(1 << 12, 1 << 15, 1 << 18));
+
+// --- Alignment: misaligned never uses fewer transactions. -------------------
+class AlignSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignSizes, MisalignedTransactionsDominate) {
+  Runtime rt(DeviceProfile::v100());
+  auto r = run_memalign(rt, GetParam());
+  EXPECT_TRUE(r.results_match);
+  EXPECT_GE(r.misaligned_transactions, r.aligned_transactions);
+  EXPECT_GE(r.naive_us, r.optimized_us * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlignSizes,
+                         ::testing::Values(1 << 14, 1 << 17, 1 << 20));
+
+// --- Coalescing: cyclic never loses to block distribution. -------------------
+class CoMemSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoMemSizes, CyclicNeverSlower) {
+  Runtime rt(DeviceProfile::v100());
+  int n = GetParam();
+  // 8 blocks of 256 threads: every thread owns >= 32 elements, so the block
+  // distribution's lanes land in distinct 128-byte lines — the uncoalesced
+  // regime of Fig. 7(b). (With only a handful of elements per thread the
+  // inversion can legitimately flip: each lane's chunk then shares a line.)
+  auto r = run_comem(rt, n, /*grid_blocks=*/8);
+  EXPECT_TRUE(r.results_match) << "n=" << n;
+  EXPECT_GE(r.block_transactions, r.cyclic_transactions);
+  EXPECT_GE(r.naive_us, r.optimized_us * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoMemSizes,
+                         ::testing::Values(1 << 16, 1 << 18, 1 << 20));
+
+// --- Unified memory: migrated bytes never exceed the explicit copies. -------
+class UmStrides : public ::testing::TestWithParam<int> {};
+
+TEST_P(UmStrides, MigrationBoundedByExplicitTraffic) {
+  Runtime rt(DeviceProfile::v100());
+  int stride = GetParam();
+  auto r = run_unimem(rt, 1 << 20, stride);
+  EXPECT_TRUE(r.results_match) << "stride=" << stride;
+  EXPECT_LE(r.migrated_bytes, r.explicit_bytes);
+  if (stride > 1) {
+    // Higher stride -> fewer or equal faulted pages than dense access.
+    auto dense = run_unimem(rt, 1 << 20, 1);
+    EXPECT_LE(r.page_faults, dense.page_faults);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, UmStrides, ::testing::Values(1, 2, 16, 1024, 4096));
+
+// --- MiniTransfer: CSR bytes shrink monotonically with nnz. -------------------
+class Sparsities : public ::testing::TestWithParam<long long> {};
+
+TEST_P(Sparsities, CsrOffloadCorrectAndLean) {
+  Runtime rt(DeviceProfile::test_tiny());
+  const int n = 512;
+  long long nnz = GetParam();
+  auto r = run_minitransfer(rt, n, nnz);
+  EXPECT_TRUE(r.results_match) << "nnz=" << nnz;
+  EXPECT_EQ(r.nnz, nnz);
+  // CSR transfer is linear in nnz and far below the dense matrix for
+  // genuinely sparse inputs.
+  if (nnz <= n * 16) {
+    EXPECT_LT(r.csr_bytes, r.dense_bytes / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nnz, Sparsities,
+                         ::testing::Values(0LL, 1LL, 512LL, 8192LL, 65536LL));
+
+// --- Timing model sanity across device profiles. -----------------------------
+class Profiles : public ::testing::TestWithParam<int> {};
+
+TEST_P(Profiles, AxpyOffloadBehavesOnEveryProfile) {
+  DeviceProfile p;
+  switch (GetParam()) {
+    case 0: p = DeviceProfile::v100(); break;
+    case 1: p = DeviceProfile::k80(); break;
+    case 2: p = DeviceProfile::rtx3080(); break;
+    default: p = DeviceProfile::test_tiny(); break;
+  }
+  Runtime rt(p);
+  auto r = run_comem(rt, 1 << 16, 8);
+  EXPECT_TRUE(r.results_match) << p.name;
+  EXPECT_GT(r.naive_us, 0.0);
+  EXPECT_GT(r.optimized_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Profiles, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Reporting-harness tests: table formatting, Table I rendering, series
+// printing, plus Runtime::memset (added alongside reporting utilities).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace cumb;
+
+TEST(Report, Fmt) {
+  EXPECT_EQ(fmt(1.23456), "1.23");
+  EXPECT_EQ(fmt(1.23456, 4), "1.2346");
+  EXPECT_EQ(fmt(42, 0), "42");
+}
+
+TEST(Report, FormatTableAlignsColumns) {
+  std::string t = format_table({"name", "value"},
+                               {{"a", "1"}, {"longer-name", "2"}});
+  // Every data row has the same width as the rule lines.
+  std::istringstream is(t);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(t.find("longer-name"), std::string::npos);
+}
+
+TEST(Report, FormatTableRejectsRaggedRows) {
+  EXPECT_THROW(format_table({"a", "b"}, {{"only-one"}}), std::invalid_argument);
+}
+
+TEST(Report, Table1IncludesMeasuredColumn) {
+  Table1Row row;
+  row.benchmark = "CoMem";
+  row.pattern = "uncoalesced";
+  row.technique = "cyclic";
+  row.paper_speedup = "18 (average)";
+  row.measured_speedup = 23.61;
+  row.programmability = 3;
+  std::string t = format_table1({row});
+  EXPECT_NE(t.find("23.61x"), std::string::npos);
+  EXPECT_NE(t.find("18 (average)"), std::string::npos);
+}
+
+TEST(Report, Table1DashForUnmeasured) {
+  Table1Row row;
+  row.benchmark = "TaskGraph";
+  row.measured_speedup = 0;
+  std::string t = format_table1({row});
+  EXPECT_NE(t.find("| -"), std::string::npos);
+}
+
+TEST(Report, PrintSeries) {
+  std::ostringstream os;
+  print_series(os, "Fig. X", "n", {"naive", "opt"}, {16, 32},
+               {{1.0, 2.0}, {3.0, 4.0}});
+  std::string s = os.str();
+  EXPECT_NE(s.find("## Fig. X"), std::string::npos);
+  EXPECT_NE(s.find("naive"), std::string::npos);
+  EXPECT_NE(s.find("3.000"), std::string::npos);
+}
+
+TEST(Report, PrintSeriesValidatesShape) {
+  std::ostringstream os;
+  EXPECT_THROW(print_series(os, "t", "x", {"a"}, {1, 2}, {{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(print_series(os, "t", "x", {"a", "b"}, {1}, {{1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Memset, FillsAndAdvancesStream) {
+  vgpu::Runtime rt(vgpu::DeviceProfile::test_tiny());
+  auto d = rt.malloc<int>(1000);
+  double t0 = rt.now_us();
+  rt.memset(d, 7);
+  rt.synchronize();
+  EXPECT_GT(rt.now_us(), t0);
+  std::vector<int> got(1000);
+  rt.memcpy_d2h(std::span<int>(got), d);
+  for (int v : got) EXPECT_EQ(v, 7);
+}
+
+TEST(Memset, OrderedWithKernelOnSameStream) {
+  vgpu::Runtime rt(vgpu::DeviceProfile::test_tiny());
+  auto d = rt.malloc<int>(64);
+  vgpu::Stream& s = rt.create_stream();
+  rt.memset(s, d, 1);
+  rt.launch(s, {vgpu::Dim3{1}, vgpu::Dim3{64}, "inc"},
+            [=](vgpu::WarpCtx& w) -> vgpu::WarpTask {
+              vgpu::LaneI i = w.thread_linear();
+              w.store(d, i, w.load(d, i) + 1);
+              co_return;
+            });
+  rt.synchronize();
+  std::vector<int> got(64);
+  rt.memcpy_d2h(std::span<int>(got), d);
+  for (int v : got) EXPECT_EQ(v, 2);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Shared-memory banking and segment allocation tests (paper section IV-F).
+
+#include <gtest/gtest.h>
+
+#include "mem/shared.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+LaneVec<std::uint64_t> word_addrs(std::uint64_t stride_words) {
+  LaneVec<std::uint64_t> a;
+  for (int i = 0; i < kWarpSize; ++i)
+    a[i] = static_cast<std::uint64_t>(i) * stride_words * kBankWordBytes;
+  return a;
+}
+
+TEST(BankConflict, SequentialIsConflictFree) {
+  EXPECT_EQ(bank_conflict_degree(word_addrs(1), kFullMask, 4), 1);
+}
+
+TEST(BankConflict, Stride2IsTwoWay) {
+  EXPECT_EQ(bank_conflict_degree(word_addrs(2), kFullMask, 4), 2);
+}
+
+TEST(BankConflict, Stride4IsFourWay) {
+  EXPECT_EQ(bank_conflict_degree(word_addrs(4), kFullMask, 4), 4);
+}
+
+TEST(BankConflict, Stride32SerializesFully) {
+  // All 32 lanes hit bank 0: the paper's worst case.
+  EXPECT_EQ(bank_conflict_degree(word_addrs(32), kFullMask, 4), 32);
+}
+
+TEST(BankConflict, BroadcastSameWordIsFree) {
+  LaneVec<std::uint64_t> a(std::uint64_t{64});
+  EXPECT_EQ(bank_conflict_degree(a, kFullMask, 4), 1);
+}
+
+TEST(BankConflict, MixedBroadcastAndDistinct) {
+  // 16 lanes read word 0; 16 lanes read words in distinct banks: free.
+  LaneVec<std::uint64_t> a;
+  for (int i = 0; i < 16; ++i) a[i] = 0;
+  for (int i = 16; i < 32; ++i) a[i] = static_cast<std::uint64_t>(i) * 4;
+  EXPECT_EQ(bank_conflict_degree(a, kFullMask, 4), 1);
+}
+
+TEST(BankConflict, DoubleElementsSpanTwoBanks) {
+  // 8-byte elements at 8-byte stride: lanes i and i+16 share banks -> 2-way.
+  LaneVec<std::uint64_t> a;
+  for (int i = 0; i < kWarpSize; ++i) a[i] = static_cast<std::uint64_t>(i) * 8;
+  EXPECT_EQ(bank_conflict_degree(a, kFullMask, 8), 2);
+}
+
+TEST(BankConflict, InactiveLanesDoNotConflict) {
+  EXPECT_EQ(bank_conflict_degree(word_addrs(32), first_lanes(1), 4), 1);
+  EXPECT_EQ(bank_conflict_degree(word_addrs(32), first_lanes(4), 4), 4);
+}
+
+TEST(BankConflict, EmptyMask) {
+  EXPECT_EQ(bank_conflict_degree(word_addrs(1), 0, 4), 0);
+}
+
+TEST(SharedSegment, BumpAllocationAndAlignment) {
+  SharedSegment s(1024);
+  std::uint32_t a = s.alloc(10, 8);
+  std::uint32_t b = s.alloc(4, 8);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(SharedSegment, CapacityEnforced) {
+  SharedSegment s(64);
+  s.alloc(60, 4);
+  EXPECT_THROW(s.alloc(8, 4), std::runtime_error);
+}
+
+TEST(SharedSegment, LoadStoreRoundTrip) {
+  SharedSegment s(256);
+  std::uint32_t off = s.alloc(8 * sizeof(float), 4);
+  s.store<float>(off + 4, 3.5f);
+  EXPECT_EQ(s.load<float>(off + 4), 3.5f);
+}
+
+TEST(SharedSegment, OutOfRangeAccessThrows) {
+  SharedSegment s(256);
+  std::uint32_t off = s.alloc(16, 4);
+  EXPECT_THROW(s.load<float>(off + 16), std::out_of_range);
+}
+
+// Property: degree equals stride's gcd structure for power-of-two strides.
+class BankStride : public ::testing::TestWithParam<int> {};
+
+TEST_P(BankStride, PowerOfTwoStrideDegree) {
+  int stride = GetParam();
+  int expected = std::min(stride, 32);
+  EXPECT_EQ(bank_conflict_degree(word_addrs(static_cast<std::uint64_t>(stride)),
+                                 kFullMask, 4),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, BankStride, ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Texture objects (clamping, 2-D locality keys) and constant memory
+// (capacity, broadcast vs serialized access).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+TEST(Morton, InterleavesBits) {
+  EXPECT_EQ(morton2d(0, 0), 0u);
+  EXPECT_EQ(morton2d(1, 0), 1u);
+  EXPECT_EQ(morton2d(0, 1), 2u);
+  EXPECT_EQ(morton2d(1, 1), 3u);
+  EXPECT_EQ(morton2d(2, 0), 4u);
+  EXPECT_EQ(morton2d(3, 3), 15u);
+}
+
+TEST(Morton, NeighborsStayClose) {
+  // A 4x4 neighbourhood spans exactly one 16-entry Morton block when aligned.
+  std::uint64_t base = morton2d(4, 4);
+  for (std::uint32_t dy = 0; dy < 4; ++dy)
+    for (std::uint32_t dx = 0; dx < 4; ++dx) {
+      std::uint64_t m = morton2d(4 + dx, 4 + dy);
+      EXPECT_GE(m, base);
+      EXPECT_LT(m, base + 16);
+    }
+}
+
+TEST(Texture, ClampAddressing) {
+  Texture<float> t;
+  t.width = 8;
+  t.height = 4;
+  EXPECT_EQ(t.clamp_x(-5), 0);
+  EXPECT_EQ(t.clamp_x(7), 7);
+  EXPECT_EQ(t.clamp_x(100), 7);
+  EXPECT_EQ(t.clamp_y(-1), 0);
+  EXPECT_EQ(t.clamp_y(4), 3);
+}
+
+TEST(Texture, DistinctTexturesHaveDistinctCacheKeys) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> data(64, 1.0f);
+  auto t1 = rt.texture2d(std::span<const float>(data), 8, 8);
+  auto t2 = rt.texture2d(std::span<const float>(data), 8, 8);
+  EXPECT_NE(t1.cache_key(3, 3), t2.cache_key(3, 3));
+}
+
+TEST(Texture, Fetch2DMatchesBackingStore) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> data(64);
+  for (int i = 0; i < 64; ++i) data[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  auto tex = rt.texture2d(std::span<const float>(data), 8, 8);
+  auto out = rt.malloc<float>(64);
+  rt.launch({Dim3{1}, Dim3{64}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    LaneI lin = w.thread_linear();
+    LaneVec<float> v = w.tex2d(tex, lin % 8, lin / 8);
+    w.store(out, lin, v);
+    co_return;
+  });
+  std::vector<float> got(64);
+  rt.memcpy_d2h(std::span<float>(got), out);
+  EXPECT_EQ(got, data);
+}
+
+TEST(Texture, OutOfRangeFetchClampsToBorder) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> data{1, 2, 3, 4};
+  auto tex = rt.texture1d(std::span<const float>(data));
+  auto out = rt.malloc<float>(32);
+  rt.launch({Dim3{1}, Dim3{32}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    // Indices 0..31 over a 4-texel texture: clamp to the last texel.
+    w.store(out, LaneI::iota(), w.tex1d(tex, LaneI::iota()));
+    co_return;
+  });
+  std::vector<float> got(32);
+  rt.memcpy_d2h(std::span<float>(got), out);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], data[static_cast<std::size_t>(i)]);
+  for (int i = 4; i < 32; ++i) EXPECT_EQ(got[i], 4.0f);
+}
+
+TEST(Texture, FetchCountsTexRequests) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> data(256, 2.0f);
+  auto tex = rt.texture1d(std::span<const float>(data));
+  auto info = rt.launch({Dim3{1}, Dim3{256}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    (void)w.tex1d(tex, w.thread_linear());
+    co_return;
+  });
+  EXPECT_EQ(info.stats.tex_requests, 8u);  // One per warp.
+  EXPECT_GT(info.stats.tex_misses, 0u);
+}
+
+TEST(Constant, UploadAndBroadcastLoad) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> coeffs{1.5f, 2.5f, 3.5f};
+  auto c = rt.const_upload(std::span<const float>(coeffs));
+  auto out = rt.malloc<float>(32);
+  auto info = rt.launch({Dim3{1}, Dim3{32}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    LaneVec<float> v = w.cload(c, LaneI(1));  // Uniform address.
+    w.store(out, LaneI::iota(), v);
+    co_return;
+  });
+  std::vector<float> got(32);
+  rt.memcpy_d2h(std::span<float>(got), out);
+  for (float v : got) EXPECT_EQ(v, 2.5f);
+  EXPECT_EQ(info.stats.const_serializations, 0u);
+}
+
+TEST(Constant, DivergentAddressesSerialize) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> table(32);
+  for (int i = 0; i < 32; ++i) table[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  auto c = rt.const_upload(std::span<const float>(table));
+  auto out = rt.malloc<float>(32);
+  auto info = rt.launch({Dim3{1}, Dim3{32}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    LaneVec<float> v = w.cload(c, LaneI::iota());  // 32 distinct addresses.
+    w.store(out, LaneI::iota(), v);
+    co_return;
+  });
+  std::vector<float> got(32);
+  rt.memcpy_d2h(std::span<float>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], static_cast<float>(i));
+  EXPECT_EQ(info.stats.const_serializations, 31u);
+}
+
+TEST(Constant, CapacityIs64KiB) {
+  Runtime rt(DeviceProfile::test_tiny());
+  std::vector<float> big((64u << 10) / sizeof(float));
+  (void)rt.const_upload(std::span<const float>(big));  // Exactly fits.
+  std::vector<float> more(1);
+  EXPECT_THROW(rt.const_upload(std::span<const float>(more)), std::runtime_error);
+}
+
+}  // namespace

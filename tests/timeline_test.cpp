@@ -1,0 +1,166 @@
+// Discrete-event timeline tests: stream FIFO ordering, DMA engine
+// contention, copy/compute overlap, events, synchronization semantics.
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "xfer/stream.hpp"
+#include "xfer/timeline.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+DeviceProfile quiet_profile() {
+  DeviceProfile p = DeviceProfile::test_tiny();
+  p.stream_op_us = 0;       // No submission noise: times are exactly analyzable.
+  p.pcie_latency_us = 0;
+  p.kernel_launch_us = 0;
+  return p;
+}
+
+KernelRun fixed_kernel(double cycles, int blocks = 1) {
+  KernelRun run;
+  run.blocks_per_sm = 1;
+  run.preferred_sms = 1;
+  run.level_block_cycles.push_back(std::vector<double>(
+      static_cast<std::size_t>(blocks), cycles));
+  return run;
+}
+
+TEST(Timeline, CopyDurationMatchesBandwidth) {
+  DeviceProfile p = quiet_profile();  // 10 GB/s PCIe.
+  Timeline tl(p);
+  Stream s(0);
+  auto span = tl.copy_h2d(s, 1e6, /*sync=*/true);
+  EXPECT_NEAR(span.duration(), 100.0, 1e-9);  // 1 MB at 10 GB/s = 100 us.
+  EXPECT_NEAR(tl.host_now(), span.end, 1e-9); // Sync copy blocks the host.
+}
+
+TEST(Timeline, AsyncCopyDoesNotBlockHost) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s(0);
+  auto span = tl.copy_h2d(s, 1e6, /*sync=*/false);
+  EXPECT_LT(tl.host_now(), span.end);
+  tl.stream_synchronize(s);
+  EXPECT_NEAR(tl.host_now(), span.end, 1e-9);
+}
+
+TEST(Timeline, StreamIsFifo) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s(0);
+  auto a = tl.copy_h2d(s, 1e6, false);
+  auto k = tl.kernel(s, fixed_kernel(1000), 0);
+  auto b = tl.copy_d2h(s, 1e6, false);
+  EXPECT_GE(k.start, a.end);
+  EXPECT_GE(b.start, k.end);
+}
+
+TEST(Timeline, SameDirectionCopiesSerializeOnEngine) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s1(1), s2(2);
+  auto a = tl.copy_h2d(s1, 1e6, false);
+  auto b = tl.copy_h2d(s2, 1e6, false);  // Different stream, same engine.
+  EXPECT_GE(b.start, a.end);
+}
+
+TEST(Timeline, OppositeDirectionCopiesOverlap) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s1(1), s2(2);
+  auto a = tl.copy_h2d(s1, 1e6, false);
+  auto b = tl.copy_d2h(s2, 1e6, false);  // Separate DMA engine.
+  EXPECT_LT(b.start, a.end);
+}
+
+TEST(Timeline, CopyOverlapsComputeOnOtherStream) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s1(1), s2(2);
+  auto k = tl.kernel(s1, fixed_kernel(1e6), 0);  // 1e6 cycles = 1000 us.
+  auto c = tl.copy_h2d(s2, 1e6, false);
+  EXPECT_LT(c.end, k.end);  // Fully inside the kernel's execution.
+}
+
+TEST(Timeline, SmallKernelsOnDistinctStreamsRunConcurrently) {
+  DeviceProfile p = quiet_profile();  // 4 SMs.
+  Timeline tl(p);
+  Stream s1(1), s2(2);
+  auto k1 = tl.kernel(s1, fixed_kernel(1e5), 0);
+  auto k2 = tl.kernel(s2, fixed_kernel(1e5), 0);
+  // Each takes 1 SM of 4: concurrent.
+  EXPECT_LT(k2.start, k1.end);
+}
+
+TEST(Timeline, GpuFillingKernelsSerializeAcrossStreams) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s1(1), s2(2);
+  KernelRun big = fixed_kernel(1e5, /*blocks=*/64);
+  big.preferred_sms = p.sm_count;
+  auto k1 = tl.kernel(s1, big, 0);
+  auto k2 = tl.kernel(s2, big, 0);
+  EXPECT_GE(k2.start, k1.end);
+}
+
+TEST(Timeline, EventsCaptureStreamFrontier) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s(0);
+  Event start, stop;
+  tl.record_event(s, start);
+  tl.copy_h2d(s, 1e6, false);
+  tl.record_event(s, stop);
+  EXPECT_NEAR(stop.time - start.time, 100.0, 1e-9);
+}
+
+TEST(Timeline, StreamWaitEventOrdersAcrossStreams) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream producer(1), consumer(2);
+  tl.copy_h2d(producer, 1e6, false);
+  Event e;
+  tl.record_event(producer, e);
+  tl.stream_wait_event(consumer, e);
+  auto k = tl.kernel(consumer, fixed_kernel(10), 0);
+  EXPECT_GE(k.start, e.time);
+}
+
+TEST(Timeline, WaitOnUnrecordedEventThrows) {
+  Timeline tl(quiet_profile());
+  Stream s(0);
+  Event e;
+  EXPECT_THROW(tl.stream_wait_event(s, e), std::logic_error);
+  EXPECT_THROW(tl.event_synchronize(e), std::logic_error);
+}
+
+TEST(Timeline, DeviceSynchronizeReachesFrontier) {
+  DeviceProfile p = quiet_profile();
+  Timeline tl(p);
+  Stream s1(1), s2(2);
+  tl.copy_h2d(s1, 1e6, false);
+  auto last = tl.copy_d2h(s2, 2e6, false);
+  tl.device_synchronize();
+  EXPECT_NEAR(tl.host_now(), last.end, 1e-9);
+}
+
+TEST(Timeline, HostOpOccupiesStream) {
+  Timeline tl(quiet_profile());
+  Stream s(0);
+  auto h = tl.host_op(s, 50.0);
+  auto k = tl.kernel(s, fixed_kernel(10), 0);
+  EXPECT_NEAR(h.duration(), 50.0, 1e-9);
+  EXPECT_GE(k.start, h.end);
+}
+
+TEST(Timeline, LaunchOverheadAdvancesHost) {
+  Timeline tl(quiet_profile());
+  Stream s(0);
+  tl.kernel(s, fixed_kernel(10), /*launch_overhead_us=*/6.5);
+  EXPECT_NEAR(tl.host_now(), 6.5, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Warp-level semantics: divergence, predication, shuffles, votes, and
+// instruction accounting — exercised through tiny single-block kernels.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+/// Run `fn` as a one-warp (or one-block) kernel and return its stats.
+template <typename MakeKernel>
+KernelStats run1(Runtime& rt, MakeKernel mk, int threads = 32) {
+  return rt.launch({Dim3{1}, Dim3{threads}, "t"}, mk).stats;
+}
+
+TEST(WarpDivergence, BothSidesExecuteUnderDisjointMasks) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  auto stats = run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI lane = LaneI::iota();
+    w.branch(lane % 2 == 0,
+             [&] { w.store(out, lane, LaneI(1)); },
+             [&] { w.store(out, lane, LaneI(2)); });
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], i % 2 == 0 ? 1 : 2);
+  EXPECT_EQ(stats.divergent_branches, 1u);
+  EXPECT_LT(stats.warp_execution_efficiency(), 100.0);
+}
+
+TEST(WarpDivergence, UniformBranchDoesNotDiverge) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  auto stats = run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI lane = LaneI::iota();
+    w.branch(lane >= 0, [&] { w.store(out, lane, LaneI(7)); },
+             [&] { w.store(out, lane, LaneI(8)); });
+    co_return;
+  });
+  EXPECT_EQ(stats.divergent_branches, 0u);
+  EXPECT_DOUBLE_EQ(stats.warp_execution_efficiency(), 100.0);
+}
+
+TEST(WarpDivergence, NestedBranchesComposeMasks) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI lane = LaneI::iota();
+    w.store(out, lane, LaneI(0));
+    w.branch(lane < 16, [&] {
+      w.branch(lane % 2 == 0, [&] { w.store(out, lane, LaneI(1)); });
+    });
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], (i < 16 && i % 2 == 0) ? 1 : 0);
+}
+
+TEST(WarpDivergence, LoopWhileRetiresLanesIndependently) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI lane = LaneI::iota();
+    LaneI count(0);
+    w.loop_while([&] { return count < lane; },
+                 [&] { count = select(w.active(), count + 1, count); });
+    w.store(out, lane, count);
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], i);  // Lane i iterated i times.
+}
+
+TEST(WarpDivergence, DivergentCostExceedsUniformCost) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto make = [&](bool divergent) {
+    return rt.launch({Dim3{1}, Dim3{32}, "t"}, [=](WarpCtx& w) -> WarpTask {
+      LaneI lane = LaneI::iota();
+      Mask pred = divergent ? (lane % 2 == 0) : (lane >= 0);
+      w.branch(pred, [&] { w.alu(10); }, [&] { w.alu(10); });
+      co_return;
+    });
+  };
+  auto div = make(true);
+  auto uni = make(false);
+  EXPECT_GT(div.stats.instructions, uni.stats.instructions);
+}
+
+TEST(WarpShuffle, Down) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI v = LaneI::iota();
+    w.store(out, LaneI::iota(), w.shfl_down(v, 4));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 28; ++i) EXPECT_EQ(got[i], i + 4);
+  for (int i = 28; i < 32; ++i) EXPECT_EQ(got[i], i);  // Out-of-range keeps own.
+}
+
+TEST(WarpShuffle, Up) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.store(out, LaneI::iota(), w.shfl_up(LaneI::iota(), 3));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], i);
+  for (int i = 3; i < 32; ++i) EXPECT_EQ(got[i], i - 3);
+}
+
+TEST(WarpShuffle, XorButterfly) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    w.store(out, LaneI::iota(), w.shfl_xor(LaneI::iota(), 1));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], i ^ 1);
+}
+
+TEST(WarpShuffle, IndexedBroadcast) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(32);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI v = LaneI::iota(100);
+    w.store(out, LaneI::iota(), w.shfl_idx(v, LaneI(5)));
+    co_return;
+  });
+  std::vector<int> got(32);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[i], 105);
+}
+
+TEST(WarpShuffle, FiveStepReductionSumsWarp) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<int>(1);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI v = LaneI::iota();  // Sum = 496.
+    for (int off = 16; off > 0; off /= 2) v += w.shfl_down(v, off);
+    w.branch(LaneI::iota() == 0, [&] { w.store(out, LaneI(0), v); });
+    co_return;
+  });
+  std::vector<int> got(1);
+  rt.memcpy_d2h(std::span<int>(got), out);
+  EXPECT_EQ(got[0], 496);
+}
+
+TEST(WarpVote, BallotAnyAll) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<std::uint32_t>(3);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI lane = LaneI::iota();
+    Mask b = w.ballot(lane < 4);
+    LaneVec<std::uint32_t> r0(b);
+    LaneVec<std::uint32_t> r1(w.warp_any(lane == 31) ? 1u : 0u);
+    LaneVec<std::uint32_t> r2(w.warp_all(lane < 100) ? 1u : 0u);
+    w.branch(lane == 0, [&] {
+      w.store(out, LaneI(0), r0);
+      w.store(out, LaneI(1), r1);
+      w.store(out, LaneI(2), r2);
+    });
+    co_return;
+  });
+  std::vector<std::uint32_t> got(3);
+  rt.memcpy_d2h(std::span<std::uint32_t>(got), out);
+  EXPECT_EQ(got[0], 0xfu);
+  EXPECT_EQ(got[1], 1u);
+  EXPECT_EQ(got[2], 1u);
+}
+
+TEST(WarpVote, BallotRespectsActiveMask) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto out = rt.malloc<std::uint32_t>(1);
+  run1(rt, [=](WarpCtx& w) -> WarpTask {
+    LaneI lane = LaneI::iota();
+    w.branch(lane < 8, [&] {
+      Mask b = w.ballot(lane % 2 == 0);  // Only lanes 0..7 participate.
+      w.branch(lane == 0, [&] { w.store(out, LaneI(0), LaneVec<std::uint32_t>(b)); });
+    });
+    co_return;
+  });
+  std::vector<std::uint32_t> got(1);
+  rt.memcpy_d2h(std::span<std::uint32_t>(got), out);
+  EXPECT_EQ(got[0], 0b01010101u);
+}
+
+TEST(WarpCounters, ShuffleAndInstructionCounts) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto stats = run1(rt, [](WarpCtx& w) -> WarpTask {
+    LaneI v = LaneI::iota();
+    v = w.shfl_down(v, 1);
+    v = w.shfl_xor(v, 2);
+    w.alu(5);
+    co_return;
+  });
+  EXPECT_EQ(stats.shuffles, 2u);
+  EXPECT_EQ(stats.instructions, 7u);  // 2 shuffles + 5 ALU.
+}
+
+TEST(WarpCounters, PartialTailWarpEfficiency) {
+  Runtime rt(DeviceProfile::test_tiny());
+  // 40 threads: warp 1 has only 8 valid lanes.
+  auto stats = run1(rt, [](WarpCtx& w) -> WarpTask {
+    w.alu(1);
+    co_return;
+  }, /*threads=*/40);
+  EXPECT_EQ(stats.warps, 2u);
+  // (32 + 8) useful over 2 instructions * 32 slots.
+  EXPECT_DOUBLE_EQ(stats.warp_execution_efficiency(), 100.0 * 40 / 64.0);
+}
+
+TEST(WarpIdentity, ThreadCoordinates2D) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto outx = rt.malloc<int>(64);
+  auto outy = rt.malloc<int>(64);
+  rt.launch({Dim3{1}, Dim3{8, 8}, "t"}, [=](WarpCtx& w) -> WarpTask {
+    LaneI lin = w.thread_linear();
+    w.store(outx, lin, w.thread_x());
+    w.store(outy, lin, w.thread_y());
+    co_return;
+  });
+  std::vector<int> gx(64), gy(64);
+  rt.memcpy_d2h(std::span<int>(gx), outx);
+  rt.memcpy_d2h(std::span<int>(gy), outy);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(gx[i], i % 8);
+    EXPECT_EQ(gy[i], i / 8);
+  }
+}
+
+}  // namespace
