@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1.dir/ablation_l1.cpp.o"
+  "CMakeFiles/ablation_l1.dir/ablation_l1.cpp.o.d"
+  "ablation_l1"
+  "ablation_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

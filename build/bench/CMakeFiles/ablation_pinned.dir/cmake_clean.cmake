@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pinned.dir/ablation_pinned.cpp.o"
+  "CMakeFiles/ablation_pinned.dir/ablation_pinned.cpp.o.d"
+  "ablation_pinned"
+  "ablation_pinned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pinned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timing_model.dir/ablation_timing_model.cpp.o"
+  "CMakeFiles/ablation_timing_model.dir/ablation_timing_model.cpp.o.d"
+  "ablation_timing_model"
+  "ablation_timing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_um_pagesize.dir/ablation_um_pagesize.cpp.o"
+  "CMakeFiles/ablation_um_pagesize.dir/ablation_um_pagesize.cpp.o.d"
+  "ablation_um_pagesize"
+  "ablation_um_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_um_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_um_pagesize.
+# This may be replaced when dependencies are built.

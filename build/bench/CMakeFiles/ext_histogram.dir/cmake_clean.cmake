@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_histogram.dir/ext_histogram.cpp.o"
+  "CMakeFiles/ext_histogram.dir/ext_histogram.cpp.o.d"
+  "ext_histogram"
+  "ext_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

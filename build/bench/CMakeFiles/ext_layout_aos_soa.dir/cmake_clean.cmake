@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_layout_aos_soa.dir/ext_layout_aos_soa.cpp.o"
+  "CMakeFiles/ext_layout_aos_soa.dir/ext_layout_aos_soa.cpp.o.d"
+  "ext_layout_aos_soa"
+  "ext_layout_aos_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_layout_aos_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

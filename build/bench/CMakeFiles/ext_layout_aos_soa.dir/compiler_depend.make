@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_layout_aos_soa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_layout_aos_soa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memprobe.dir/ext_memprobe.cpp.o"
+  "CMakeFiles/ext_memprobe.dir/ext_memprobe.cpp.o.d"
+  "ext_memprobe"
+  "ext_memprobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_warpdiv.dir/fig03_warpdiv.cpp.o"
+  "CMakeFiles/fig03_warpdiv.dir/fig03_warpdiv.cpp.o.d"
+  "fig03_warpdiv"
+  "fig03_warpdiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_warpdiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

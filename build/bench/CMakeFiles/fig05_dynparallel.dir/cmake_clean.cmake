@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dynparallel.dir/fig05_dynparallel.cpp.o"
+  "CMakeFiles/fig05_dynparallel.dir/fig05_dynparallel.cpp.o.d"
+  "fig05_dynparallel"
+  "fig05_dynparallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dynparallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_conkernels.dir/fig06_conkernels.cpp.o"
+  "CMakeFiles/fig06_conkernels.dir/fig06_conkernels.cpp.o.d"
+  "fig06_conkernels"
+  "fig06_conkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_conkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_comem.dir/fig09_comem.cpp.o"
+  "CMakeFiles/fig09_comem.dir/fig09_comem.cpp.o.d"
+  "fig09_comem"
+  "fig09_comem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_comem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_shuffle.dir/fig11_shuffle.cpp.o"
+  "CMakeFiles/fig11_shuffle.dir/fig11_shuffle.cpp.o.d"
+  "fig11_shuffle"
+  "fig11_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bankredux.dir/fig13_bankredux.cpp.o"
+  "CMakeFiles/fig13_bankredux.dir/fig13_bankredux.cpp.o.d"
+  "fig13_bankredux"
+  "fig13_bankredux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bankredux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hdoverlap.dir/fig14_hdoverlap.cpp.o"
+  "CMakeFiles/fig14_hdoverlap.dir/fig14_hdoverlap.cpp.o.d"
+  "fig14_hdoverlap"
+  "fig14_hdoverlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hdoverlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_readonly.dir/fig15_readonly.cpp.o"
+  "CMakeFiles/fig15_readonly.dir/fig15_readonly.cpp.o.d"
+  "fig15_readonly"
+  "fig15_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_unimem.dir/fig16_unimem.cpp.o"
+  "CMakeFiles/fig16_unimem.dir/fig16_unimem.cpp.o.d"
+  "fig16_unimem"
+  "fig16_unimem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_unimem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

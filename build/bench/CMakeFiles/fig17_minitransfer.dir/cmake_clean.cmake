@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_minitransfer.dir/fig17_minitransfer.cpp.o"
+  "CMakeFiles/fig17_minitransfer.dir/fig17_minitransfer.cpp.o.d"
+  "fig17_minitransfer"
+  "fig17_minitransfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_minitransfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_gsoverlap.dir/fig_gsoverlap.cpp.o"
+  "CMakeFiles/fig_gsoverlap.dir/fig_gsoverlap.cpp.o.d"
+  "fig_gsoverlap"
+  "fig_gsoverlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_gsoverlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_gsoverlap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_memalign.dir/fig_memalign.cpp.o"
+  "CMakeFiles/fig_memalign.dir/fig_memalign.cpp.o.d"
+  "fig_memalign"
+  "fig_memalign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_memalign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_shmem_matmul.dir/fig_shmem_matmul.cpp.o"
+  "CMakeFiles/fig_shmem_matmul.dir/fig_shmem_matmul.cpp.o.d"
+  "fig_shmem_matmul"
+  "fig_shmem_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_shmem_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgraph_overhead.dir/taskgraph_overhead.cpp.o"
+  "CMakeFiles/taskgraph_overhead.dir/taskgraph_overhead.cpp.o.d"
+  "taskgraph_overhead"
+  "taskgraph_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgraph_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_mandelbrot.dir/adaptive_mandelbrot.cpp.o"
+  "CMakeFiles/adaptive_mandelbrot.dir/adaptive_mandelbrot.cpp.o.d"
+  "adaptive_mandelbrot"
+  "adaptive_mandelbrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_mandelbrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

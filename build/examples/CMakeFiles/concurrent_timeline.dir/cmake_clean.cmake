@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_timeline.dir/concurrent_timeline.cpp.o"
+  "CMakeFiles/concurrent_timeline.dir/concurrent_timeline.cpp.o.d"
+  "concurrent_timeline"
+  "concurrent_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_tour.dir/reduction_tour.cpp.o"
+  "CMakeFiles/reduction_tour.dir/reduction_tour.cpp.o.d"
+  "reduction_tour"
+  "reduction_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

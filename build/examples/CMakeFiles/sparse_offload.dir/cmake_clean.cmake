@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_offload.dir/sparse_offload.cpp.o"
+  "CMakeFiles/sparse_offload.dir/sparse_offload.cpp.o.d"
+  "sparse_offload"
+  "sparse_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_pipeline.dir/stencil_pipeline.cpp.o"
+  "CMakeFiles/stencil_pipeline.dir/stencil_pipeline.cpp.o.d"
+  "stencil_pipeline"
+  "stencil_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

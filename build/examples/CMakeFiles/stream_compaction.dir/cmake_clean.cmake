@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_compaction.dir/stream_compaction.cpp.o"
+  "CMakeFiles/stream_compaction.dir/stream_compaction.cpp.o.d"
+  "stream_compaction"
+  "stream_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

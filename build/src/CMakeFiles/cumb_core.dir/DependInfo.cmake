@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bankredux.cpp" "src/CMakeFiles/cumb_core.dir/core/bankredux.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/bankredux.cpp.o.d"
+  "/root/repo/src/core/comem.cpp" "src/CMakeFiles/cumb_core.dir/core/comem.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/comem.cpp.o.d"
+  "/root/repo/src/core/conkernels.cpp" "src/CMakeFiles/cumb_core.dir/core/conkernels.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/conkernels.cpp.o.d"
+  "/root/repo/src/core/dynparallel.cpp" "src/CMakeFiles/cumb_core.dir/core/dynparallel.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/dynparallel.cpp.o.d"
+  "/root/repo/src/core/gsoverlap.cpp" "src/CMakeFiles/cumb_core.dir/core/gsoverlap.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/gsoverlap.cpp.o.d"
+  "/root/repo/src/core/hdoverlap.cpp" "src/CMakeFiles/cumb_core.dir/core/hdoverlap.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/hdoverlap.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/CMakeFiles/cumb_core.dir/core/histogram.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/histogram.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/CMakeFiles/cumb_core.dir/core/layout.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/layout.cpp.o.d"
+  "/root/repo/src/core/memalign.cpp" "src/CMakeFiles/cumb_core.dir/core/memalign.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/memalign.cpp.o.d"
+  "/root/repo/src/core/memprobe.cpp" "src/CMakeFiles/cumb_core.dir/core/memprobe.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/memprobe.cpp.o.d"
+  "/root/repo/src/core/minitransfer.cpp" "src/CMakeFiles/cumb_core.dir/core/minitransfer.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/minitransfer.cpp.o.d"
+  "/root/repo/src/core/readonly.cpp" "src/CMakeFiles/cumb_core.dir/core/readonly.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/readonly.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/cumb_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/shmem_mm.cpp" "src/CMakeFiles/cumb_core.dir/core/shmem_mm.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/shmem_mm.cpp.o.d"
+  "/root/repo/src/core/shuffle_reduce.cpp" "src/CMakeFiles/cumb_core.dir/core/shuffle_reduce.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/shuffle_reduce.cpp.o.d"
+  "/root/repo/src/core/taskgraph.cpp" "src/CMakeFiles/cumb_core.dir/core/taskgraph.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/taskgraph.cpp.o.d"
+  "/root/repo/src/core/unimem.cpp" "src/CMakeFiles/cumb_core.dir/core/unimem.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/unimem.cpp.o.d"
+  "/root/repo/src/core/warpdiv.cpp" "src/CMakeFiles/cumb_core.dir/core/warpdiv.cpp.o" "gcc" "src/CMakeFiles/cumb_core.dir/core/warpdiv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumb_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

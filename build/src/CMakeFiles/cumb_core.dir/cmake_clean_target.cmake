@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcumb_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumb_linalg.dir/linalg/dense.cpp.o"
+  "CMakeFiles/cumb_linalg.dir/linalg/dense.cpp.o.d"
+  "CMakeFiles/cumb_linalg.dir/linalg/generate.cpp.o"
+  "CMakeFiles/cumb_linalg.dir/linalg/generate.cpp.o.d"
+  "CMakeFiles/cumb_linalg.dir/linalg/sparse.cpp.o"
+  "CMakeFiles/cumb_linalg.dir/linalg/sparse.cpp.o.d"
+  "libcumb_linalg.a"
+  "libcumb_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumb_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

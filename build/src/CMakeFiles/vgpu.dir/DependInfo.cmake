@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/vgpu.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/coalesce.cpp" "src/CMakeFiles/vgpu.dir/mem/coalesce.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/coalesce.cpp.o.d"
+  "/root/repo/src/mem/constant.cpp" "src/CMakeFiles/vgpu.dir/mem/constant.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/constant.cpp.o.d"
+  "/root/repo/src/mem/global.cpp" "src/CMakeFiles/vgpu.dir/mem/global.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/global.cpp.o.d"
+  "/root/repo/src/mem/heap.cpp" "src/CMakeFiles/vgpu.dir/mem/heap.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/heap.cpp.o.d"
+  "/root/repo/src/mem/shared.cpp" "src/CMakeFiles/vgpu.dir/mem/shared.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/shared.cpp.o.d"
+  "/root/repo/src/mem/texture.cpp" "src/CMakeFiles/vgpu.dir/mem/texture.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/mem/texture.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/CMakeFiles/vgpu.dir/rt/runtime.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/rt/runtime.cpp.o.d"
+  "/root/repo/src/sim/block.cpp" "src/CMakeFiles/vgpu.dir/sim/block.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/sim/block.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/vgpu.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/CMakeFiles/vgpu.dir/sim/gpu.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/sim/gpu.cpp.o.d"
+  "/root/repo/src/sim/warp.cpp" "src/CMakeFiles/vgpu.dir/sim/warp.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/sim/warp.cpp.o.d"
+  "/root/repo/src/um/managed.cpp" "src/CMakeFiles/vgpu.dir/um/managed.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/um/managed.cpp.o.d"
+  "/root/repo/src/xfer/graph.cpp" "src/CMakeFiles/vgpu.dir/xfer/graph.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/xfer/graph.cpp.o.d"
+  "/root/repo/src/xfer/stream.cpp" "src/CMakeFiles/vgpu.dir/xfer/stream.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/xfer/stream.cpp.o.d"
+  "/root/repo/src/xfer/timeline.cpp" "src/CMakeFiles/vgpu.dir/xfer/timeline.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/xfer/timeline.cpp.o.d"
+  "/root/repo/src/xfer/trace.cpp" "src/CMakeFiles/vgpu.dir/xfer/trace.cpp.o" "gcc" "src/CMakeFiles/vgpu.dir/xfer/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

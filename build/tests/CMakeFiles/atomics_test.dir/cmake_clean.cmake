@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomics_test.dir/atomics_test.cpp.o"
+  "CMakeFiles/atomics_test.dir/atomics_test.cpp.o.d"
+  "atomics_test"
+  "atomics_test.pdb"
+  "atomics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_gpu_test.dir/block_gpu_test.cpp.o"
+  "CMakeFiles/block_gpu_test.dir/block_gpu_test.cpp.o.d"
+  "block_gpu_test"
+  "block_gpu_test.pdb"
+  "block_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

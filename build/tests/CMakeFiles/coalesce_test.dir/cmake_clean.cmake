@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_test.dir/coalesce_test.cpp.o"
+  "CMakeFiles/coalesce_test.dir/coalesce_test.cpp.o.d"
+  "coalesce_test"
+  "coalesce_test.pdb"
+  "coalesce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drivers_test.dir/drivers_test.cpp.o"
+  "CMakeFiles/drivers_test.dir/drivers_test.cpp.o.d"
+  "drivers_test"
+  "drivers_test.pdb"
+  "drivers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drivers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

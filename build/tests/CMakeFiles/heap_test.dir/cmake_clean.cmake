@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_test.dir/heap_test.cpp.o"
+  "CMakeFiles/heap_test.dir/heap_test.cpp.o.d"
+  "heap_test"
+  "heap_test.pdb"
+  "heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanevec_test.dir/lanevec_test.cpp.o"
+  "CMakeFiles/lanevec_test.dir/lanevec_test.cpp.o.d"
+  "lanevec_test"
+  "lanevec_test.pdb"
+  "lanevec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanevec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/managed_test.dir/managed_test.cpp.o"
+  "CMakeFiles/managed_test.dir/managed_test.cpp.o.d"
+  "managed_test"
+  "managed_test.pdb"
+  "managed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/managed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memprobe_test.dir/memprobe_test.cpp.o"
+  "CMakeFiles/memprobe_test.dir/memprobe_test.cpp.o.d"
+  "memprobe_test"
+  "memprobe_test.pdb"
+  "memprobe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memprobe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_mem_test.dir/shared_mem_test.cpp.o"
+  "CMakeFiles/shared_mem_test.dir/shared_mem_test.cpp.o.d"
+  "shared_mem_test"
+  "shared_mem_test.pdb"
+  "shared_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_smoke_test.dir/sim_smoke_test.cpp.o"
+  "CMakeFiles/sim_smoke_test.dir/sim_smoke_test.cpp.o.d"
+  "sim_smoke_test"
+  "sim_smoke_test.pdb"
+  "sim_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

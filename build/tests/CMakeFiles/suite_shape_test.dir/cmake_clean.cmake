@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_shape_test.dir/suite_shape_test.cpp.o"
+  "CMakeFiles/suite_shape_test.dir/suite_shape_test.cpp.o.d"
+  "suite_shape_test"
+  "suite_shape_test.pdb"
+  "suite_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

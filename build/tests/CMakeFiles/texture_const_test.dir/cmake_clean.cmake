@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texture_const_test.dir/texture_const_test.cpp.o"
+  "CMakeFiles/texture_const_test.dir/texture_const_test.cpp.o.d"
+  "texture_const_test"
+  "texture_const_test.pdb"
+  "texture_const_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texture_const_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_test.dir/warp_test.cpp.o"
+  "CMakeFiles/warp_test.dir/warp_test.cpp.o.d"
+  "warp_test"
+  "warp_test.pdb"
+  "warp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
