@@ -1,0 +1,170 @@
+// Self-performance of the simulator itself: wall-clock simulated-blocks-per-
+// second of the parallel grid engine at 1..N host threads (DESIGN.md,
+// "Host-side parallelization"). Unlike every fig*_ benchmark, the numbers
+// here are *host* wall-clock — the simulator is the system under test, the
+// simulated timing model is just the workload.
+//
+// Three workloads exercise the paths the engine parallelizes: a tiled matmul
+// grid (shared memory + barriers, fig_shmem_matmul's kernel), Mariani-Silver
+// Mandelbrot (dynamic-parallelism child levels, fig05's kernel) and a
+// global-atomics histogram (host-atomic integer adds). Results are printed
+// and written to BENCH_selfperf.json in the working directory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/dynparallel.hpp"
+#include "core/histogram.hpp"
+#include "core/shmem_mm.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace vgpu;
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  int threads = 0;
+  std::uint64_t blocks = 0;
+  double wall_ms = 0;
+  double blocks_per_s = 0;
+};
+
+struct WorkloadReport {
+  const char* name;
+  std::vector<Sample> samples;
+};
+
+/// Run `reps` kernels through a fresh Runtime at `threads` sim threads and
+/// measure host wall-clock around the run_kernel calls only.
+template <typename Launch>
+Sample measure(const char* /*name*/, int threads, int reps, Launch&& launch) {
+  Runtime rt;
+  rt.set_sim_threads(threads);
+  Sample s;
+  s.threads = threads;
+  // One untimed warm-up builds the worker pool and arenas.
+  s.blocks = 0;
+  (void)launch(rt);
+  auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) s.blocks += launch(rt);
+  auto t1 = Clock::now();
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  s.blocks_per_s = s.wall_ms > 0 ? 1e3 * static_cast<double>(s.blocks) / s.wall_ms : 0;
+  return s;
+}
+
+std::uint64_t run_matmul(Runtime& rt) {
+  const int n = 96;  // 6x6 grid of 16x16 blocks.
+  static std::vector<cumb::Real> ha, hb;
+  if (ha.empty()) {
+    ha.resize(n * n);
+    hb.resize(n * n);
+    for (int i = 0; i < n * n; ++i) {
+      ha[i] = 0.5f * static_cast<float>(i % 9) - 1.0f;
+      hb[i] = 0.25f * static_cast<float>(i % 5) + 0.1f;
+    }
+  }
+  auto a = rt.malloc<cumb::Real>(n * n);
+  auto b = rt.malloc<cumb::Real>(n * n);
+  auto c = rt.malloc<cumb::Real>(n * n);
+  rt.memcpy_h2d(a, std::span<const cumb::Real>(ha));
+  rt.memcpy_h2d(b, std::span<const cumb::Real>(hb));
+  KernelRun run = rt.gpu().run_kernel(
+      {Dim3{n / cumb::kTile, n / cumb::kTile}, Dim3{cumb::kTile, cumb::kTile}, "mm"},
+      [=](WarpCtx& w) { return cumb::mm_shared_kernel(w, a, b, c, n); });
+  return run.stats.blocks;
+}
+
+std::uint64_t run_dynparallel(Runtime& rt) {
+  const int size = 256;
+  cumb::MandelFrame f;
+  f.scale = 3.0f / static_cast<float>(size);
+  auto dwell = rt.malloc<int>(size * size);
+  const int init_size = size / cumb::kMsInitDiv;
+  KernelRun run = rt.gpu().run_kernel(
+      {Dim3{cumb::kMsInitDiv, cumb::kMsInitDiv}, Dim3{cumb::kMsTpb}, "ms"},
+      [=](WarpCtx& w) {
+        return cumb::mandel_ms_kernel(w, dwell, size, f, 128, 0, 0, init_size);
+      });
+  return run.stats.blocks;
+}
+
+std::uint64_t run_histogram(Runtime& rt) {
+  const int n = 256 * 64;
+  const int num_bins = 128;
+  static std::vector<int> h;
+  if (h.empty()) {
+    h.resize(n);
+    for (int i = 0; i < n; ++i) h[i] = (i * 11 + i / 5) % num_bins;
+  }
+  auto bins_in = rt.malloc<int>(n);
+  auto hist = rt.malloc<int>(num_bins);
+  rt.memcpy_h2d(bins_in, std::span<const int>(h));
+  rt.memset(hist, 0);
+  KernelRun run = rt.gpu().run_kernel(
+      {Dim3{n / 256}, Dim3{256}, "hist"},
+      [=](WarpCtx& w) { return cumb::hist_global_kernel(w, bins_in, hist, n); });
+  return run.stats.blocks;
+}
+
+void emit_json(const std::vector<WorkloadReport>& reports, int max_threads) {
+  std::FILE* f = std::fopen("BENCH_selfperf.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_selfperf.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"selfperf_sim_throughput\",\n");
+  std::fprintf(f, "  \"unit\": \"simulated blocks per wall-clock second\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"max_threads\": %d,\n  \"workloads\": [\n", max_threads);
+  for (std::size_t w = 0; w < reports.size(); ++w) {
+    const WorkloadReport& r = reports[w];
+    std::fprintf(f, "    {\"name\": \"%s\", \"results\": [\n", r.name);
+    double base = r.samples.empty() ? 0 : r.samples.front().blocks_per_s;
+    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+      const Sample& s = r.samples[i];
+      std::fprintf(f,
+                   "      {\"threads\": %d, \"blocks\": %llu, \"wall_ms\": %.3f, "
+                   "\"blocks_per_s\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+                   s.threads, static_cast<unsigned long long>(s.blocks), s.wall_ms,
+                   s.blocks_per_s, base > 0 ? s.blocks_per_s / base : 0.0,
+                   i + 1 < r.samples.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", w + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const int max_threads = std::clamp(hw, 4, 8);  // Always show the 4-thread target.
+  std::printf("# selfperf_sim_throughput: simulator wall-clock throughput\n");
+  std::printf("# host concurrency=%d, sweeping 1..%d sim threads\n", hw, max_threads);
+
+  std::vector<WorkloadReport> reports = {
+      {"shmem_matmul", {}}, {"dynparallel_mandel", {}}, {"histogram_atomics", {}}};
+  for (int t = 1; t <= max_threads; ++t) {
+    reports[0].samples.push_back(measure("shmem_matmul", t, 6, run_matmul));
+    reports[1].samples.push_back(measure("dynparallel_mandel", t, 2, run_dynparallel));
+    reports[2].samples.push_back(measure("histogram_atomics", t, 6, run_histogram));
+  }
+  for (const WorkloadReport& r : reports) {
+    std::printf("\n%-20s %8s %10s %14s %12s\n", r.name, "threads", "wall_ms",
+                "blocks_per_s", "speedup");
+    double base = r.samples.front().blocks_per_s;
+    for (const Sample& s : r.samples)
+      std::printf("%-20s %8d %10.2f %14.1f %11.2fx\n", "", s.threads, s.wall_ms,
+                  s.blocks_per_s, base > 0 ? s.blocks_per_s / base : 0.0);
+  }
+  emit_json(reports, max_threads);
+  std::printf("\nwrote BENCH_selfperf.json\n");
+  return 0;
+}

@@ -43,6 +43,10 @@ class UmHook {
   virtual UmTouch on_device_access(std::uint64_t addr, std::size_t bytes, bool write) = 0;
   /// True if the range belongs to a managed allocation.
   virtual bool is_managed(std::uint64_t addr) const = 0;
+  /// True if any managed range exists at all. Page residency is mutable,
+  /// order-dependent state, so the grid engine runs grids serially while
+  /// managed memory is live (the default is conservative for custom hooks).
+  virtual bool any_managed() const { return true; }
 };
 
 /// Which cache path an access takes during replay.
@@ -74,6 +78,14 @@ struct BlockCaches {
         cst(8u << 10, 4),
         l2(p.l2_size / static_cast<std::size_t>(std::max(1LL, blocks_on_device)),
            p.l2_assoc) {}
+
+  /// Cold-start the caches for the next block without reallocating sets.
+  void reset() {
+    l1.reset();
+    tex.reset();
+    cst.reset();
+    l2.reset();
+  }
 };
 
 class GlobalMemory {

@@ -9,11 +9,13 @@
 // cudaMalloc's guarantee; alloc_offset() deliberately mis-aligns a block for
 // the MemAlign benchmark.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace vgpu {
@@ -82,6 +84,21 @@ class DeviceHeap {
   template <typename T>
   void store(std::uint64_t addr, const T& t) {
     write(addr, &t, sizeof(T));
+  }
+
+  /// Atomic read-modify-write on arena bytes, for global integer atomics
+  /// under concurrent blocks (parallel grid engine). Integer addition is
+  /// associative, so the final memory state matches the serial run whatever
+  /// the interleaving; floating-point atomics go through the block-ordered
+  /// commit queue instead (see sim/block.hpp).
+  template <typename T>
+  T atomic_fetch_add(std::uint64_t addr, T v) {
+    static_assert(std::is_integral_v<T>, "FP atomics use the commit queue");
+    check(addr, sizeof(T));
+    if (addr % alignof(T) != 0)
+      throw std::runtime_error("atomic on misaligned device address");
+    std::atomic_ref<T> ref(*reinterpret_cast<T*>(mem_.data() + addr));
+    return ref.fetch_add(v, std::memory_order_relaxed);
   }
 
   template <typename T>

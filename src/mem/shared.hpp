@@ -8,6 +8,7 @@
 // maximum number of distinct words requested from any single bank (lanes
 // reading the *same* word broadcast and do not conflict).
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -41,6 +42,14 @@ class SharedSegment {
 
   /// Bump allocation (block-wide; the block runner dedupes across warps).
   std::uint32_t alloc(std::size_t bytes, std::size_t align = 8);
+
+  /// Recycle the segment for the next block: allocations rewind and the
+  /// backing bytes are rezeroed (a freshly constructed segment zero-fills on
+  /// growth, so arena reuse must match that to stay deterministic).
+  void reset() {
+    std::fill(data_.begin(), data_.end(), std::byte{0});
+    top_ = 0;
+  }
 
   std::size_t bytes_in_use() const { return top_; }
   std::size_t capacity() const { return capacity_; }

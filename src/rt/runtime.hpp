@@ -55,6 +55,9 @@ class Runtime {
 
   const DeviceProfile& profile() const { return profile_; }
   GpuExec& gpu() { return gpu_; }
+  /// Host worker threads simulating the block loop (VGPU_THREADS knob).
+  int sim_threads() const { return gpu_.sim_threads(); }
+  void set_sim_threads(int threads) { gpu_.set_sim_threads(threads); }
   Timeline& timeline() { return tl_; }
   ManagedDirectory& managed() { return managed_; }
 

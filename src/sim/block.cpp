@@ -7,31 +7,23 @@
 
 namespace vgpu {
 
-BlockRunner::BlockRunner(GpuExec& gpu, const LaunchConfig& cfg, Dim3 block_idx,
-                         const KernelFn& fn, KernelStats& stats)
+BlockRunner::BlockRunner(GpuExec& gpu)
     : gpu_(&gpu),
-      cfg_(&cfg),
-      block_idx_(block_idx),
-      fn_(&fn),
-      stats_(&stats),
-      shared_(gpu.profile().shared_mem_per_block),
-      caches_(gpu.profile(),
-              std::clamp(static_cast<int>((cfg.grid.count() +
-                                           gpu.profile().sm_count - 1) /
-                                          gpu.profile().sm_count),
-                         1, gpu.occupancy(static_cast<int>(cfg.block.count()), 0)),
-              std::min<long long>(
-                  cfg.grid.count(),
-                  static_cast<long long>(
-                      gpu.occupancy(static_cast<int>(cfg.block.count()), 0)) *
-                      gpu.profile().sm_count)) {
-  long long threads = cfg.block.count();
-  if (threads <= 0 || threads > gpu.profile().max_threads_per_sm)
-    throw std::invalid_argument("invalid block size");
-  num_warps_ = static_cast<int>((threads + kWarpSize - 1) / kWarpSize);
-}
+      heap_(&gpu.heap()),
+      shared_(gpu.profile().shared_mem_per_block) {}
 
 BlockRunner::~BlockRunner() = default;
+
+void BlockRunner::prepare_grid(const GridPlan& plan, bool defer_fp_atomics) {
+  plan_ = &plan;
+  plan_id_ = plan.id;
+  defer_fp_ = defer_fp_atomics;
+  num_warps_ = plan.num_warps;
+  // Cache geometry depends only on the grid's occupancy clamps, so it is
+  // rebuilt once per grid (and merely reset() per block).
+  caches_.emplace(gpu_->profile(), plan.cache_co_residency,
+                  plan.cache_blocks_on_device);
+}
 
 int BlockRunner::warp_index_of(const WarpCtx& w) const { return w.warp_in_block(); }
 
@@ -51,49 +43,69 @@ void BlockRunner::arrive(const WarpCtx& w) {
   waiting_[static_cast<std::size_t>(warp_index_of(w))] = true;
 }
 
+void BlockRunner::enqueue_child(LaunchConfig cfg, KernelFn fn) {
+  children_.push_back(ChildLaunch{std::move(cfg), std::move(fn)});
+}
+
 void BlockRunner::replay_segment() {
   // Round-robin: one queued memory instruction per live warp per round.
   bool more = true;
-  std::vector<std::size_t> cursor(ctxs_.size(), 0);
+  replay_cursor_.assign(static_cast<std::size_t>(num_warps_), 0);
   while (more) {
     more = false;
-    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
-      WarpCtx& w = *ctxs_[i];
-      std::size_t& c = cursor[i];
+    for (int i = 0; i < num_warps_; ++i) {
+      WarpCtx& w = *ctxs_[static_cast<std::size_t>(i)];
+      std::size_t& c = replay_cursor_[static_cast<std::size_t>(i)];
       if (c >= w.pending_.size()) continue;
       const WarpCtx::PendingAccess& pa = w.pending_[c++];
       more = true;
       double worst = 0;
       for (std::uint32_t k = 0; k < pa.sector_count; ++k) {
         double lat = gpu_->gmem().replay_sector(
-            pa.path, pa.write, w.sector_buf_[pa.sector_begin + k], caches_, *stats_);
+            pa.path, pa.write, w.sector_buf_[pa.sector_begin + k], *caches_, *stats_);
         worst = std::max(worst, lat);
       }
       w.add_stall(worst * pa.stall_scale);
     }
   }
-  for (auto& ctx : ctxs_) {
-    ctx->pending_.clear();
-    ctx->sector_buf_.clear();
+  for (int i = 0; i < num_warps_; ++i) {
+    WarpCtx& w = *ctxs_[static_cast<std::size_t>(i)];
+    w.pending_.clear();
+    w.sector_buf_.clear();
   }
 }
 
-BlockOutcome BlockRunner::run() {
-  long long threads = cfg_->block.count();
-  ctxs_.reserve(static_cast<std::size_t>(num_warps_));
-  tasks_.reserve(static_cast<std::size_t>(num_warps_));
+BlockOutcome BlockRunner::run(Dim3 block_idx, KernelStats& stats) {
+  const LaunchConfig& cfg = *plan_->cfg;
+  block_idx_ = block_idx;
+  stats_ = &stats;
+
+  // Recycle the arena: same storage, per-block state wiped.
+  shared_.reset();
+  caches_->reset();
+  shared_offsets_.clear();
+  tasks_.clear();
+  children_.clear();
+  fp_commits_.clear();
   waiting_.assign(static_cast<std::size_t>(num_warps_), false);
   alloc_cursor_.assign(static_cast<std::size_t>(num_warps_), 0);
 
-  ++stats_->blocks;
-  stats_->warps += static_cast<std::uint64_t>(num_warps_);
+  ++stats.blocks;
+  stats.warps += static_cast<std::uint64_t>(num_warps_);
 
+  long long threads = cfg.block.count();
+  tasks_.reserve(static_cast<std::size_t>(num_warps_));
   for (int wi = 0; wi < num_warps_; ++wi) {
     long long first_thread = static_cast<long long>(wi) * kWarpSize;
     int live = static_cast<int>(std::min<long long>(kWarpSize, threads - first_thread));
-    ctxs_.push_back(std::make_unique<WarpCtx>(*gpu_, *this, cfg_->grid, cfg_->block,
-                                              block_idx_, wi, first_lanes(live)));
-    tasks_.push_back((*fn_)(*ctxs_.back()));
+    auto i = static_cast<std::size_t>(wi);
+    if (i < ctxs_.size()) {
+      ctxs_[i]->reset(cfg.grid, cfg.block, block_idx, wi, first_lanes(live));
+    } else {
+      ctxs_.push_back(std::make_unique<WarpCtx>(*gpu_, *this, cfg.grid, cfg.block,
+                                                block_idx, wi, first_lanes(live)));
+    }
+    tasks_.push_back((*plan_->fn)(*ctxs_[i]));
   }
 
   while (true) {
@@ -152,10 +164,12 @@ BlockOutcome BlockRunner::run() {
 
   BlockOutcome out;
   out.shared_bytes = shared_.bytes_in_use();
-  out.warps.reserve(ctxs_.size());
-  for (auto& c : ctxs_)
-    out.warps.push_back(WarpCost{c->issue_cycles(), c->stall_cycles(),
-                                 c->sync_stall_cycles(), c->um_microseconds()});
+  out.warps.reserve(static_cast<std::size_t>(num_warps_));
+  for (int wi = 0; wi < num_warps_; ++wi) {
+    WarpCtx& c = *ctxs_[static_cast<std::size_t>(wi)];
+    out.warps.push_back(WarpCost{c.issue_cycles(), c.stall_cycles(),
+                                 c.sync_stall_cycles(), c.um_microseconds()});
+  }
   return out;
 }
 

@@ -8,9 +8,19 @@
 // latest arrival (that wait is charged as stall). A barrier some warps can
 // never reach (divergent __syncthreads) is detected and reported instead of
 // hanging, which on real hardware would be undefined behaviour.
+//
+// A BlockRunner is a reusable *arena*: one lives on each worker thread of
+// the parallel grid engine (see sim/pool.hpp and DESIGN.md section 6) and
+// runs many blocks back to back. prepare_grid() binds it to a grid's
+// loop-invariant state (kernel, launch shape, cache geometry — computed once
+// per grid, not per block); run() then executes one block, recycling the
+// shared-memory segment, cache model, warp contexts and replay cursors
+// instead of reallocating them per block.
 
 #include <cstddef>
 #include <memory>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "mem/global.hpp"
@@ -36,21 +46,66 @@ struct BlockOutcome {
   std::size_t shared_bytes = 0;
 };
 
+/// A device-side kernel launch recorded while a block ran (dynamic
+/// parallelism). Collected per block and merged into the parent GpuExec in
+/// block-index order, so child levels are identical however blocks were
+/// scheduled across workers.
+struct ChildLaunch {
+  LaunchConfig cfg;
+  KernelFn fn;
+};
+
+/// One deferred floating-point atomic update. FP addition is not
+/// associative, so parallel blocks queue their global FP atomics and the
+/// grid engine drains the queues in block-index order at grid end — the
+/// exact sequence of rounding steps the serial run performs.
+struct FpCommit {
+  std::uint64_t addr = 0;
+  double value = 0;        ///< float payloads round-trip exactly through double.
+  bool is_double = false;
+};
+
+/// Loop-invariant per-grid execution state, computed once by GpuExec and
+/// shared by every block of the grid (previously recomputed per block).
+struct GridPlan {
+  const LaunchConfig* cfg = nullptr;
+  const KernelFn* fn = nullptr;
+  std::uint64_t id = 0;                 ///< Unique per grid (monotonic epoch).
+  int num_warps = 0;                    ///< Warps per block.
+  int threads_per_block = 0;
+  long long grid_blocks = 0;
+  int cache_co_residency = 1;           ///< Blocks sharing one SM's L1/tex.
+  long long cache_blocks_on_device = 1; ///< Blocks sharing the device L2.
+};
+
 class BlockRunner {
  public:
-  BlockRunner(GpuExec& gpu, const LaunchConfig& cfg, Dim3 block_idx,
-              const KernelFn& fn, KernelStats& stats);
+  explicit BlockRunner(GpuExec& gpu);
   ~BlockRunner();
 
   BlockRunner(const BlockRunner&) = delete;
   BlockRunner& operator=(const BlockRunner&) = delete;
 
-  /// Run every warp to completion; returns per-warp costs.
-  BlockOutcome run();
+  /// Bind the arena to a grid. `defer_fp_atomics` selects the parallel-mode
+  /// FP atomic path (queue instead of read-modify-write in place).
+  void prepare_grid(const GridPlan& plan, bool defer_fp_atomics);
+  /// Epoch id of the bound plan (0 = none). Compared by value, never through
+  /// plan_: between grids the pointer dangles and a reallocated plans vector
+  /// can alias the old address.
+  std::uint64_t plan_id() const { return plan_id_; }
+
+  /// Run one block to completion, accumulating counters into `stats`
+  /// (callers pass a per-worker delta in parallel mode).
+  BlockOutcome run(Dim3 block_idx, KernelStats& stats);
+
+  /// Child launches recorded by the last run() (moved out).
+  std::vector<ChildLaunch> take_children() { return std::move(children_); }
+  /// Deferred FP atomic commits recorded by the last run() (moved out).
+  std::vector<FpCommit> take_fp_commits() { return std::move(fp_commits_); }
 
   // --- Services used by WarpCtx --------------------------------------------
   SharedSegment& shared() { return shared_; }
-  BlockCaches& caches() { return caches_; }
+  BlockCaches& caches() { return *caches_; }
   KernelStats& stats() { return *stats_; }
   GpuExec& gpu() { return *gpu_; }
 
@@ -61,6 +116,27 @@ class BlockRunner {
   /// Barrier arrival (called from BarrierAwaiter::await_suspend).
   void arrive(const WarpCtx& w);
 
+  /// Dynamic-parallelism launch, recorded locally (see ChildLaunch).
+  void enqueue_child(LaunchConfig cfg, KernelFn fn);
+
+  /// Global floating-point atomicAdd. Serial mode updates the heap in place
+  /// (today's behaviour); parallel mode queues the commit for block-ordered
+  /// draining and returns the pre-grid value plus nothing — callers must not
+  /// rely on cross-block atomic read-back within the grid (CUDA makes no
+  /// such ordering guarantee either).
+  template <typename T>
+  T fp_atomic_add(std::uint64_t addr, T v) {
+    static_assert(std::is_floating_point_v<T>);
+    T cur = heap_->load<T>(addr);
+    if (defer_fp_) {
+      fp_commits_.push_back(
+          FpCommit{addr, static_cast<double>(v), std::is_same_v<T, double>});
+    } else {
+      heap_->store<T>(addr, static_cast<T>(cur + v));
+    }
+    return cur;
+  }
+
  private:
   int warp_index_of(const WarpCtx& w) const;
 
@@ -70,20 +146,25 @@ class BlockRunner {
   void replay_segment();
 
   GpuExec* gpu_;
-  const LaunchConfig* cfg_;
+  DeviceHeap* heap_;
+  const GridPlan* plan_ = nullptr;
+  std::uint64_t plan_id_ = 0;
+  bool defer_fp_ = false;
   Dim3 block_idx_;
-  const KernelFn* fn_;
-  KernelStats* stats_;
+  KernelStats* stats_ = nullptr;
 
   SharedSegment shared_;
-  BlockCaches caches_;
+  std::optional<BlockCaches> caches_;
 
   int num_warps_ = 0;
-  std::vector<std::unique_ptr<WarpCtx>> ctxs_;
+  std::vector<std::unique_ptr<WarpCtx>> ctxs_;  // Grow-only, reused across blocks.
   std::vector<WarpTask> tasks_;
   std::vector<bool> waiting_;
   std::vector<std::uint32_t> shared_offsets_;  // Allocation sequence, shared by all warps.
   std::vector<int> alloc_cursor_;              // Per-warp position in that sequence.
+  std::vector<std::size_t> replay_cursor_;     // Per-warp replay position (reused).
+  std::vector<ChildLaunch> children_;
+  std::vector<FpCommit> fp_commits_;
 };
 
 }  // namespace vgpu

@@ -26,6 +26,14 @@ double makespan(const std::vector<double>& jobs, int slots) {
   return end;
 }
 
+/// Row-major block index of linear job `j` within `grid` — the same order
+/// the serial triple loop (z outer, y, x inner) visits blocks.
+Dim3 unflatten_block(long long j, const Dim3& grid) {
+  return Dim3{static_cast<int>(j % grid.x),
+              static_cast<int>((j / grid.x) % grid.y),
+              static_cast<int>(j / (static_cast<long long>(grid.x) * grid.y))};
+}
+
 }  // namespace
 
 double KernelRun::duration_us(const DeviceProfile& p, int granted_sms) const {
@@ -98,30 +106,133 @@ double GpuExec::block_time_cycles(const BlockOutcome& b, int threads_per_block,
   return cycles;
 }
 
-std::vector<double> GpuExec::run_grid(const LaunchConfig& cfg, const KernelFn& fn,
-                                      KernelStats& stats,
-                                      std::size_t* shared_bytes_out) {
+GridPlan GpuExec::plan_grid(const LaunchConfig& cfg, const KernelFn& fn) const {
   if (cfg.grid.count() <= 0) throw std::invalid_argument("empty grid");
-  std::vector<double> block_cycles;
-  block_cycles.reserve(static_cast<std::size_t>(cfg.grid.count()));
-  std::size_t shared_bytes = 0;
-  for (int bz = 0; bz < cfg.grid.z; ++bz) {
-    for (int by = 0; by < cfg.grid.y; ++by) {
-      for (int bx = 0; bx < cfg.grid.x; ++bx) {
-        BlockRunner runner(*this, cfg, Dim3{bx, by, bz}, fn, stats);
-        BlockOutcome out = runner.run();
-        shared_bytes = std::max(shared_bytes, out.shared_bytes);
-        block_cycles.push_back(block_time_cycles(
-            out, static_cast<int>(cfg.block.count()), cfg.grid.count()));
+  long long threads = cfg.block.count();
+  if (threads <= 0 || threads > profile_.max_threads_per_sm)
+    throw std::invalid_argument("invalid block size");
+
+  GridPlan plan;
+  plan.cfg = &cfg;
+  plan.fn = &fn;
+  plan.threads_per_block = static_cast<int>(threads);
+  plan.grid_blocks = cfg.grid.count();
+  plan.num_warps = static_cast<int>((threads + kWarpSize - 1) / kWarpSize);
+  // Occupancy/co-residency clamps for the per-block cache shares: identical
+  // for every block of the grid, so computed exactly once here.
+  int occ = occupancy(plan.threads_per_block, 0);
+  plan.cache_co_residency = std::clamp(
+      static_cast<int>((plan.grid_blocks + profile_.sm_count - 1) /
+                       profile_.sm_count),
+      1, occ);
+  plan.cache_blocks_on_device = std::min<long long>(
+      plan.grid_blocks,
+      static_cast<long long>(occ) * profile_.sm_count);
+  return plan;
+}
+
+int GpuExec::effective_threads(long long total_blocks) const {
+  if (threads_ <= 1 || total_blocks <= 1) return 1;
+  // Managed-memory page residency mutates on first touch: which block pays a
+  // fault is order-dependent, so UM kernels keep the serial block order.
+  if (gmem_.um_hook() != nullptr && gmem_.um_hook()->any_managed()) return 1;
+  return threads_;
+}
+
+void GpuExec::ensure_arenas(int count) {
+  while (static_cast<int>(arenas_.size()) < count)
+    arenas_.push_back(std::make_unique<BlockRunner>(*this));
+}
+
+void GpuExec::set_sim_threads(int threads) {
+  threads = std::clamp(threads, 1, 256);
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_.reset();  // Rebuilt lazily at the next parallel grid.
+}
+
+std::vector<std::vector<double>> GpuExec::run_grids(
+    const std::vector<GridRef>& grids, KernelStats& stats,
+    std::size_t* shared_bytes_out) {
+  std::vector<GridPlan> plans;
+  plans.reserve(grids.size());
+  std::vector<long long> first_job;
+  first_job.reserve(grids.size() + 1);
+  first_job.push_back(0);
+  for (const GridRef& g : grids) {
+    plans.push_back(plan_grid(*g.cfg, *g.fn));
+    plans.back().id = ++plan_epoch_;
+    first_job.push_back(first_job.back() + plans.back().grid_blocks);
+  }
+  const long long total = first_job.back();
+
+  const int threads = effective_threads(total);
+  const bool parallel = threads > 1;
+  ensure_arenas(threads);
+
+  // Per-job output slots: writing by block index makes every merge below a
+  // deterministic, order-independent gather.
+  std::vector<double> cycles(static_cast<std::size_t>(total), 0.0);
+  std::vector<std::size_t> shared(static_cast<std::size_t>(total), 0);
+  std::vector<std::vector<ChildLaunch>> children(static_cast<std::size_t>(total));
+  std::vector<std::vector<FpCommit>> fp_commits(
+      parallel ? static_cast<std::size_t>(total) : 0);
+  std::vector<KernelStats> worker_stats(static_cast<std::size_t>(threads));
+
+  auto run_job = [&](int worker, long long job) {
+    BlockRunner& arena = *arenas_[static_cast<std::size_t>(worker)];
+    auto gi = static_cast<std::size_t>(
+        std::upper_bound(first_job.begin(), first_job.end(), job) -
+        first_job.begin() - 1);
+    const GridPlan& plan = plans[gi];
+    if (arena.plan_id() != plan.id) arena.prepare_grid(plan, parallel);
+
+    Dim3 bidx = unflatten_block(job - first_job[gi], plan.cfg->grid);
+    BlockOutcome out = arena.run(bidx, worker_stats[static_cast<std::size_t>(worker)]);
+
+    auto slot = static_cast<std::size_t>(job);
+    cycles[slot] = block_time_cycles(out, plan.threads_per_block, plan.grid_blocks);
+    shared[slot] = out.shared_bytes;
+    children[slot] = arena.take_children();
+    if (parallel) fp_commits[slot] = arena.take_fp_commits();
+  };
+
+  if (parallel) {
+    if (!pool_ || pool_->size() != threads)
+      pool_ = std::make_unique<WorkerPool>(threads);
+    // Chunks keep workers on runs of consecutive blocks (fewer grid
+    // switches) while still load-balancing ~8 handouts per worker.
+    long long chunk = std::max<long long>(1, total / (8LL * threads));
+    pool_->run(total, chunk, run_job);
+  } else {
+    for (long long j = 0; j < total; ++j) run_job(0, j);
+  }
+
+  // Deterministic merges. Counter deltas are unsigned sums, so worker order
+  // is immaterial; children and FP commits are replayed in block order, the
+  // exact sequence the serial run produces.
+  for (const KernelStats& ws : worker_stats) stats += ws;
+  for (auto& q : fp_commits) {
+    for (const FpCommit& c : q) {
+      if (c.is_double) {
+        heap().store<double>(c.addr, heap().load<double>(c.addr) + c.value);
+      } else {
+        heap().store<float>(c.addr, heap().load<float>(c.addr) +
+                                        static_cast<float>(c.value));
       }
     }
   }
-  if (shared_bytes_out != nullptr) *shared_bytes_out = shared_bytes;
-  return block_cycles;
-}
+  for (auto& cv : children)
+    for (ChildLaunch& ch : cv) pending_children_.push_back(std::move(ch));
 
-void GpuExec::enqueue_child(LaunchConfig cfg, KernelFn fn) {
-  pending_children_.push_back(Child{std::move(cfg), std::move(fn)});
+  if (shared_bytes_out != nullptr)
+    *shared_bytes_out = total == 0 ? 0 : *std::max_element(shared.begin(), shared.end());
+
+  std::vector<std::vector<double>> per_grid(grids.size());
+  for (std::size_t gi = 0; gi < grids.size(); ++gi)
+    per_grid[gi].assign(cycles.begin() + first_job[gi],
+                        cycles.begin() + first_job[gi + 1]);
+  return per_grid;
 }
 
 KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
@@ -135,23 +246,28 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
   std::uint64_t dram_before = 0;  // stats start at zero for this run
 
   std::size_t shared_bytes = 0;
-  run.level_block_cycles.push_back(run_grid(cfg, fn, run.stats, &shared_bytes));
+  run.level_block_cycles.push_back(
+      std::move(run_grids({GridRef{&cfg, &fn}}, run.stats, &shared_bytes).front()));
   run.blocks_per_sm = occupancy(run.threads_per_block, shared_bytes);
 
   // Dynamic parallelism: run children level by level (children enqueued by
   // level N form level N+1). Each level's blocks are pooled: on hardware the
-  // child grids of many parent blocks execute concurrently.
+  // child grids of many parent blocks execute concurrently — and here they
+  // share one flattened block-job list, so many small child grids still
+  // spread across the worker pool.
   int depth = 0;
   while (!pending_children_.empty()) {
     if (++depth > kMaxLaunchDepth)
       throw std::runtime_error("dynamic parallelism nesting exceeds depth limit");
-    std::vector<Child> level = std::move(pending_children_);
+    std::vector<ChildLaunch> level = std::move(pending_children_);
     pending_children_.clear();
+    std::vector<GridRef> refs;
+    refs.reserve(level.size());
+    for (const ChildLaunch& c : level) refs.push_back(GridRef{&c.cfg, &c.fn});
+    std::vector<std::vector<double>> per_grid =
+        run_grids(refs, run.stats, nullptr);
     std::vector<double> cycles;
-    for (Child& c : level) {
-      std::vector<double> b = run_grid(c.cfg, c.fn, run.stats, nullptr);
-      cycles.insert(cycles.end(), b.begin(), b.end());
-    }
+    for (const auto& b : per_grid) cycles.insert(cycles.end(), b.begin(), b.end());
     run.level_block_cycles.push_back(std::move(cycles));
   }
 

@@ -3,15 +3,23 @@
 // GPU executor: runs whole grids and rolls per-warp cycle counts up into a
 // kernel duration (DESIGN.md section 4).
 //
-// Functional semantics are exact and deterministic: blocks execute
-// sequentially in row-major block order and children (dynamic parallelism)
-// run level by level after their parents. Timing is reconstructed from the
-// recorded per-block cycle costs: blocks are list-scheduled onto
-// sm_count x occupancy slots and the makespan is capped by the DRAM
-// roofline. The returned KernelRun is what the stream/graph timeline layer
-// schedules.
+// Functional semantics are exact and deterministic. Blocks of a grid are
+// independent (CUDA's own guarantee), so the block loop fans out across a
+// persistent host worker pool (sim/pool.hpp, sized by VGPU_THREADS or
+// hardware concurrency; VGPU_THREADS=1 reproduces the serial path). Every
+// observable output is merged in block-index order — per-block cycle
+// vectors, counter deltas, dynamic-parallelism child queues and deferred
+// floating-point atomic commits — so results, KernelStats and timing are
+// bitwise identical at any thread count. Children (dynamic parallelism) run
+// level by level after their parents; all child grids of one level are
+// flattened into a single block-job list so small child grids still fill the
+// pool. Timing is reconstructed from the recorded per-block cycle costs:
+// blocks are list-scheduled onto sm_count x occupancy slots and the makespan
+// is capped by the DRAM roofline. The returned KernelRun is what the
+// stream/graph timeline layer schedules.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +28,7 @@
 #include "sim/block.hpp"
 #include "sim/device.hpp"
 #include "sim/kernel.hpp"
+#include "sim/pool.hpp"
 #include "sim/stats.hpp"
 
 namespace vgpu {
@@ -57,31 +66,55 @@ class GpuExec {
   /// Occupancy: resident blocks per SM for a given block shape.
   int occupancy(int threads_per_block, std::size_t shared_bytes) const;
 
+  // --- Host-side parallelism -------------------------------------------------
+  /// Simulation threads for the block loop (default: VGPU_THREADS env var,
+  /// falling back to hardware concurrency). 1 disables the worker pool.
+  int sim_threads() const { return threads_; }
+  void set_sim_threads(int threads);
+
   // --- Used by WarpCtx -------------------------------------------------------
-  void enqueue_child(LaunchConfig cfg, KernelFn fn);
   std::uint32_t next_texture_id() { return ++texture_ids_; }
 
   /// Maximum dynamic-parallelism nesting (CUDA default depth limit is 24).
   static constexpr int kMaxLaunchDepth = 24;
 
  private:
-  struct Child {
-    LaunchConfig cfg;
-    KernelFn fn;
+  /// One grid of a dynamic-parallelism level, by reference.
+  struct GridRef {
+    const LaunchConfig* cfg;
+    const KernelFn* fn;
   };
 
-  /// Run one grid; appends block cycle costs and returns them.
-  std::vector<double> run_grid(const LaunchConfig& cfg, const KernelFn& fn,
-                               KernelStats& stats, std::size_t* shared_bytes_out);
+  /// Validate a launch and compute its loop-invariant per-block state once.
+  GridPlan plan_grid(const LaunchConfig& cfg, const KernelFn& fn) const;
+
+  /// Run every block of every grid in `grids` (one dynamic-parallelism
+  /// level), in parallel when profitable. Returns per-grid block cycle
+  /// vectors in block-index order; accumulates stats; appends recorded child
+  /// launches to pending_children_ in block-index order; reports the largest
+  /// per-block shared allocation via `shared_bytes_out` if non-null.
+  std::vector<std::vector<double>> run_grids(const std::vector<GridRef>& grids,
+                                             KernelStats& stats,
+                                             std::size_t* shared_bytes_out);
 
   double block_time_cycles(const BlockOutcome& b, int threads_per_block,
                            long long grid_blocks) const;
 
+  /// Threads to actually use for a level of `total_blocks` jobs: 1 while
+  /// managed memory is live (page residency is order-dependent state).
+  int effective_threads(long long total_blocks) const;
+  void ensure_arenas(int count);
+
   const DeviceProfile& profile_;
   GlobalMemory gmem_;
   ConstantRegion constants_;
-  std::vector<Child> pending_children_;
+  std::vector<ChildLaunch> pending_children_;
   std::uint32_t texture_ids_ = 0;
+  std::uint64_t plan_epoch_ = 0;  // Tags GridPlans so arenas detect rebinds.
+
+  int threads_ = WorkerPool::env_thread_count();
+  std::unique_ptr<WorkerPool> pool_;                 // Lazy, recreated on resize.
+  std::vector<std::unique_ptr<BlockRunner>> arenas_; // One per worker, reused.
 };
 
 }  // namespace vgpu

@@ -1,0 +1,110 @@
+#include "sim/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vgpu {
+
+int WorkerPool::env_thread_count() {
+  if (const char* s = std::getenv("VGPU_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end != s && *end == '\0' && v > 0)
+      return static_cast<int>(std::min<long>(v, 256));
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return static_cast<int>(std::min<unsigned>(hw, 256));
+}
+
+WorkerPool::WorkerPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i)
+    workers_.emplace_back([this, i] { work(i); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void WorkerPool::run(long long count, long long chunk, const Body& body) {
+  if (count <= 0) return;
+  chunk_ = std::max<long long>(1, chunk);
+  if (workers_.empty()) {
+    // Serial pool: run inline, exceptions propagate directly.
+    for (long long j = 0; j < count; ++j) body(0, j);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    err_job_ = -1;
+    err_ = nullptr;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+  if (err_) std::rethrow_exception(err_);
+}
+
+void WorkerPool::work(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain(worker);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::drain(int worker) {
+  const Body& body = *body_;
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    long long begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= count_) return;
+    long long end = std::min(count_, begin + chunk_);
+    for (long long j = begin; j < end; ++j) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      try {
+        body(worker, j);
+      } catch (...) {
+        record_error(j);
+        return;
+      }
+    }
+  }
+}
+
+void WorkerPool::record_error(long long job) {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (err_job_ < 0 || job < err_job_) {
+    err_job_ = job;
+    err_ = std::current_exception();
+  }
+  abort_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace vgpu

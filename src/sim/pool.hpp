@@ -1,0 +1,78 @@
+#pragma once
+
+// Persistent worker pool for parallel grid execution.
+//
+// CUDA guarantees thread blocks of one grid are independent (no ordering, no
+// communication except atomics), which the simulator exploits: the block loop
+// in GpuExec fans out across host threads. The pool is created once and
+// reused across grids so the per-grid cost is one generation handshake, not
+// thread creation. Worker 0 is the calling thread — a pool of size N spawns
+// N-1 std::jthreads and the caller drains jobs alongside them.
+//
+// Determinism is the caller's job (per-worker accumulators merged in a fixed
+// order); the pool only promises that every job index in [0, count) runs
+// exactly once, and that if jobs throw, one of the raised exceptions is
+// rethrown on the caller after all workers have stopped.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vgpu {
+
+class WorkerPool {
+ public:
+  /// Simulation thread count: `VGPU_THREADS` if set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency(). Clamped to [1, 256].
+  static int env_thread_count();
+
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return threads_; }
+
+  /// Job body: body(worker_index, job_index). Worker indices are dense in
+  /// [0, size()); worker 0 is the calling thread.
+  using Body = std::function<void(int, long long)>;
+
+  /// Run jobs [0, count) to completion, handing out contiguous chunks of
+  /// `chunk` jobs. Blocks until every job ran (or the run aborted). If any
+  /// job throws, the remaining jobs are abandoned and the exception of the
+  /// lowest-indexed job that threw before the abort is rethrown.
+  void run(long long count, long long chunk, const Body& body);
+
+ private:
+  void work(int worker);
+  void drain(int worker);
+  void record_error(long long job);
+
+  int threads_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;  ///< Spawned workers still draining this generation.
+  bool stop_ = false;
+
+  const Body* body_ = nullptr;
+  long long count_ = 0;
+  long long chunk_ = 1;
+  std::atomic<long long> next_{0};
+  std::atomic<bool> abort_{false};
+
+  std::mutex err_mu_;
+  long long err_job_ = -1;
+  std::exception_ptr err_;
+};
+
+}  // namespace vgpu

@@ -59,6 +59,10 @@ struct KernelStats {
   std::uint64_t um_page_faults = 0;
   std::uint64_t um_migrated_bytes = 0;
 
+  /// Exact counter equality — the parallel grid engine's determinism tests
+  /// assert serial and multithreaded runs agree on every field.
+  bool operator==(const KernelStats&) const = default;
+
   /// nvprof `warp_execution_efficiency`, in percent.
   double warp_execution_efficiency() const {
     if (instructions == 0) return 100.0;

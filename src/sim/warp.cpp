@@ -26,7 +26,30 @@ WarpCtx::WarpCtx(GpuExec& gpu, BlockRunner& block, Dim3 grid_dim, Dim3 block_dim
   mask_stack_.push_back(valid_);
 }
 
+void WarpCtx::reset(Dim3 grid_dim, Dim3 block_dim, Dim3 block_idx,
+                    int warp_in_block, Mask valid) {
+  grid_dim_ = grid_dim;
+  block_dim_ = block_dim;
+  block_idx_ = block_idx;
+  warp_in_block_ = warp_in_block;
+  valid_ = valid;
+  mask_stack_.clear();
+  mask_stack_.push_back(valid_);
+  issue_ = stall_ = sync_stall_ = um_us_ = 0;
+  pending_.clear();
+  sector_buf_.clear();
+  scratch_sectors_.clear();
+}
+
 KernelStats& WarpCtx::stats() { return block_->stats(); }
+
+float WarpCtx::fp_atomic_add(std::uint64_t addr, float v) {
+  return block_->fp_atomic_add(addr, v);
+}
+
+double WarpCtx::fp_atomic_add(std::uint64_t addr, double v) {
+  return block_->fp_atomic_add(addr, v);
+}
 
 LaneI WarpCtx::thread_x() const {
   LaneI lin = thread_linear();
@@ -89,7 +112,10 @@ void WarpCtx::launch_device(Dim3 grid, Dim3 block, KernelFn fn, std::string name
   // what makes dynamic parallelism lose at small problem sizes (Fig. 5).
   // It is queueing latency, not SM work, so it lands on the sync component.
   sync_stall_ += gpu_->profile().device_launch_us * gpu_->profile().cycles_per_us();
-  gpu_->enqueue_child(LaunchConfig{grid, block, std::move(name)}, std::move(fn));
+  // Recorded on the block (not the GpuExec) so concurrent blocks of a
+  // parallel grid do not contend; the grid engine merges per-block child
+  // lists in block-index order, preserving the serial launch order.
+  block_->enqueue_child(LaunchConfig{grid, block, std::move(name)}, std::move(fn));
 }
 
 void WarpCtx::pipeline_commit() { charge_instr(1); }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "mem/constant.hpp"
@@ -49,6 +50,11 @@ class WarpCtx {
 
   WarpCtx(const WarpCtx&) = delete;
   WarpCtx& operator=(const WarpCtx&) = delete;
+
+  /// Rebind this context to a new block (arena reuse): resets identity,
+  /// predication and cost accumulators while keeping buffer capacity.
+  void reset(Dim3 grid_dim, Dim3 block_dim, Dim3 block_idx, int warp_in_block,
+             Mask valid);
 
   // --- Identity -----------------------------------------------------------
   const Dim3& grid_dim() const { return grid_dim_; }
@@ -106,16 +112,27 @@ class WarpCtx {
   // --- Atomics -----------------------------------------------------------------
   /// Global atomicAdd: lanes targeting the same address serialize (resolved
   /// at the L2, like hardware). Returns each lane's pre-update value.
+  ///
+  /// Integer adds are genuinely atomic on the host arena, so concurrent
+  /// blocks of a parallel grid produce the same final counts as the serial
+  /// run (integer addition is associative). Floating-point adds are not
+  /// associative: under parallel execution they are queued per block and
+  /// committed in block-index order at grid end (see BlockRunner), which
+  /// reproduces the serial run's rounding sequence bit for bit.
   template <typename T>
   LaneVec<T> atomic_add(const DevSpan<T>& a, const LaneI& idx, const LaneVec<T>& v) {
+    static_assert(std::is_integral_v<T> || std::is_floating_point_v<T>,
+                  "atomic_add supports arithmetic element types");
     LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
     atomic_cost(addrs, sizeof(T));
     LaneVec<T> old;
     for (int l = 0; l < kWarpSize; ++l) {
       if (!lane_in(active(), l)) continue;
-      T cur = heap().load<T>(addrs[l]);
-      old[l] = cur;
-      heap().store<T>(addrs[l], static_cast<T>(cur + v[l]));
+      if constexpr (std::is_integral_v<T>) {
+        old[l] = heap().atomic_fetch_add(addrs[l], v[l]);
+      } else {
+        old[l] = fp_atomic_add(addrs[l], v[l]);
+      }
     }
     return old;
   }
@@ -316,6 +333,8 @@ class WarpCtx {
   // Non-template helpers implemented in warp.cpp (they need BlockRunner/GpuExec).
   DeviceHeap& heap();
   SharedSegment& shared_mem();
+  float fp_atomic_add(std::uint64_t addr, float v);
+  double fp_atomic_add(std::uint64_t addr, double v);
   std::uint32_t shared_alloc_raw(std::size_t bytes, std::size_t align);
   void global_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem, bool write);
   void shared_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem, bool write);

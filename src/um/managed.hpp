@@ -51,6 +51,7 @@ class ManagedDirectory final : public UmHook {
   // --- UmHook (device side) -------------------------------------------------
   UmTouch on_device_access(std::uint64_t addr, std::size_t bytes, bool write) override;
   bool is_managed(std::uint64_t addr) const override;
+  bool any_managed() const override { return !ranges_.empty(); }
 
   // --- Host side --------------------------------------------------------------
   HostTouch on_host_access(std::uint64_t addr, std::size_t bytes, bool write);
