@@ -106,6 +106,11 @@ class GlobalMemory {
   /// Phase 1 of a global access: coalesce, resolve managed pages, count
   /// transactions. `sectors_out` receives the sector byte-addresses the
   /// replay phase must probe.
+  ///
+  /// Addresses are used only as coalescing/cache keys — never dereferenced.
+  /// vgpu-san relies on this: cost accounting runs *before* memcheck vets
+  /// the lanes (so clean-kernel counters are identical with checking on or
+  /// off), which is only safe because a wild address cannot fault here.
   IssueCost begin_access(const LaneVec<std::uint64_t>& addrs, Mask active,
                          std::size_t elem_bytes, bool write, KernelStats& stats,
                          std::vector<std::uint64_t>& sectors_out);

@@ -1,5 +1,7 @@
 #include "mem/heap.hpp"
 
+#include <algorithm>
+
 namespace vgpu {
 
 DevAddr DeviceHeap::alloc(std::size_t bytes, std::size_t align) {
@@ -15,7 +17,31 @@ DevAddr DeviceHeap::alloc_offset(std::size_t bytes, std::size_t offset, std::siz
   std::size_t end = addr + bytes;
   if (end > mem_.size()) mem_.resize(std::max(end, mem_.size() * 2), std::byte{0});
   top_ = end;
+  allocs_.push_back(HeapAlloc{addr, bytes, /*live=*/true});
   return DevAddr{addr};
+}
+
+void DeviceHeap::free(std::uint64_t addr) {
+  auto it = std::lower_bound(
+      allocs_.begin(), allocs_.end(), addr,
+      [](const HeapAlloc& a, std::uint64_t v) { return a.addr < v; });
+  if (it == allocs_.end() || it->addr != addr)
+    throw std::invalid_argument("DeviceHeap::free: not an allocation base");
+  if (!it->live) throw std::invalid_argument("DeviceHeap::free: double free");
+  it->live = false;
+}
+
+AddrClass DeviceHeap::classify(std::uint64_t addr, std::size_t bytes,
+                               const HeapAlloc** alloc_out) const {
+  if (alloc_out != nullptr) *alloc_out = nullptr;
+  auto it = std::upper_bound(
+      allocs_.begin(), allocs_.end(), addr,
+      [](std::uint64_t v, const HeapAlloc& a) { return v < a.addr; });
+  if (it == allocs_.begin()) return AddrClass::kOutOfBounds;
+  --it;
+  if (alloc_out != nullptr) *alloc_out = &*it;
+  if (addr + bytes > it->addr + it->bytes) return AddrClass::kOutOfBounds;
+  return it->live ? AddrClass::kValid : AddrClass::kFreed;
 }
 
 }  // namespace vgpu

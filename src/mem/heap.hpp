@@ -46,6 +46,17 @@ struct DevSpan {
   }
 };
 
+/// Metadata for one arena allocation, kept for vgpu-san's memcheck: every
+/// device access can be classified against its owning allocation.
+struct HeapAlloc {
+  std::uint64_t addr = 0;   ///< First byte (includes any deliberate offset).
+  std::uint64_t bytes = 0;
+  bool live = true;         ///< Cleared by free(); the arena never recycles.
+};
+
+/// Classification of a device access against the allocation registry.
+enum class AddrClass : std::uint8_t { kValid, kOutOfBounds, kFreed };
+
 /// Growable arena backing all simulated device allocations.
 class DeviceHeap {
  public:
@@ -64,6 +75,26 @@ class DeviceHeap {
   }
 
   std::size_t bytes_in_use() const { return top_; }
+
+  /// cudaFree equivalent: marks the allocation starting at `addr` dead.
+  /// The bump arena never recycles storage, so stale handles stay
+  /// memory-safe on the host side — but vgpu-san's memcheck reports any
+  /// device access to the range as a use-after-free. Throws if `addr` is
+  /// not the base of a live allocation (like cudaFree's invalid-pointer
+  /// error).
+  void free(std::uint64_t addr);
+
+  /// Classify [addr, addr+bytes) against the allocation registry. When the
+  /// access is invalid, `alloc_out` (if non-null) receives the nearest
+  /// preceding allocation for diagnostics, or nullptr if there is none.
+  ///
+  /// Allocations only happen between kernels on the host thread; during a
+  /// grid the registry is read-only, so the parallel grid engine's workers
+  /// may call this concurrently without synchronization.
+  AddrClass classify(std::uint64_t addr, std::size_t bytes,
+                     const HeapAlloc** alloc_out = nullptr) const;
+
+  const std::vector<HeapAlloc>& allocations() const { return allocs_; }
 
   // Functional accessors. All sizes in bytes.
   void read(std::uint64_t addr, void* dst, std::size_t bytes) const {
@@ -122,6 +153,7 @@ class DeviceHeap {
 
   std::vector<std::byte> mem_;
   std::size_t top_ = kReserved;
+  std::vector<HeapAlloc> allocs_;  // Sorted by addr (bump allocation order).
 };
 
 }  // namespace vgpu

@@ -20,6 +20,9 @@
 namespace vgpu {
 
 inline constexpr int kSharedBanks = 32;
+/// Bank word size. Also the granularity of vgpu-san's racecheck shadow
+/// state (san/checker.hpp): one shadow entry per bank word, matching the
+/// unit at which hardware shared memory actually commits accesses.
 inline constexpr std::uint64_t kBankWordBytes = 4;
 
 /// Typed handle to a block's shared-memory array (byte offset + length).

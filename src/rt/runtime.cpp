@@ -16,7 +16,7 @@ Stream& Runtime::create_stream() {
 LaunchInfo Runtime::launch(Stream& s, const LaunchConfig& cfg, KernelFn fn) {
   KernelRun run = gpu_.run_kernel(cfg, fn);
   Timeline::Span span = tl_.kernel(s, run, profile_.kernel_launch_us);
-  return LaunchInfo{span, std::move(run.stats)};
+  return LaunchInfo{span, std::move(run.stats), std::move(run.check)};
 }
 
 Event Runtime::record_event(Stream& s) {

@@ -41,6 +41,7 @@ namespace vgpu {
 struct LaunchInfo {
   Timeline::Span span;
   KernelStats stats;
+  CheckReport check;  ///< vgpu-san diagnostics (empty when checking is off).
   double duration_us() const { return span.duration(); }
 };
 
@@ -58,6 +59,15 @@ class Runtime {
   /// Host worker threads simulating the block loop (VGPU_THREADS knob).
   int sim_threads() const { return gpu_.sim_threads(); }
   void set_sim_threads(int threads) { gpu_.set_sim_threads(threads); }
+
+  // --- vgpu-san (cuda-memcheck equivalent) -----------------------------------
+  /// Dynamic checkers for subsequent launches (VGPU_CHECK env var by
+  /// default; e.g. set_check_mode(CheckMode::kFull)).
+  CheckMode check_mode() const { return gpu_.check_mode(); }
+  void set_check_mode(CheckMode m) { gpu_.set_check_mode(m); }
+  /// Diagnostics accumulated across every launch since the last clear.
+  const CheckReport& check_report() const { return gpu_.check_report(); }
+  void clear_check_report() { gpu_.clear_check_report(); }
   Timeline& timeline() { return tl_; }
   ManagedDirectory& managed() { return managed_; }
 
@@ -74,6 +84,13 @@ class Runtime {
   template <typename T>
   DevSpan<T> malloc_offset(std::size_t n, std::size_t byte_offset) {
     return DevSpan<T>{gpu_.heap().alloc_offset(n * sizeof(T), byte_offset, 256).v, n};
+  }
+  /// cudaFree: storage is not recycled (bump allocator), but the allocation
+  /// is marked dead so vgpu-san memcheck flags later touches as
+  /// use-after-free.
+  template <typename T>
+  void free(DevSpan<T> s) {
+    gpu_.heap().free(s.addr);
   }
   template <typename T>
   DevSpan<T> malloc_managed(std::size_t n) {

@@ -1,0 +1,86 @@
+#include "san/check.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace vgpu {
+
+namespace {
+
+CheckMode parse_token(std::string_view t) {
+  if (t == "off" || t == "0" || t == "none") return CheckMode::kOff;
+  if (t == "memcheck") return CheckMode::kMemcheck;
+  if (t == "racecheck") return CheckMode::kRacecheck;
+  if (t == "synccheck") return CheckMode::kSynccheck;
+  if (t == "full" || t == "all" || t == "on" || t == "1") return CheckMode::kFull;
+  throw std::invalid_argument("unknown VGPU_CHECK token: '" + std::string(t) +
+                              "' (expected off|memcheck|racecheck|synccheck|full)");
+}
+
+}  // namespace
+
+CheckMode parse_check_mode(std::string_view s) {
+  CheckMode m = CheckMode::kOff;
+  while (!s.empty()) {
+    std::size_t comma = s.find(',');
+    m = m | parse_token(s.substr(0, comma));
+    s = comma == std::string_view::npos ? std::string_view{} : s.substr(comma + 1);
+  }
+  return m;
+}
+
+CheckMode check_mode_from_env() {
+  const char* v = std::getenv("VGPU_CHECK");
+  if (v == nullptr || *v == '\0') return CheckMode::kOff;
+  return parse_check_mode(v);
+}
+
+const char* check_kind_name(CheckKind k) {
+  switch (k) {
+    case CheckKind::kOutOfBounds: return "Invalid access (out of bounds)";
+    case CheckKind::kUseAfterFree: return "Invalid access (use after free)";
+    case CheckKind::kRaceRaw: return "Shared-memory read-after-write hazard";
+    case CheckKind::kRaceWar: return "Shared-memory write-after-read hazard";
+    case CheckKind::kRaceWaw: return "Shared-memory write-after-write hazard";
+    case CheckKind::kDivergentBarrier: return "Divergent __syncthreads barrier";
+  }
+  return "unknown";
+}
+
+std::uint64_t CheckReport::errors() const {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+void CheckReport::add(CheckDiag d) {
+  count_only(d.kind);
+  if (diags.size() < kMaxDiags) diags.push_back(std::move(d));
+}
+
+CheckReport& CheckReport::operator+=(const CheckReport& o) {
+  for (std::size_t k = 0; k < kNumCheckKinds; ++k) counts[k] += o.counts[k];
+  for (const CheckDiag& d : o.diags) {
+    if (diags.size() >= kMaxDiags) break;
+    diags.push_back(d);
+  }
+  return *this;
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream os;
+  os << "========= VGPU-SAN\n";
+  for (const CheckDiag& d : diags) {
+    os << "========= " << check_kind_name(d.kind) << "\n";
+    os << "=========     " << d.detail << "\n";
+  }
+  std::uint64_t total = errors();
+  os << "========= ERROR SUMMARY: " << total
+     << (total == 1 ? " error" : " errors");
+  if (total > diags.size())
+    os << " (first " << diags.size() << " shown)";
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace vgpu

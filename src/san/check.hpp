@@ -1,0 +1,115 @@
+#pragma once
+
+// vgpu-san: report vocabulary of the dynamic checker.
+//
+// The simulator models exactly the hazards NVIDIA's compute-sanitizer
+// (née cuda-memcheck) hunts on hardware, so it can detect them
+// mechanistically instead of heuristically:
+//
+//   memcheck   - every global/constant/texture access is validated against
+//                the heap arena's allocation registry (bounds + liveness),
+//   racecheck  - per-shared-memory-word shadow state flags cross-warp
+//                read/write hazards not separated by __syncthreads,
+//   synccheck  - barriers released while some warps already exited the
+//                kernel (divergent __syncthreads, UB on hardware).
+//
+// Checking is opt-in (Runtime::set_check_mode or the VGPU_CHECK env var)
+// and purely observational: KernelStats and timing are bit-identical with
+// the checker on or off for hazard-free kernels. Diagnostics accumulate
+// into a CheckReport returned alongside KernelStats and printable in the
+// cuda-memcheck "=========" text format.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace vgpu {
+
+/// Which checkers run. Bits compose; kFull is all of them.
+enum class CheckMode : unsigned {
+  kOff = 0,
+  kMemcheck = 1u << 0,
+  kRacecheck = 1u << 1,
+  kSynccheck = 1u << 2,
+  kFull = kMemcheck | kRacecheck | kSynccheck,
+};
+
+constexpr CheckMode operator|(CheckMode a, CheckMode b) {
+  return static_cast<CheckMode>(static_cast<unsigned>(a) |
+                                static_cast<unsigned>(b));
+}
+constexpr bool check_has(CheckMode m, CheckMode bit) {
+  return (static_cast<unsigned>(m) & static_cast<unsigned>(bit)) != 0;
+}
+
+/// Parse "off", "memcheck", "racecheck", "synccheck", "full" (also "on",
+/// "all", "1"/"0") or a comma-separated combination. Throws
+/// std::invalid_argument on an unknown token — a typo silently disabling
+/// checking would defeat the point.
+CheckMode parse_check_mode(std::string_view s);
+
+/// Mode selected by the VGPU_CHECK environment variable (kOff when unset
+/// or empty).
+CheckMode check_mode_from_env();
+
+enum class CheckKind : std::uint8_t {
+  kOutOfBounds = 0,    ///< memcheck: access outside its owning allocation.
+  kUseAfterFree,       ///< memcheck: access to a freed allocation.
+  kRaceRaw,            ///< racecheck: read of another warp's same-interval write.
+  kRaceWar,            ///< racecheck: write over another warp's same-interval read.
+  kRaceWaw,            ///< racecheck: two warps writing one word in one interval.
+  kDivergentBarrier,   ///< synccheck: barrier some warps never reached.
+};
+inline constexpr std::size_t kNumCheckKinds = 6;
+
+const char* check_kind_name(CheckKind k);
+
+/// One diagnostic with full block/warp/lane coordinates, so tests (and
+/// humans) can pin the hazard to the exact thread that caused it.
+struct CheckDiag {
+  CheckKind kind{};
+  Dim3 block;           ///< blockIdx of the offending block.
+  int warp = -1;        ///< Warp within the block (-1: block-scope diagnostic).
+  int lane = -1;        ///< Lane within the warp (-1: warp- or block-scope).
+  int other_warp = -1;  ///< Racecheck: the conflicting warp.
+  std::uint64_t addr = 0;   ///< Device address (memcheck) / shared byte offset.
+  std::uint64_t bytes = 0;  ///< Access size.
+  std::string detail;       ///< Human-readable one-liner.
+
+  bool operator==(const CheckDiag&) const = default;
+};
+
+/// Accumulated result of one kernel (or one block, pre-merge): exact counts
+/// per hazard kind plus the first kMaxDiags diagnostics in block order.
+struct CheckReport {
+  static constexpr std::size_t kMaxDiags = 16;
+
+  std::array<std::uint64_t, kNumCheckKinds> counts{};
+  std::vector<CheckDiag> diags;
+
+  std::uint64_t count(CheckKind k) const {
+    return counts[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t errors() const;
+  bool clean() const { return errors() == 0; }
+  /// True if a diagnostic added now would still be stored (lets callers
+  /// skip building the message text once the cap is reached).
+  bool wants_diag() const { return diags.size() < kMaxDiags; }
+
+  void add(CheckDiag d);
+  void count_only(CheckKind k) { ++counts[static_cast<std::size_t>(k)]; }
+
+  /// Block-order merge; diagnostics keep the first kMaxDiags overall.
+  CheckReport& operator+=(const CheckReport& o);
+
+  /// cuda-memcheck-style "=========" text rendering.
+  std::string to_string() const;
+
+  bool operator==(const CheckReport&) const = default;
+};
+
+}  // namespace vgpu

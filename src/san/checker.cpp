@@ -1,0 +1,174 @@
+#include "san/checker.hpp"
+
+#include "mem/shared.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace vgpu {
+
+namespace {
+
+/// Word index of a shared byte offset: shadow granularity is the bank word.
+constexpr std::uint64_t word_of(std::uint64_t byte) {
+  return byte / kBankWordBytes;
+}
+
+std::string block_str(const Dim3& b) {
+  std::ostringstream os;
+  os << "block (" << b.x << "," << b.y << "," << b.z << ")";
+  return os.str();
+}
+
+}  // namespace
+
+const char* mem_space_name(MemSpace s) {
+  switch (s) {
+    case MemSpace::kGlobal: return "__global__";
+    case MemSpace::kConstant: return "__constant__";
+    case MemSpace::kTexture: return "texture";
+  }
+  return "?";
+}
+
+void BlockChecker::configure(CheckMode mode, const DeviceHeap* heap,
+                             std::size_t shared_capacity) {
+  mode_ = mode;
+  heap_ = heap;
+  shared_words_ = (shared_capacity + kBankWordBytes - 1) / kBankWordBytes;
+}
+
+void BlockChecker::begin_block(Dim3 block_idx) {
+  block_idx_ = block_idx;
+  report_ = CheckReport{};
+  epoch_ = 0;
+  if (racecheck_on()) shadow_.assign(shared_words_, WordShadow{});
+}
+
+Mask BlockChecker::vet_global(const LaneVec<std::uint64_t>& addrs, Mask active,
+                              std::size_t elem, bool write, int warp,
+                              MemSpace space) {
+  Mask ok = active;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_in(active, l)) continue;
+    const HeapAlloc* owner = nullptr;
+    AddrClass c = heap_->classify(addrs[l], elem, &owner);
+    if (c == AddrClass::kValid) continue;
+    ok &= ~lane_bit(l);
+    CheckKind kind = c == AddrClass::kFreed ? CheckKind::kUseAfterFree
+                                            : CheckKind::kOutOfBounds;
+    if (!report_.wants_diag()) {
+      report_.count_only(kind);
+      continue;
+    }
+    CheckDiag d;
+    d.kind = kind;
+    d.block = block_idx_;
+    d.warp = warp;
+    d.lane = l;
+    d.addr = addrs[l];
+    d.bytes = elem;
+    std::ostringstream os;
+    os << "Invalid " << mem_space_name(space) << " "
+       << (write ? "write" : "read") << " of size " << elem << " at address 0x"
+       << std::hex << addrs[l] << std::dec << " by " << block_str(block_idx_)
+       << " warp " << warp << " lane " << l;
+    if (owner == nullptr) {
+      os << " (address precedes every allocation)";
+    } else if (c == AddrClass::kFreed) {
+      os << " (inside a freed " << owner->bytes << "-byte allocation at 0x"
+         << std::hex << owner->addr << std::dec << ")";
+    } else {
+      os << " (" << addrs[l] + elem - (owner->addr + owner->bytes)
+         << " bytes past the end of the " << owner->bytes
+         << "-byte allocation at 0x" << std::hex << owner->addr << std::dec
+         << ")";
+    }
+    d.detail = os.str();
+    report_.add(std::move(d));
+  }
+  return ok;
+}
+
+void BlockChecker::report_race(CheckKind kind, std::uint64_t word, int warp,
+                               int other) {
+  if (!report_.wants_diag()) {
+    report_.count_only(kind);
+    return;
+  }
+  CheckDiag d;
+  d.kind = kind;
+  d.block = block_idx_;
+  d.warp = warp;
+  d.other_warp = other;
+  d.addr = word * kBankWordBytes;
+  d.bytes = kBankWordBytes;
+  std::ostringstream os;
+  os << "Shared word at offset 0x" << std::hex << word * kBankWordBytes << std::dec
+     << " touched by warp " << warp << " and warp " << other << " of "
+     << block_str(block_idx_)
+     << " within one barrier interval (missing __syncthreads?)";
+  d.detail = os.str();
+  report_.add(std::move(d));
+}
+
+void BlockChecker::on_shared_access(const LaneVec<std::uint64_t>& addrs,
+                                    Mask active, std::size_t elem, bool write,
+                                    int warp) {
+  const std::uint64_t self = std::uint64_t{1} << warp;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_in(active, l)) continue;
+    std::uint64_t first = word_of(addrs[l]);
+    std::uint64_t last = word_of(addrs[l] + elem - 1);
+    for (std::uint64_t wd = first; wd <= last && wd < shadow_.size(); ++wd) {
+      WordShadow& s = shadow_[wd];
+      if (write) {
+        if (s.write_epoch == epoch_ && s.writer != warp)
+          report_race(CheckKind::kRaceWaw, wd, warp, s.writer);
+        else if (s.read_epoch == epoch_ && (s.readers & ~self) != 0)
+          report_race(CheckKind::kRaceWar, wd, warp,
+                      std::countr_zero(s.readers & ~self));
+        s.writer = static_cast<std::int16_t>(warp);
+        s.write_epoch = epoch_;
+      } else {
+        if (s.write_epoch == epoch_ && s.writer != warp)
+          report_race(CheckKind::kRaceRaw, wd, warp, s.writer);
+        if (s.read_epoch != epoch_) {
+          s.readers = 0;
+          s.read_epoch = epoch_;
+        }
+        s.readers |= self;
+      }
+    }
+  }
+}
+
+void BlockChecker::on_barrier_release(std::uint64_t arrived, int total) {
+  if (synccheck_on()) {
+    int missing = total - std::popcount(arrived);
+    if (missing > 0) {
+      if (!report_.wants_diag()) {
+        report_.count_only(CheckKind::kDivergentBarrier);
+      } else {
+        CheckDiag d;
+        d.kind = CheckKind::kDivergentBarrier;
+        d.block = block_idx_;
+        std::ostringstream os;
+        os << "__syncthreads in " << block_str(block_idx_) << " released with "
+           << std::popcount(arrived) << " of " << total
+           << " warps arrived; warp(s)";
+        for (int w = 0; w < total; ++w)
+          if ((arrived & (std::uint64_t{1} << w)) == 0) os << " " << w;
+        os << " exited without reaching the barrier (undefined behaviour on "
+              "hardware)";
+        d.detail = os.str();
+        report_.add(std::move(d));
+      }
+    }
+  }
+  // The barrier orders shared-memory accesses: a new race interval begins.
+  ++epoch_;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,103 @@
+#pragma once
+
+// vgpu-san: per-block dynamic checker (DESIGN.md section 7).
+//
+// One BlockChecker lives inside each BlockRunner arena, so all shadow state
+// is per-block and per-worker: the parallel grid engine needs no cross-
+// thread sharing, and reports stay bitwise deterministic at any thread
+// count (they are gathered per block and merged in block-index order, like
+// every other per-block product).
+//
+//   memcheck   - vet_global() classifies every active lane's address
+//                against the heap's allocation registry. Offending lanes
+//                are reported *and dropped* from the functional access, so
+//                the simulation survives the fault and keeps collecting
+//                diagnostics (the registry is read-only during a grid, so
+//                concurrent workers may classify freely).
+//   racecheck  - one shadow word per 4 shared-memory bytes records the
+//                last writing warp and the reading warps of the current
+//                barrier interval ("epoch"). A cross-warp combination of
+//                accesses, at least one a write, inside one epoch is a
+//                hazard; __syncthreads advances the epoch. Warp-level
+//                lockstep means intra-warp accesses never race, and
+//                shared atomics are exempt (they serialize in hardware).
+//   synccheck  - a barrier that releases while some warps have already
+//                exited the kernel is divergent-barrier UB on hardware;
+//                the release is reported with the set of missing warps.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/heap.hpp"
+#include "san/check.hpp"
+#include "sim/lanevec.hpp"
+
+namespace vgpu {
+
+/// Memory space of a vetted device access, for diagnostics.
+enum class MemSpace : std::uint8_t { kGlobal, kConstant, kTexture };
+const char* mem_space_name(MemSpace s);
+
+class BlockChecker {
+ public:
+  /// Bind to a grid: which checkers run, the heap whose registry memcheck
+  /// consults, and the shared-segment capacity the race shadow must cover.
+  void configure(CheckMode mode, const DeviceHeap* heap,
+                 std::size_t shared_capacity);
+
+  /// Reset per-block state (shadow words, barrier epoch, report).
+  void begin_block(Dim3 block_idx);
+
+  bool enabled() const { return mode_ != CheckMode::kOff; }
+  bool memcheck_on() const { return check_has(mode_, CheckMode::kMemcheck); }
+  bool racecheck_on() const { return check_has(mode_, CheckMode::kRacecheck); }
+  bool synccheck_on() const { return check_has(mode_, CheckMode::kSynccheck); }
+
+  /// Memcheck: returns the subset of `active` whose accesses are valid;
+  /// invalid lanes are reported with full coordinates and suppressed.
+  Mask vet_global(const LaneVec<std::uint64_t>& addrs, Mask active,
+                  std::size_t elem, bool write, int warp, MemSpace space);
+
+  /// Racecheck: record one warp shared-memory instruction (addrs are byte
+  /// offsets into the block's shared segment).
+  void on_shared_access(const LaneVec<std::uint64_t>& addrs, Mask active,
+                        std::size_t elem, bool write, int warp);
+
+  /// Synccheck + racecheck epoch: called by the block runner when a barrier
+  /// releases. `arrived` has bit w set if warp w arrived; warps missing
+  /// from it (below `total`) exited the kernel without reaching the
+  /// barrier.
+  void on_barrier_release(std::uint64_t arrived, int total);
+
+  /// Move the accumulated per-block report out (leaves it empty).
+  CheckReport take_report() {
+    CheckReport r = std::move(report_);
+    report_ = CheckReport{};
+    return r;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoEpoch = 0xffffffffu;
+
+  /// Shadow state of one 4-byte shared-memory word within the current
+  /// barrier interval. Blocks have at most 64 warps (2048 threads), so the
+  /// reader set fits a 64-bit mask.
+  struct WordShadow {
+    std::int16_t writer = -1;
+    std::uint32_t write_epoch = kNoEpoch;
+    std::uint64_t readers = 0;
+    std::uint32_t read_epoch = kNoEpoch;
+  };
+
+  void report_race(CheckKind kind, std::uint64_t word, int warp, int other);
+
+  CheckMode mode_ = CheckMode::kOff;
+  const DeviceHeap* heap_ = nullptr;
+  std::size_t shared_words_ = 0;
+  Dim3 block_idx_;
+  std::uint32_t epoch_ = 0;
+  std::vector<WordShadow> shadow_;
+  CheckReport report_;
+};
+
+}  // namespace vgpu

@@ -23,6 +23,7 @@ void BlockRunner::prepare_grid(const GridPlan& plan, bool defer_fp_atomics) {
   // rebuilt once per grid (and merely reset() per block).
   caches_.emplace(gpu_->profile(), plan.cache_co_residency,
                   plan.cache_blocks_on_device);
+  checker_.configure(plan.check, heap_, shared_.capacity());
 }
 
 int BlockRunner::warp_index_of(const WarpCtx& w) const { return w.warp_in_block(); }
@@ -89,6 +90,7 @@ BlockOutcome BlockRunner::run(Dim3 block_idx, KernelStats& stats) {
   fp_commits_.clear();
   waiting_.assign(static_cast<std::size_t>(num_warps_), false);
   alloc_cursor_.assign(static_cast<std::size_t>(num_warps_), 0);
+  if (checker_.enabled()) checker_.begin_block(block_idx);
 
   ++stats.blocks;
   stats.warps += static_cast<std::uint64_t>(num_warps_);
@@ -132,6 +134,13 @@ BlockOutcome BlockRunner::run(Dim3 block_idx, KernelStats& stats) {
     }
     if (live_warps > 0 && all_waiting) {
       ++stats_->barriers;
+      if (checker_.enabled()) {
+        std::uint64_t arrived = 0;
+        for (int wi = 0; wi < num_warps_; ++wi)
+          if (!tasks_[static_cast<std::size_t>(wi)].done())
+            arrived |= std::uint64_t{1} << wi;
+        checker_.on_barrier_release(arrived, num_warps_);
+      }
       replay_segment();  // Resolve this segment's cache behaviour and stalls.
       double cycles_per_us = gpu_->profile().cycles_per_us();
       double latest = 0;

@@ -25,6 +25,7 @@
 
 #include "mem/global.hpp"
 #include "mem/shared.hpp"
+#include "san/checker.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 #include "sim/warp.hpp"
@@ -76,6 +77,7 @@ struct GridPlan {
   long long grid_blocks = 0;
   int cache_co_residency = 1;           ///< Blocks sharing one SM's L1/tex.
   long long cache_blocks_on_device = 1; ///< Blocks sharing the device L2.
+  CheckMode check = CheckMode::kOff;    ///< vgpu-san checkers for this grid.
 };
 
 class BlockRunner {
@@ -102,12 +104,15 @@ class BlockRunner {
   std::vector<ChildLaunch> take_children() { return std::move(children_); }
   /// Deferred FP atomic commits recorded by the last run() (moved out).
   std::vector<FpCommit> take_fp_commits() { return std::move(fp_commits_); }
+  /// vgpu-san diagnostics accumulated by the last run() (moved out).
+  CheckReport take_check_report() { return checker_.take_report(); }
 
   // --- Services used by WarpCtx --------------------------------------------
   SharedSegment& shared() { return shared_; }
   BlockCaches& caches() { return *caches_; }
   KernelStats& stats() { return *stats_; }
   GpuExec& gpu() { return *gpu_; }
+  BlockChecker& checker() { return checker_; }
 
   /// Deduplicated shared allocation: the n-th allocation of every warp in
   /// the block aliases the same storage (matching __shared__ semantics).
@@ -155,6 +160,7 @@ class BlockRunner {
 
   SharedSegment shared_;
   std::optional<BlockCaches> caches_;
+  BlockChecker checker_;
 
   int num_warps_ = 0;
   std::vector<std::unique_ptr<WarpCtx>> ctxs_;  // Grow-only, reused across blocks.

@@ -1,6 +1,7 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <queue>
 #include <stdexcept>
 
@@ -128,6 +129,7 @@ GridPlan GpuExec::plan_grid(const LaunchConfig& cfg, const KernelFn& fn) const {
   plan.cache_blocks_on_device = std::min<long long>(
       plan.grid_blocks,
       static_cast<long long>(occ) * profile_.sm_count);
+  plan.check = check_;
   return plan;
 }
 
@@ -153,7 +155,7 @@ void GpuExec::set_sim_threads(int threads) {
 
 std::vector<std::vector<double>> GpuExec::run_grids(
     const std::vector<GridRef>& grids, KernelStats& stats,
-    std::size_t* shared_bytes_out) {
+    std::size_t* shared_bytes_out, CheckReport* check_out) {
   std::vector<GridPlan> plans;
   plans.reserve(grids.size());
   std::vector<long long> first_job;
@@ -178,6 +180,8 @@ std::vector<std::vector<double>> GpuExec::run_grids(
   std::vector<std::vector<FpCommit>> fp_commits(
       parallel ? static_cast<std::size_t>(total) : 0);
   std::vector<KernelStats> worker_stats(static_cast<std::size_t>(threads));
+  const bool checking = check_out != nullptr && check_ != CheckMode::kOff;
+  std::vector<CheckReport> checks(checking ? static_cast<std::size_t>(total) : 0);
 
   auto run_job = [&](int worker, long long job) {
     BlockRunner& arena = *arenas_[static_cast<std::size_t>(worker)];
@@ -195,6 +199,7 @@ std::vector<std::vector<double>> GpuExec::run_grids(
     shared[slot] = out.shared_bytes;
     children[slot] = arena.take_children();
     if (parallel) fp_commits[slot] = arena.take_fp_commits();
+    if (checking) checks[slot] = arena.take_check_report();
   };
 
   if (parallel) {
@@ -224,6 +229,8 @@ std::vector<std::vector<double>> GpuExec::run_grids(
   }
   for (auto& cv : children)
     for (ChildLaunch& ch : cv) pending_children_.push_back(std::move(ch));
+  if (checking)
+    for (CheckReport& c : checks) *check_out += c;  // Block-index order.
 
   if (shared_bytes_out != nullptr)
     *shared_bytes_out = total == 0 ? 0 : *std::max_element(shared.begin(), shared.end());
@@ -246,8 +253,9 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
   std::uint64_t dram_before = 0;  // stats start at zero for this run
 
   std::size_t shared_bytes = 0;
-  run.level_block_cycles.push_back(
-      std::move(run_grids({GridRef{&cfg, &fn}}, run.stats, &shared_bytes).front()));
+  run.level_block_cycles.push_back(std::move(
+      run_grids({GridRef{&cfg, &fn}}, run.stats, &shared_bytes, &run.check)
+          .front()));
   run.blocks_per_sm = occupancy(run.threads_per_block, shared_bytes);
 
   // Dynamic parallelism: run children level by level (children enqueued by
@@ -265,7 +273,7 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
     refs.reserve(level.size());
     for (const ChildLaunch& c : level) refs.push_back(GridRef{&c.cfg, &c.fn});
     std::vector<std::vector<double>> per_grid =
-        run_grids(refs, run.stats, nullptr);
+        run_grids(refs, run.stats, nullptr, &run.check);
     std::vector<double> cycles;
     for (const auto& b : per_grid) cycles.insert(cycles.end(), b.begin(), b.end());
     run.level_block_cycles.push_back(std::move(cycles));
@@ -283,6 +291,11 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
       (total_blocks + run.blocks_per_sm - 1) / std::max(1, run.blocks_per_sm);
   run.preferred_sms = static_cast<int>(
       std::clamp<long long>(wanted, 1, profile_.sm_count));
+
+  if (!run.check.clean()) {
+    check_accum_ += run.check;
+    std::cerr << run.check.to_string();
+  }
   return run;
 }
 

@@ -25,6 +25,7 @@
 
 #include "mem/constant.hpp"
 #include "mem/global.hpp"
+#include "san/check.hpp"
 #include "sim/block.hpp"
 #include "sim/device.hpp"
 #include "sim/kernel.hpp"
@@ -37,6 +38,7 @@ namespace vgpu {
 struct KernelRun {
   std::string name;
   KernelStats stats;
+  CheckReport check;  ///< vgpu-san diagnostics (empty when checking is off).
   /// Per-block cycle costs, one vector per dynamic-parallelism level
   /// (level 0 = the host-launched grid).
   std::vector<std::vector<double>> level_block_cycles;
@@ -72,6 +74,15 @@ class GpuExec {
   int sim_threads() const { return threads_; }
   void set_sim_threads(int threads);
 
+  // --- vgpu-san ---------------------------------------------------------------
+  /// Dynamic checkers applied to subsequent launches (default: VGPU_CHECK
+  /// env var, off when unset).
+  CheckMode check_mode() const { return check_; }
+  void set_check_mode(CheckMode m) { check_ = m; }
+  /// Diagnostics accumulated across every launch since the last clear.
+  const CheckReport& check_report() const { return check_accum_; }
+  void clear_check_report() { check_accum_ = CheckReport{}; }
+
   // --- Used by WarpCtx -------------------------------------------------------
   std::uint32_t next_texture_id() { return ++texture_ids_; }
 
@@ -95,7 +106,8 @@ class GpuExec {
   /// per-block shared allocation via `shared_bytes_out` if non-null.
   std::vector<std::vector<double>> run_grids(const std::vector<GridRef>& grids,
                                              KernelStats& stats,
-                                             std::size_t* shared_bytes_out);
+                                             std::size_t* shared_bytes_out,
+                                             CheckReport* check_out);
 
   double block_time_cycles(const BlockOutcome& b, int threads_per_block,
                            long long grid_blocks) const;
@@ -111,6 +123,8 @@ class GpuExec {
   std::vector<ChildLaunch> pending_children_;
   std::uint32_t texture_ids_ = 0;
   std::uint64_t plan_epoch_ = 0;  // Tags GridPlans so arenas detect rebinds.
+  CheckMode check_ = check_mode_from_env();
+  CheckReport check_accum_;
 
   int threads_ = WorkerPool::env_thread_count();
   std::unique_ptr<WorkerPool> pool_;                 // Lazy, recreated on resize.

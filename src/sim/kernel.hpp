@@ -89,6 +89,7 @@ struct Dim3 {
   constexpr long long count() const {
     return static_cast<long long>(x) * y * z;
   }
+  constexpr bool operator==(const Dim3&) const = default;
 };
 
 /// <<<grid, block>>> plus a display name.

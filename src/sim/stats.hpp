@@ -7,9 +7,29 @@
 // conflicts for BankRedux). KernelStats makes the equivalent counters a
 // first-class simulator output so tests can assert on them exactly.
 
+#include <cstddef>
 #include <cstdint>
 
 namespace vgpu {
+
+/// Single source of truth for KernelStats' counter fields. Everything that
+/// must enumerate every counter — the merge operator the parallel grid
+/// engine relies on, the golden-stats serializer, and the field-drift guard
+/// test — expands this list, so adding a counter in one place updates them
+/// all (and a static_assert below catches a field added outside the list).
+#define VGPU_STATS_FIELDS(X)                                          \
+  X(blocks) X(warps)                                                  \
+  X(instructions) X(useful_lane_ops)                                  \
+  X(gld_requests) X(gld_transactions)                                 \
+  X(gst_requests) X(gst_transactions)                                 \
+  X(l1_hits) X(l1_misses) X(l2_hits) X(l2_misses)                     \
+  X(dram_read_bytes) X(dram_write_bytes)                              \
+  X(smem_loads) X(smem_stores) X(bank_conflicts)                      \
+  X(const_requests) X(const_serializations)                           \
+  X(tex_requests) X(tex_hits) X(tex_misses) X(tex_dram_bytes)         \
+  X(atomic_ops) X(atomic_serializations)                              \
+  X(branches) X(divergent_branches) X(shuffles) X(barriers)           \
+  X(device_launches) X(um_page_faults) X(um_migrated_bytes)
 
 struct KernelStats {
   // Launch shape.
@@ -63,6 +83,22 @@ struct KernelStats {
   /// assert serial and multithreaded runs agree on every field.
   bool operator==(const KernelStats&) const = default;
 
+  /// Number of counter fields in VGPU_STATS_FIELDS.
+  static constexpr std::size_t kNumFields =
+#define VGPU_STATS_COUNT(name) +1
+      VGPU_STATS_FIELDS(VGPU_STATS_COUNT)
+#undef VGPU_STATS_COUNT
+      ;
+
+  /// Visit every counter as f(name, value). `Self` is KernelStats or
+  /// const KernelStats; the field list is the macro above.
+  template <typename Self, typename F>
+  static void for_each_field(Self& s, F&& f) {
+#define VGPU_STATS_VISIT(name) f(#name, s.name);
+    VGPU_STATS_FIELDS(VGPU_STATS_VISIT)
+#undef VGPU_STATS_VISIT
+  }
+
   /// nvprof `warp_execution_efficiency`, in percent.
   double warp_execution_efficiency() const {
     if (instructions == 0) return 100.0;
@@ -70,41 +106,21 @@ struct KernelStats {
            (32.0 * static_cast<double>(instructions));
   }
 
+  /// Memberwise merge, used by the worker pool's per-worker accumulation.
+  /// Generated from VGPU_STATS_FIELDS so it can never miss a counter.
   KernelStats& operator+=(const KernelStats& o) {
-    blocks += o.blocks;
-    warps += o.warps;
-    instructions += o.instructions;
-    useful_lane_ops += o.useful_lane_ops;
-    gld_requests += o.gld_requests;
-    gld_transactions += o.gld_transactions;
-    gst_requests += o.gst_requests;
-    gst_transactions += o.gst_transactions;
-    l1_hits += o.l1_hits;
-    l1_misses += o.l1_misses;
-    l2_hits += o.l2_hits;
-    l2_misses += o.l2_misses;
-    dram_read_bytes += o.dram_read_bytes;
-    dram_write_bytes += o.dram_write_bytes;
-    smem_loads += o.smem_loads;
-    smem_stores += o.smem_stores;
-    bank_conflicts += o.bank_conflicts;
-    const_requests += o.const_requests;
-    const_serializations += o.const_serializations;
-    atomic_ops += o.atomic_ops;
-    atomic_serializations += o.atomic_serializations;
-    tex_requests += o.tex_requests;
-    tex_hits += o.tex_hits;
-    tex_misses += o.tex_misses;
-    tex_dram_bytes += o.tex_dram_bytes;
-    branches += o.branches;
-    divergent_branches += o.divergent_branches;
-    shuffles += o.shuffles;
-    barriers += o.barriers;
-    device_launches += o.device_launches;
-    um_page_faults += o.um_page_faults;
-    um_migrated_bytes += o.um_migrated_bytes;
+#define VGPU_STATS_ADD(name) name += o.name;
+    VGPU_STATS_FIELDS(VGPU_STATS_ADD)
+#undef VGPU_STATS_ADD
     return *this;
   }
 };
+
+// A counter declared in the struct but missing from VGPU_STATS_FIELDS would
+// silently vanish from the merge (and from the golden suite); every field is
+// a std::uint64_t, so the sizes must line up exactly.
+static_assert(sizeof(KernelStats) ==
+                  KernelStats::kNumFields * sizeof(std::uint64_t),
+              "KernelStats field added without updating VGPU_STATS_FIELDS");
 
 }  // namespace vgpu

@@ -273,6 +273,20 @@ void WarpCtx::async_copy_cost(const LaneVec<std::uint64_t>& gaddrs,
   }
 }
 
+Mask WarpCtx::vet_global_lanes(const LaneVec<std::uint64_t>& addrs,
+                               std::size_t elem, bool write, MemSpace space) {
+  BlockChecker& ck = block_->checker();
+  if (!ck.memcheck_on()) return active();
+  return ck.vet_global(addrs, active(), elem, write, warp_in_block_, space);
+}
+
+void WarpCtx::note_shared_access(const LaneVec<std::uint64_t>& addrs,
+                                 std::size_t elem, bool write) {
+  BlockChecker& ck = block_->checker();
+  if (ck.racecheck_on())
+    ck.on_shared_access(addrs, active(), elem, write, warp_in_block_);
+}
+
 void WarpCtx::charge_instr(int n) {
   KernelStats& s = stats();
   s.instructions += static_cast<std::uint64_t>(n);

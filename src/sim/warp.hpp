@@ -26,6 +26,7 @@
 #include "mem/global.hpp"
 #include "mem/shared.hpp"
 #include "mem/texture.hpp"
+#include "san/checker.hpp"
 #include "sim/kernel.hpp"
 #include "sim/lanevec.hpp"
 #include "sim/stats.hpp"
@@ -95,9 +96,10 @@ class WarpCtx {
   LaneVec<T> load(const DevSpan<T>& a, const LaneI& idx) {
     LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
     global_cost(addrs, sizeof(T), /*write=*/false);
+    Mask ok = vet_global_lanes(addrs, sizeof(T), /*write=*/false, MemSpace::kGlobal);
     LaneVec<T> out;
     for (int l = 0; l < kWarpSize; ++l)
-      if (lane_in(active(), l)) out[l] = heap().load<T>(addrs[l]);
+      if (lane_in(ok, l)) out[l] = heap().load<T>(addrs[l]);
     return out;
   }
 
@@ -105,8 +107,9 @@ class WarpCtx {
   void store(const DevSpan<T>& a, const LaneI& idx, const LaneVec<T>& v) {
     LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
     global_cost(addrs, sizeof(T), /*write=*/true);
+    Mask ok = vet_global_lanes(addrs, sizeof(T), /*write=*/true, MemSpace::kGlobal);
     for (int l = 0; l < kWarpSize; ++l)
-      if (lane_in(active(), l)) heap().store<T>(addrs[l], v[l]);
+      if (lane_in(ok, l)) heap().store<T>(addrs[l], v[l]);
   }
 
   // --- Atomics -----------------------------------------------------------------
@@ -125,9 +128,10 @@ class WarpCtx {
                   "atomic_add supports arithmetic element types");
     LaneVec<std::uint64_t> addrs = element_addrs(a, idx);
     atomic_cost(addrs, sizeof(T));
+    Mask ok = vet_global_lanes(addrs, sizeof(T), /*write=*/true, MemSpace::kGlobal);
     LaneVec<T> old;
     for (int l = 0; l < kWarpSize; ++l) {
-      if (!lane_in(active(), l)) continue;
+      if (!lane_in(ok, l)) continue;
       if constexpr (std::is_integral_v<T>) {
         old[l] = heap().atomic_fetch_add(addrs[l], v[l]);
       } else {
@@ -166,6 +170,7 @@ class WarpCtx {
   LaneVec<T> sh_load(const SharedArray<T>& a, const LaneI& idx) {
     LaneVec<std::uint64_t> addrs = shared_addrs(a, idx);
     shared_cost(addrs, sizeof(T), /*write=*/false);
+    note_shared_access(addrs, sizeof(T), /*write=*/false);
     LaneVec<T> out;
     for (int l = 0; l < kWarpSize; ++l)
       if (lane_in(active(), l)) out[l] = shared_mem().load<T>(addrs[l]);
@@ -176,6 +181,7 @@ class WarpCtx {
   void sh_store(const SharedArray<T>& a, const LaneI& idx, const LaneVec<T>& v) {
     LaneVec<std::uint64_t> addrs = shared_addrs(a, idx);
     shared_cost(addrs, sizeof(T), /*write=*/true);
+    note_shared_access(addrs, sizeof(T), /*write=*/true);
     for (int l = 0; l < kWarpSize; ++l)
       if (lane_in(active(), l)) shared_mem().store<T>(addrs[l], v[l]);
   }
@@ -187,9 +193,10 @@ class WarpCtx {
     for (int l = 0; l < kWarpSize; ++l)
       addrs[l] = lane_in(active(), l) ? a.addr_of(static_cast<std::size_t>(idx[l])) : a.addr;
     const_cost(addrs, sizeof(T));
+    Mask ok = vet_global_lanes(addrs, sizeof(T), /*write=*/false, MemSpace::kConstant);
     LaneVec<T> out;
     for (int l = 0; l < kWarpSize; ++l)
-      if (lane_in(active(), l)) out[l] = heap().load<T>(addrs[l]);
+      if (lane_in(ok, l)) out[l] = heap().load<T>(addrs[l]);
     return out;
   }
 
@@ -257,8 +264,10 @@ class WarpCtx {
     LaneVec<std::uint64_t> gaddrs = element_addrs(src, src_idx);
     LaneVec<std::uint64_t> saddrs = shared_addrs(dst, dst_idx);
     async_copy_cost(gaddrs, saddrs, sizeof(T));
+    Mask ok = vet_global_lanes(gaddrs, sizeof(T), /*write=*/false, MemSpace::kGlobal);
+    note_shared_access(saddrs, sizeof(T), /*write=*/true);
     for (int l = 0; l < kWarpSize; ++l)
-      if (lane_in(active(), l))
+      if (lane_in(ok, l))
         shared_mem().store<T>(saddrs[l], heap().load<T>(gaddrs[l]));
   }
   /// Commit the staged batch (cuda::pipeline producer_commit).
@@ -313,9 +322,10 @@ class WarpCtx {
       addrs[l] = t.addr_of(cx, cy);
     }
     tex_cost(keys, sizeof(T));
+    Mask ok = vet_global_lanes(addrs, sizeof(T), /*write=*/false, MemSpace::kTexture);
     LaneVec<T> out;
     for (int l = 0; l < kWarpSize; ++l)
-      if (lane_in(active(), l)) out[l] = heap().load<T>(addrs[l]);
+      if (lane_in(ok, l)) out[l] = heap().load<T>(addrs[l]);
     return out;
   }
 
@@ -346,6 +356,13 @@ class WarpCtx {
                        const LaneVec<std::uint64_t>& saddrs, std::size_t elem);
   void queue_access(MemPath path, bool write, float stall_scale,
                     const std::vector<std::uint64_t>& sectors);
+  /// vgpu-san memcheck: active lanes whose addresses are valid (invalid
+  /// lanes are reported and suppressed). Identity when memcheck is off.
+  Mask vet_global_lanes(const LaneVec<std::uint64_t>& addrs, std::size_t elem,
+                        bool write, MemSpace space);
+  /// vgpu-san racecheck: record a shared access (no-op when off).
+  void note_shared_access(const LaneVec<std::uint64_t>& addrs,
+                          std::size_t elem, bool write);
   void charge_instr(int n);
   void charge_shuffle();
   void push_mask(Mask m) { mask_stack_.push_back(m); }

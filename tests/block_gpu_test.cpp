@@ -200,6 +200,9 @@ TEST(Gpu, DynamicParallelismRequiresSupport) {
 
 TEST(Gpu, KernelExceptionPropagates) {
   Runtime rt(DeviceProfile::test_tiny());
+  // The unchecked fault path must throw; under vgpu-san memcheck the bad
+  // lanes would instead be reported and suppressed.
+  rt.set_check_mode(CheckMode::kOff);
   auto small = rt.malloc<int>(4);
   EXPECT_THROW(rt.launch({Dim3{1}, Dim3{32}, "oob"},
                          [=](WarpCtx& w) -> WarpTask {

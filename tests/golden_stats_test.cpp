@@ -1,0 +1,113 @@
+// Golden-counter regression suite: every benchmark pair runs at a fixed tiny
+// size and every KernelStats field must match the checked-in goldens exactly.
+// The simulator is deterministic by design (any VGPU_THREADS, any
+// VGPU_CHECK), so a diff here means a real change in modelled behaviour —
+// review it, then regenerate with
+//
+//   ./tests/golden_stats_test --update_goldens
+//
+// which rewrites tests/golden_stats.txt in place (run the binary directly,
+// not through ctest, so all cases land in one process).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "suite_runners.hpp"
+
+namespace {
+
+bool g_update = false;
+std::map<std::string, std::uint64_t> g_golden;
+std::map<std::string, std::uint64_t> g_observed;
+
+void load_goldens() {
+  std::ifstream in(GOLDEN_STATS_PATH);
+  std::string key;
+  std::uint64_t value;
+  while (in >> key >> value) g_golden[key] = value;
+}
+
+void check_stats(const std::string& prefix, const vgpu::KernelStats& s) {
+  vgpu::KernelStats::for_each_field(s, [&](const char* field, std::uint64_t v) {
+    std::string key = prefix + "." + field;
+    g_observed[key] = v;
+    if (g_update) return;
+    auto it = g_golden.find(key);
+    if (it == g_golden.end()) {
+      ADD_FAILURE() << key << " missing from " << GOLDEN_STATS_PATH
+                    << " — regenerate with --update_goldens";
+      return;
+    }
+    EXPECT_EQ(v, it->second) << key;
+  });
+}
+
+class GoldenStats : public ::testing::TestWithParam<cumb_tests::SuiteCase> {};
+
+TEST_P(GoldenStats, CountersMatchGoldens) {
+  const cumb_tests::SuiteCase& c = GetParam();
+  cumb::Runtime rt(c.profile());
+  cumb::PairResult r = c.run(rt);
+  EXPECT_TRUE(r.results_match) << c.name;
+  check_stats(c.name + ".naive", r.naive_stats);
+  check_stats(c.name + ".optimized", r.optimized_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, GoldenStats, ::testing::ValuesIn(cumb_tests::suite_cases()),
+    [](const ::testing::TestParamInfo<cumb_tests::SuiteCase>& info) {
+      return info.param.name;
+    });
+
+// Field-drift guard: operator+= (and with it every consumer of
+// VGPU_STATS_FIELDS) must sum each counter memberwise. Distinct sentinels
+// per field catch a swapped or skipped member; the static_assert in
+// stats.hpp already catches a field added outside the macro list.
+TEST(KernelStatsGuard, MergeSumsEveryFieldMemberwise) {
+  vgpu::KernelStats a, b;
+  std::uint64_t i = 0;
+  vgpu::KernelStats::for_each_field(a,
+                                    [&](const char*, std::uint64_t& v) { v = ++i; });
+  std::uint64_t j = 0;
+  vgpu::KernelStats::for_each_field(
+      b, [&](const char*, std::uint64_t& v) { v = 1000 + ++j; });
+  ASSERT_EQ(i, vgpu::KernelStats::kNumFields);
+
+  vgpu::KernelStats sum = a;
+  sum += b;
+  std::uint64_t k = 0;
+  vgpu::KernelStats::for_each_field(sum,
+                                    [&](const char* name, std::uint64_t v) {
+                                      ++k;
+                                      EXPECT_EQ(v, k + 1000 + k) << name;
+                                    });
+  EXPECT_EQ(k, vgpu::KernelStats::kNumFields);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update_goldens") {
+      g_update = true;
+      for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  if (!g_update) load_goldens();
+  int rc = RUN_ALL_TESTS();
+  if (g_update && rc == 0) {
+    std::ofstream out(GOLDEN_STATS_PATH);
+    for (const auto& [key, value] : g_observed) out << key << " " << value << "\n";
+    std::cout << "wrote " << g_observed.size() << " golden counters to "
+              << GOLDEN_STATS_PATH << "\n";
+  }
+  return rc;
+}

@@ -90,6 +90,9 @@ TEST(Trace, GraphOpsAreRecorded) {
 
 TEST(FailureInjection, GraphKernelExceptionPropagates) {
   Runtime rt(DeviceProfile::test_tiny());
+  // These tests exercise the *unchecked* fault path: under vgpu-san memcheck
+  // the bad lanes would be reported and suppressed instead of throwing.
+  rt.set_check_mode(CheckMode::kOff);
   auto tiny = rt.malloc<int>(2);
   GraphBuilder b;
   b.add_kernel({Dim3{1}, Dim3{32}, "oob"}, [=](WarpCtx& w) -> WarpTask {
@@ -102,6 +105,7 @@ TEST(FailureInjection, GraphKernelExceptionPropagates) {
 
 TEST(FailureInjection, ExceptionLeavesRuntimeUsable) {
   Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kOff);
   auto tiny = rt.malloc<int>(2);
   EXPECT_THROW(rt.launch({Dim3{1}, Dim3{32}, "oob"},
                          [=](WarpCtx& w) -> WarpTask {
@@ -124,6 +128,7 @@ TEST(FailureInjection, MidKernelExceptionAfterBarrier) {
   // A fault in the second phase of a multi-warp kernel (after a barrier)
   // must surface as an exception, not a hang.
   Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kOff);
   auto tiny = rt.malloc<int>(2);
   EXPECT_THROW(rt.launch({Dim3{1}, Dim3{64}, "late-oob"},
                          [=](WarpCtx& w) -> WarpTask {

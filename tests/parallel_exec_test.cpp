@@ -4,12 +4,14 @@
 // (integer atomics), a floating-point atomic accumulation (commit-queue
 // ordering) and Mariani-Silver Mandelbrot (dynamic parallelism) — a run at
 // VGPU_THREADS=4 must be *bitwise* identical to the serial run: functional
-// outputs, every KernelStats counter, and the per-block cycle vectors of
-// every dynamic-parallelism level.
+// outputs, every KernelStats counter, the per-block cycle vectors of every
+// dynamic-parallelism level, and the vgpu-san CheckReport. A seeded fuzz
+// loop widens the coverage to randomized kernel shapes.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <random>
 #include <vector>
 
 #include "core/dynparallel.hpp"
@@ -26,6 +28,7 @@ using namespace vgpu;
 struct Capture {
   std::vector<std::vector<double>> level_cycles;
   KernelStats stats;
+  CheckReport check;          ///< vgpu-san diagnostics (exact-compared).
   std::vector<float> floats;  ///< Functional output (bitwise-compared).
   std::vector<int> ints;
 };
@@ -43,6 +46,7 @@ void expect_bitwise_equal(const Capture& serial, const Capture& parallel) {
   }
   EXPECT_EQ(serial.ints, parallel.ints);
   EXPECT_TRUE(serial.stats == parallel.stats) << "KernelStats diverged";
+  EXPECT_TRUE(serial.check == parallel.check) << "CheckReport diverged";
   ASSERT_EQ(serial.level_cycles.size(), parallel.level_cycles.size());
   for (std::size_t l = 0; l < serial.level_cycles.size(); ++l)
     EXPECT_EQ(serial.level_cycles[l], parallel.level_cycles[l])
@@ -69,6 +73,7 @@ Capture capture_kernel(Runtime& rt, const LaunchConfig& cfg, const KernelFn& fn)
   KernelRun run = rt.gpu().run_kernel(cfg, fn);
   c.level_cycles = run.level_block_cycles;
   c.stats = run.stats;
+  c.check = run.check;
   return c;
 }
 
@@ -181,6 +186,96 @@ TEST(ParallelExec, DynamicParallelismChildLevels) {
     EXPECT_GT(cap.stats.device_launches, 0u);
     cap.ints.resize(size * size);
     rt.peek(std::span<int>(cap.ints), dwell);
+    return cap;
+  });
+}
+
+// Property fuzz: randomized kernel shapes (seeded, so reproducible) mixing
+// predicated strided loads, shared staging across a barrier, an integer
+// histogram and one FP atomic accumulator — all under full vgpu-san
+// checking. Serial and 4-thread runs must agree bitwise on outputs, stats
+// and the (clean) CheckReport for every sampled shape.
+TEST(ParallelExec, FuzzRandomShapesSerialVsParallel) {
+  std::mt19937 rng(0xc0ffee42u);
+  for (int iter = 0; iter < 8; ++iter) {
+    const int warps = 1 + static_cast<int>(rng() % 8);
+    const int tpb = kWarpSize * warps;
+    const int blocks = 1 + static_cast<int>(rng() % 6);
+    const int ragged = static_cast<int>(rng() % static_cast<unsigned>(tpb));
+    const int n = std::max(1, blocks * tpb - ragged);
+    const int stride = 1 << (rng() % 3);
+    const int bins = 8 << (rng() % 3);
+    SCOPED_TRACE("iter=" + std::to_string(iter) + " tpb=" + std::to_string(tpb) +
+                 " blocks=" + std::to_string(blocks) + " n=" + std::to_string(n) +
+                 " stride=" + std::to_string(stride));
+
+    check_determinism([=](Runtime& rt) {
+      rt.set_check_mode(CheckMode::kFull);
+      auto x = rt.malloc<float>(n);
+      auto out = rt.malloc<float>(n);
+      auto hist = rt.malloc<int>(bins);
+      auto acc = rt.malloc<float>(1);
+      std::vector<float> hx(n);
+      for (int i = 0; i < n; ++i)
+        hx[i] = 0.01f * static_cast<float>((i * 31 + iter) % 257) - 1.0f;
+      rt.memcpy_h2d(x, std::span<const float>(hx));
+      rt.memset(hist, 0);
+      rt.memset(acc, 0.0f);
+
+      LaunchConfig cfg{Dim3{blocks}, Dim3{tpb}, "fuzz"};
+      Capture cap = capture_kernel(rt, cfg, [=](WarpCtx& w) -> WarpTask {
+        auto sh = w.shared_array<float>(static_cast<std::size_t>(tpb));
+        LaneI tid = w.global_tid_x();
+        LaneI lin = w.thread_linear();
+        Mask in = tid < n;
+        w.branch(in, [&] {
+          LaneVec<float> v = w.load(x, (tid * stride) % n);
+          w.sh_store(sh, lin, v);
+        });
+        co_await w.syncthreads();
+        // Neighbour read across the barrier: cross-warp but a new epoch.
+        LaneVec<float> nb = w.sh_load(sh, (lin + 1) % tpb);
+        w.branch(in, [&] {
+          w.store(out, tid, nb + LaneVec<float>(0.5f));
+          w.atomic_add(hist, tid % bins, LaneVec<int>(1));
+        });
+        LaneVec<float> term;
+        for (int l = 0; l < kWarpSize; ++l)
+          term[l] = 1e-3f * static_cast<float>((tid[l] % 29) + 1);
+        w.atomic_add(acc, LaneI(0), term);
+        co_return;
+      });
+      EXPECT_TRUE(cap.check.clean()) << cap.check.to_string();
+      cap.floats.resize(static_cast<std::size_t>(n) + 1);
+      rt.peek(std::span<float>(cap.floats.data(), n), out);
+      rt.peek(std::span<float>(cap.floats.data() + n, 1), acc);
+      cap.ints.resize(bins);
+      rt.peek(std::span<int>(cap.ints), hist);
+      return cap;
+    });
+  }
+}
+
+// Hazard reports are themselves deterministic: blocks 4..7 store past the
+// end of a half-sized buffer, and the merged CheckReport (counts *and* the
+// identity of the first-16 diagnostics) must not depend on which worker ran
+// which block.
+TEST(ParallelExec, CheckReportsAreDeterministicAcrossThreads) {
+  check_determinism([](Runtime& rt) {
+    rt.set_check_mode(CheckMode::kFull);
+    const int blocks = 8, tpb = 64;
+    auto x = rt.malloc<int>(blocks * tpb / 2);
+    LaunchConfig cfg{Dim3{blocks}, Dim3{tpb}, "oob-blocks"};
+    Capture cap = capture_kernel(rt, cfg, [=](WarpCtx& w) -> WarpTask {
+      LaneI tid = w.global_tid_x();
+      w.store(x, tid, tid);
+      co_return;
+    });
+    EXPECT_EQ(cap.check.count(CheckKind::kOutOfBounds),
+              static_cast<std::uint64_t>(blocks * tpb / 2));
+    EXPECT_EQ(cap.check.diags.size(), CheckReport::kMaxDiags);
+    cap.ints.resize(blocks * tpb / 2);
+    rt.peek(std::span<int>(cap.ints), x);
     return cap;
   });
 }

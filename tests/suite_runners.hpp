@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared driver table for whole-suite tests: every benchmark pair of the
+// paper, runnable at a fixed tiny size on its canonical device profile.
+// Used by the golden-counter regression suite (golden_stats_test.cpp) and
+// the vgpu-san clean-suite test (vgpusan_test.cpp).
+//
+// Sizes are deliberately small — the goldens assert *every* KernelStats
+// field exactly, so the value of the test is bit-stability, not scale.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/bankredux.hpp"
+#include "core/comem.hpp"
+#include "core/conkernels.hpp"
+#include "core/dynparallel.hpp"
+#include "core/gsoverlap.hpp"
+#include "core/hdoverlap.hpp"
+#include "core/memalign.hpp"
+#include "core/minitransfer.hpp"
+#include "core/readonly.hpp"
+#include "core/shmem_mm.hpp"
+#include "core/shuffle_reduce.hpp"
+#include "core/taskgraph.hpp"
+#include "core/unimem.hpp"
+#include "core/warpdiv.hpp"
+
+namespace cumb_tests {
+
+struct SuiteCase {
+  std::string name;
+  std::function<vgpu::DeviceProfile()> profile;
+  std::function<cumb::PairResult(cumb::Runtime&)> run;
+};
+
+/// All 14 benchmarks (plus the constant-memory companion), each on the
+/// device profile its paper figure uses.
+inline const std::vector<SuiteCase>& suite_cases() {
+  using cumb::PairResult;
+  using cumb::Runtime;
+  using vgpu::DeviceProfile;
+  static const std::vector<SuiteCase> cases = {
+      {"warpdiv", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_warpdiv(rt, 1 << 12); }},
+      {"dynparallel", DeviceProfile::rtx3080_scaled,
+       [](Runtime& rt) -> PairResult { return cumb::run_dynparallel(rt, 128, 64); }},
+      {"conkernels", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_conkernels(rt, 4, 2000); }},
+      {"taskgraph", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_taskgraph(rt, 1024, 4, 2); }},
+      {"shmem_mm", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_shmem_mm(rt, 64); }},
+      {"comem", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_comem(rt, 1 << 14, 64); }},
+      {"memalign", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_memalign(rt, 1 << 14); }},
+      {"gsoverlap", DeviceProfile::rtx3080,
+       [](Runtime& rt) -> PairResult { return cumb::run_gsoverlap(rt, 1 << 14); }},
+      {"shuffle_reduce", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_shuffle_reduce(rt, 1 << 14); }},
+      {"bankredux", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_bankredux(rt, 1 << 14); }},
+      {"hdoverlap", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_hdoverlap(rt, 1 << 14, 2, 2); }},
+      {"readonly", DeviceProfile::k80,
+       [](Runtime& rt) -> PairResult { return cumb::run_readonly(rt, 128); }},
+      {"const_poly", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_const_poly(rt, 1 << 12, 4); }},
+      {"unimem", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_unimem(rt, 1 << 16, 256); }},
+      {"minitransfer", DeviceProfile::v100,
+       [](Runtime& rt) -> PairResult { return cumb::run_minitransfer(rt, 256, 1024); }},
+  };
+  return cases;
+}
+
+}  // namespace cumb_tests

@@ -1,0 +1,220 @@
+// vgpu-san detection tests: each seeded bug must be flagged by the matching
+// checker with the right kind and coordinates, and every clean benchmark in
+// the suite must produce an empty CheckReport under full checking.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/shmem_mm.hpp"
+#include "suite_runners.hpp"
+
+namespace {
+
+using cumb::Real;
+using vgpu::CheckKind;
+using vgpu::CheckMode;
+using vgpu::DeviceProfile;
+using vgpu::DevSpan;
+using vgpu::Dim3;
+using vgpu::LaneI;
+using vgpu::LaneVec;
+using vgpu::LaunchConfig;
+using vgpu::LaunchInfo;
+using vgpu::Runtime;
+using vgpu::SharedArray;
+using vgpu::WarpCtx;
+using vgpu::WarpTask;
+
+TEST(VgpuSanParse, ModeStrings) {
+  EXPECT_EQ(vgpu::parse_check_mode("off"), CheckMode::kOff);
+  EXPECT_EQ(vgpu::parse_check_mode("memcheck"), CheckMode::kMemcheck);
+  EXPECT_EQ(vgpu::parse_check_mode("full"), CheckMode::kFull);
+  EXPECT_EQ(vgpu::parse_check_mode("memcheck,racecheck"),
+            CheckMode::kMemcheck | CheckMode::kRacecheck);
+  EXPECT_THROW(vgpu::parse_check_mode("memchk"), std::invalid_argument);
+}
+
+// Classic off-by-one: `tid <= n` instead of `tid < n` on the store. Exactly
+// one lane (tid == 64, i.e. warp 2 lane 0) steps one element past the end.
+TEST(VgpuSanMemcheck, OffByOneGlobalStore) {
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kMemcheck);
+  auto x = rt.malloc<int>(64);  // Last allocation: no neighbour absorbs the overrun.
+  LaunchInfo r = rt.launch({Dim3{1}, Dim3{96}, "off-by-one"},
+                           [=](WarpCtx& w) -> WarpTask {
+                             LaneI tid = w.global_tid_x();
+                             w.branch(tid <= 64, [&] {
+                               w.store(x, tid, LaneVec<int>(1));
+                             });
+                             co_return;
+                           });
+
+  EXPECT_EQ(r.check.count(CheckKind::kOutOfBounds), 1u);
+  EXPECT_EQ(r.check.errors(), 1u);
+  ASSERT_EQ(r.check.diags.size(), 1u);
+  const vgpu::CheckDiag& d = r.check.diags[0];
+  EXPECT_EQ(d.kind, CheckKind::kOutOfBounds);
+  EXPECT_EQ(d.block, (Dim3{0, 0, 0}));
+  EXPECT_EQ(d.warp, 2);
+  EXPECT_EQ(d.lane, 0);
+  EXPECT_EQ(d.addr, x.addr_of(64));
+  EXPECT_NE(r.check.to_string().find("Invalid __global__ write"),
+            std::string::npos);
+
+  // The in-bounds lanes still executed: the faulting lane was suppressed,
+  // not the whole warp.
+  std::vector<int> got(64);
+  rt.memcpy_d2h(std::span<int>(got), x);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(got[i], 1) << i;
+}
+
+TEST(VgpuSanMemcheck, UseAfterFree) {
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kMemcheck);
+  auto x = rt.malloc<int>(64);
+  rt.free(x);
+  LaunchInfo r = rt.launch({Dim3{1}, Dim3{64}, "use-after-free"},
+                           [=](WarpCtx& w) -> WarpTask {
+                             w.load(x, w.global_tid_x());
+                             co_return;
+                           });
+  EXPECT_EQ(r.check.count(CheckKind::kUseAfterFree), 64u);
+  ASSERT_FALSE(r.check.diags.empty());
+  EXPECT_NE(r.check.diags[0].detail.find("freed"), std::string::npos);
+}
+
+TEST(VgpuSanMemcheck, DoubleFreeThrows) {
+  Runtime rt(DeviceProfile::test_tiny());
+  auto x = rt.malloc<int>(8);
+  rt.free(x);
+  EXPECT_THROW(rt.free(x), std::invalid_argument);
+}
+
+TEST(VgpuSanSynccheck, DivergentBarrier) {
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kSynccheck);
+  LaunchInfo r = rt.launch({Dim3{1}, Dim3{64}, "divergent-barrier"},
+                           [](WarpCtx& w) -> WarpTask {
+                             if (w.warp_in_block() == 0) co_await w.syncthreads();
+                             co_return;
+                           });
+  EXPECT_EQ(r.check.count(CheckKind::kDivergentBarrier), 1u);
+  ASSERT_EQ(r.check.diags.size(), 1u);
+  EXPECT_NE(r.check.diags[0].detail.find("warp(s) 1"), std::string::npos);
+}
+
+// mm_shared_kernel with the first __syncthreads removed: warps read tile
+// columns of `bs` that other warps staged in the same barrier interval.
+WarpTask mm_shared_nosync_kernel(WarpCtx& w, DevSpan<Real> a, DevSpan<Real> b,
+                                 DevSpan<Real> c, int n) {
+  using cumb::kTile;
+  auto as = w.shared_array<Real>(kTile * kTile);
+  auto bs = w.shared_array<Real>(kTile * kTile);
+  LaneI tx = w.thread_x();
+  LaneI ty = w.thread_y();
+  LaneI row = w.block_idx().y * kTile + ty;
+  LaneI col = w.block_idx().x * kTile + tx;
+  LaneI tile_slot = ty * kTile + tx;
+  LaneVec<Real> acc(Real{0});
+  for (int t = 0; t < n / kTile; ++t) {
+    w.sh_store(as, tile_slot, w.load(a, row * n + (t * kTile) + tx));
+    w.sh_store(bs, tile_slot, w.load(b, (LaneI(t * kTile) + ty) * n + col));
+    // BUG: missing co_await w.syncthreads() before consuming the tiles.
+    for (int k = 0; k < kTile; ++k) {
+      LaneVec<Real> av = w.sh_load(as, ty * kTile + k);
+      LaneVec<Real> bv = w.sh_load(bs, LaneI(k * kTile) + tx);
+      w.alu(1);
+      acc += av * bv;
+    }
+    co_await w.syncthreads();
+  }
+  w.store(c, row * n + col, acc);
+  co_return;
+}
+
+TEST(VgpuSanRacecheck, MissingSyncthreadsInTiledMatmul) {
+  constexpr int n = 32;
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kRacecheck);
+  auto a = rt.malloc<Real>(n * n);
+  auto b = rt.malloc<Real>(n * n);
+  auto c = rt.malloc<Real>(n * n);
+  LaunchConfig cfg{Dim3{n / cumb::kTile, n / cumb::kTile},
+                   Dim3{cumb::kTile, cumb::kTile}, "mm-nosync"};
+
+  LaunchInfo buggy = rt.launch(cfg, [=](WarpCtx& w) {
+    return mm_shared_nosync_kernel(w, a, b, c, n);
+  });
+  EXPECT_GT(buggy.check.count(CheckKind::kRaceRaw), 0u);
+
+  // The correct kernel is race-free under the same checker.
+  LaunchInfo good = rt.launch(cfg, [=](WarpCtx& w) {
+    return cumb::mm_shared_kernel(w, a, b, c, n);
+  });
+  EXPECT_TRUE(good.check.clean()) << good.check.to_string();
+}
+
+TEST(VgpuSanRacecheck, WriteAfterWriteAcrossWarps) {
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kRacecheck);
+  LaunchInfo r = rt.launch({Dim3{1}, Dim3{64}, "waw"},
+                           [](WarpCtx& w) -> WarpTask {
+                             auto s = w.shared_array<int>(32);
+                             // Both warps store to words 0..31 with no barrier.
+                             w.sh_store(s, w.thread_linear() % 32,
+                                        LaneVec<int>(w.warp_in_block()));
+                             co_return;
+                           });
+  EXPECT_GT(r.check.count(CheckKind::kRaceWaw), 0u);
+}
+
+TEST(VgpuSanRacecheck, WriteAfterReadAcrossWarps) {
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kRacecheck);
+  LaunchInfo r = rt.launch({Dim3{1}, Dim3{64}, "war"},
+                           [](WarpCtx& w) -> WarpTask {
+                             auto s = w.shared_array<int>(32);
+                             LaneI idx = w.thread_linear() % 32;
+                             // Warp 0 (resumed first) reads; warp 1 overwrites.
+                             if (w.warp_in_block() == 0) {
+                               w.sh_load(s, idx);
+                             } else {
+                               w.sh_store(s, idx, LaneVec<int>(7));
+                             }
+                             co_return;
+                           });
+  EXPECT_GT(r.check.count(CheckKind::kRaceWar), 0u);
+}
+
+TEST(VgpuSanRacecheck, SharedAtomicsAreExempt) {
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_check_mode(CheckMode::kRacecheck);
+  LaunchInfo r = rt.launch({Dim3{1}, Dim3{64}, "sh-atomics"},
+                           [](WarpCtx& w) -> WarpTask {
+                             auto s = w.shared_array<int>(8);
+                             // Histogram pattern: cross-warp shared atomics
+                             // serialize in hardware and are not a hazard.
+                             w.sh_atomic_add(s, w.thread_linear() % 8,
+                                             LaneVec<int>(1));
+                             co_return;
+                           });
+  EXPECT_TRUE(r.check.clean()) << r.check.to_string();
+}
+
+// The whole benchmark suite is hazard-free: full checking must report
+// nothing on any of the 14 pairs (and stats stay untouched — the golden
+// suite runs with and without VGPU_CHECK in CI).
+TEST(VgpuSanCleanSuite, AllBenchmarksRunCleanUnderFullChecking) {
+  for (const cumb_tests::SuiteCase& c : cumb_tests::suite_cases()) {
+    cumb::Runtime rt(c.profile());
+    rt.set_check_mode(CheckMode::kFull);
+    cumb::PairResult r = c.run(rt);
+    EXPECT_TRUE(r.results_match) << c.name;
+    EXPECT_TRUE(rt.check_report().clean())
+        << c.name << ":\n" << rt.check_report().to_string();
+  }
+}
+
+}  // namespace
