@@ -9,13 +9,28 @@
 // so one iteration per configuration is exact. A header printed from main()
 // states which figure the series reproduces and what the paper measured.
 
+// Every bench binary also understands two vgpu-prof flags (consumed before
+// google-benchmark sees the argv):
+//
+//   --prof[=summary,metrics,trace]   enable profiling for every Runtime the
+//                                    bench constructs (default: summary,metrics)
+//   --trace-out=FILE.json            write chrome://tracing JSON; implies
+//                                    --prof=trace. Successive configurations
+//                                    number their files FILE.json, FILE.1.json, ...
+//
+// Both just seed the VGPU_PROF / VGPU_TRACE_OUT environment variables, which
+// each Runtime reads at construction.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <vgpu.hpp>
 
 #include "core/common.hpp"
 #include "core/report.hpp"
-#include "sim/device.hpp"
 
 namespace cumbench {
 
@@ -38,12 +53,37 @@ inline void banner(const char* figure, const char* paper_result) {
               figure, paper_result);
 }
 
+/// Strip --prof / --trace-out from argv (google-benchmark rejects unknown
+/// flags) and translate them into the VGPU_PROF / VGPU_TRACE_OUT env vars.
+/// Validates the mode eagerly so a typo fails the run instead of silently
+/// profiling nothing.
+inline void consume_prof_flags(int* argc, char** argv) {
+  int keep = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--prof") == 0) {
+      setenv("VGPU_PROF", "summary,metrics", 1);
+    } else if (std::strncmp(a, "--prof=", 7) == 0) {
+      vgpu::parse_prof_mode(a + 7);  // Throws on a bad token.
+      setenv("VGPU_PROF", a + 7, 1);
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      setenv("VGPU_TRACE_OUT", a + 12, 1);
+      const char* mode = std::getenv("VGPU_PROF");
+      if (mode == nullptr || *mode == '\0') setenv("VGPU_PROF", "trace", 1);
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  *argc = keep;
+}
+
 }  // namespace cumbench
 
 /// Boilerplate main that prints a banner before running the benchmarks.
 #define CUMB_BENCH_MAIN(figure, paper_result)                       \
   int main(int argc, char** argv) {                                 \
     cumbench::banner(figure, paper_result);                         \
+    cumbench::consume_prof_flags(&argc, argv);                      \
     ::benchmark::Initialize(&argc, argv);                           \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                          \

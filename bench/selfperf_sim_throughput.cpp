@@ -19,7 +19,7 @@
 #include "core/dynparallel.hpp"
 #include "core/histogram.hpp"
 #include "core/shmem_mm.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 namespace {
 

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "core/dynparallel.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 using namespace cumb;
 using vgpu::DeviceProfile;

@@ -11,8 +11,7 @@
 #include "core/comem.hpp"
 #include "core/conkernels.hpp"
 #include "linalg/generate.hpp"
-#include "rt/runtime.hpp"
-#include "xfer/trace.hpp"
+#include <vgpu.hpp>
 
 using namespace vgpu;
 using cumb::Real;

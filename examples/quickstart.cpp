@@ -12,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 using namespace vgpu;
 

@@ -17,8 +17,7 @@
 #include <vector>
 
 #include "linalg/generate.hpp"
-#include "rt/runtime.hpp"
-#include "sim/warp_ops.hpp"
+#include <vgpu.hpp>
 
 using namespace vgpu;
 using cumb::Real;

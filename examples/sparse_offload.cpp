@@ -8,7 +8,7 @@
 
 #include "core/minitransfer.hpp"
 #include "linalg/generate.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 using namespace cumb;
 using vgpu::DeviceProfile;

@@ -9,7 +9,7 @@
 #include <span>
 #include <vector>
 
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 using namespace vgpu;
 

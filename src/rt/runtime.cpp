@@ -1,11 +1,37 @@
 #include "rt/runtime.hpp"
 
+#include <iostream>
+
 namespace vgpu {
 
 Runtime::Runtime(DeviceProfile profile)
     : profile_(std::move(profile)), gpu_(profile_), tl_(profile_), managed_(profile_) {
   gpu_.gmem().set_um_hook(&managed_);
   streams_.emplace_back(0);  // Default stream.
+  set_prof_mode(prof_mode_from_env());
+}
+
+Runtime::~Runtime() {
+  if (prof_ != nullptr) prof_->flush(std::cout);
+}
+
+void Runtime::set_prof_mode(ProfMode m) {
+  if (m == ProfMode::kOff) {
+    tl_.set_profiler(nullptr);
+    prof_.reset();
+    return;
+  }
+  if (prof_ == nullptr) {
+    prof_ = std::make_unique<Profiler>(m);
+    prof_->set_trace_path(prof_trace_path_from_env());
+    tl_.set_profiler(prof_.get());
+  } else {
+    prof_->set_mode(m);
+  }
+}
+
+void Runtime::flush_prof(std::ostream& out) {
+  if (prof_ != nullptr) prof_->flush(out);
 }
 
 Stream& Runtime::create_stream() {

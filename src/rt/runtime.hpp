@@ -22,11 +22,13 @@
 // Timeline, and `rt.now_us()` / spans report simulated microseconds.
 
 #include <deque>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "mem/constant.hpp"
+#include "prof/prof.hpp"
 #include "mem/texture.hpp"
 #include "sim/device.hpp"
 #include "sim/gpu.hpp"
@@ -53,6 +55,11 @@ enum class HostMem { kPinned, kPageable };
 class Runtime {
  public:
   explicit Runtime(DeviceProfile profile = DeviceProfile::v100());
+  /// Flushes the profiler (summary/metrics to stdout, chrome trace to the
+  /// configured path) when profiling is on.
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
 
   const DeviceProfile& profile() const { return profile_; }
   GpuExec& gpu() { return gpu_; }
@@ -68,6 +75,19 @@ class Runtime {
   /// Diagnostics accumulated across every launch since the last clear.
   const CheckReport& check_report() const { return gpu_.check_report(); }
   void clear_check_report() { gpu_.clear_check_report(); }
+
+  // --- vgpu-prof (nvprof equivalent) -----------------------------------------
+  /// Activity tracing & metrics for every subsequent device op (VGPU_PROF
+  /// env var by default; e.g. set_prof_mode(ProfMode::kTrace)). Switching to
+  /// kOff detaches and discards the profiler.
+  ProfMode prof_mode() const { return prof_ ? prof_->mode() : ProfMode::kOff; }
+  void set_prof_mode(ProfMode m);
+  /// The activity stream collector; nullptr while profiling is off.
+  Profiler* profiler() { return prof_.get(); }
+  const Profiler* profiler() const { return prof_.get(); }
+  /// Emit the enabled profiler reports now instead of at destruction.
+  void flush_prof(std::ostream& out);
+
   Timeline& timeline() { return tl_; }
   ManagedDirectory& managed() { return managed_; }
 
@@ -148,14 +168,15 @@ class Runtime {
                         /*charge_submit=*/true, bw_scale(mem));
   }
 
-  /// cudaMemset-style device-side fill (runs at device-memory bandwidth on
-  /// the given stream).
+  /// cudaMemset-style device-side fill: a stream op running at device-memory
+  /// bandwidth, so it overlaps with other streams and appears on its stream's
+  /// timeline row (not the host row) like any other device operation.
   template <typename T>
   Timeline::Span memset(Stream& s, DevSpan<T> dst, T value) {
     std::vector<T> fill(dst.n, value);
     gpu_.heap().copy_in(dst, std::span<const T>(fill));
     double us = static_cast<double>(dst.bytes()) / (profile_.dram_bw_gbps * 1e3);
-    return tl_.host_op(s, us);
+    return tl_.memset(s, static_cast<double>(dst.bytes()), us);
   }
   template <typename T>
   Timeline::Span memset(DevSpan<T> dst, T value) {
@@ -226,15 +247,28 @@ class Runtime {
 
   void charge_host_touch(const HostTouch& t) {
     if (t.faulted_pages == 0) return;
-    tl_.host_advance(static_cast<double>(t.faulted_pages) * profile_.um_host_fault_us +
-                     static_cast<double>(t.migrated_bytes) /
-                         (profile_.um_migrate_bw_gbps * 1e3));
+    double us = static_cast<double>(t.faulted_pages) * profile_.um_host_fault_us +
+                static_cast<double>(t.migrated_bytes) /
+                    (profile_.um_migrate_bw_gbps * 1e3);
+    double start = tl_.host_now();
+    tl_.host_advance(us);
+    if (prof_ != nullptr) {
+      ActivityRecord r;
+      r.kind = ActivityRecord::Kind::kUmMigration;
+      r.name = "um host fault";
+      r.stream = ActivityRecord::kHostStream;
+      r.start_us = start;
+      r.end_us = start + us;
+      r.bytes = static_cast<double>(t.migrated_bytes);
+      prof_->record(std::move(r));
+    }
   }
 
   DeviceProfile profile_;
   GpuExec gpu_;
   Timeline tl_;
   ManagedDirectory managed_;
+  std::unique_ptr<Profiler> prof_;  // Present only while profiling is on.
   std::deque<Stream> streams_;  // Deque keeps references stable.
   int next_stream_id_ = 1;
 };

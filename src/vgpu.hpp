@@ -1,0 +1,22 @@
+#pragma once
+
+// vgpu — single public umbrella header.
+//
+//   #include <vgpu.hpp>
+//
+// is the documented entry point to the simulator: it provides the Runtime
+// (CUDA-runtime-shaped host API), kernel authoring vocabulary (WarpCtx,
+// LaneVec, DevSpan, LaunchConfig, warp-level collectives), streams/events/
+// graphs, the vgpu-san dynamic checker, the vgpu-prof activity tracer and
+// the nvvp-style ASCII trace. The deep headers (rt/..., sim/..., xfer/...)
+// stay valid for code that pokes at internals, but new code should include
+// this one.
+//
+// For host code ported verbatim from CUDA, see <vgpu/cuda_names.hpp>.
+
+#include "prof/prof.hpp"     // vgpu-prof: ProfMode, Profiler, ActivityRecord.
+#include "rt/runtime.hpp"    // Runtime, LaunchInfo, streams, events, graphs.
+#include "san/check.hpp"     // vgpu-san: CheckMode, CheckReport.
+#include "sim/lanevec.hpp"   // LaneVec/LaneF/LaneI/Mask lane arithmetic.
+#include "sim/warp_ops.hpp"  // Warp/block collectives (reduce, scan, ...).
+#include "xfer/trace.hpp"    // TraceRecorder ASCII Gantt rendering.

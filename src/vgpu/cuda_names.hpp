@@ -1,0 +1,215 @@
+#pragma once
+
+// CUDA-spelled shim over vgpu::Runtime.
+//
+// Paper kernels come with host drivers written against the CUDA runtime API.
+// This header lets that host code port near-verbatim: it spells the familiar
+// entry points (cudaMalloc, cudaMemcpyAsync, cudaDeviceSynchronize,
+// cudaEventElapsedTime, ...) as thin forwards to a "current" Runtime, the
+// way the CUDA runtime implicitly targets the current device.
+//
+//   vgpu::Runtime rt;
+//   vgpu::cuda::CudaContext ctx(rt);       // set the current runtime (RAII)
+//   using namespace vgpu::cuda;
+//
+//   DevSpan<float> x;
+//   cudaMalloc(&x, n * sizeof(float));
+//   cudaMemcpy(x, host.data(), n * sizeof(float), cudaMemcpyHostToDevice);
+//   CUDA_KERNEL_LAUNCH(axpy, grid, block, 0, x, y, n, a);   // axpy<<<g,b>>>(...)
+//   cudaDeviceSynchronize();
+//
+// Device pointers stay typed DevSpan<T> handles (the simulator's currency);
+// everything else — byte counts, memcpy kinds, stream/event handles, error
+// returns — keeps CUDA's shapes. bench/fig09_comem.cpp is the worked
+// example. All calls abort with cudaErrorInvalidValue-style failure only by
+// throwing, matching the simulator's fail-fast convention; the cudaError_t
+// return is always cudaSuccess and exists so ported `checkCuda(...)`
+// call sites keep compiling.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "rt/runtime.hpp"
+
+namespace vgpu::cuda {
+
+using cudaStream_t = Stream*;    ///< 0 / nullptr means the default stream.
+using cudaEvent_t = Event;
+
+enum cudaError_t { cudaSuccess = 0 };
+enum cudaMemcpyKind {
+  cudaMemcpyHostToDevice = 1,
+  cudaMemcpyDeviceToHost = 2,
+};
+
+/// The Runtime all shim calls target (CUDA's implicit current device).
+inline Runtime*& current_runtime() {
+  thread_local Runtime* rt = nullptr;
+  return rt;
+}
+
+inline Runtime& rt() {
+  Runtime* r = current_runtime();
+  if (r == nullptr)
+    throw std::logic_error("vgpu::cuda: no current Runtime (create a CudaContext)");
+  return *r;
+}
+
+/// RAII binding of a Runtime as the shim's current device.
+class CudaContext {
+ public:
+  explicit CudaContext(Runtime& runtime) : prev_(current_runtime()) {
+    current_runtime() = &runtime;
+  }
+  ~CudaContext() { current_runtime() = prev_; }
+  CudaContext(const CudaContext&) = delete;
+  CudaContext& operator=(const CudaContext&) = delete;
+
+ private:
+  Runtime* prev_;
+};
+
+inline Stream& stream_of(cudaStream_t s) {
+  return s == nullptr ? rt().default_stream() : *s;
+}
+
+// --- Memory ------------------------------------------------------------------
+template <typename T>
+cudaError_t cudaMalloc(DevSpan<T>* devPtr, std::size_t bytes) {
+  *devPtr = rt().malloc<T>(bytes / sizeof(T));
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaMallocManaged(DevSpan<T>* devPtr, std::size_t bytes) {
+  *devPtr = rt().malloc_managed<T>(bytes / sizeof(T));
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaFree(DevSpan<T> devPtr) {
+  rt().free(devPtr);
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaMemset(DevSpan<T> devPtr, T value, std::size_t bytes) {
+  rt().memset(DevSpan<T>{devPtr.addr, bytes / sizeof(T)}, value);
+  return cudaSuccess;
+}
+
+// --- Copies ------------------------------------------------------------------
+template <typename T>
+cudaError_t cudaMemcpy(DevSpan<T> dst, const T* src, std::size_t bytes,
+                       cudaMemcpyKind kind) {
+  (void)kind;  // Direction is implied by the argument types.
+  rt().memcpy_h2d(DevSpan<T>{dst.addr, bytes / sizeof(T)},
+                  std::span<const T>(src, bytes / sizeof(T)));
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaMemcpy(T* dst, DevSpan<T> src, std::size_t bytes,
+                       cudaMemcpyKind kind) {
+  (void)kind;
+  rt().memcpy_d2h(std::span<T>(dst, bytes / sizeof(T)),
+                  DevSpan<T>{src.addr, bytes / sizeof(T)});
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaMemcpyAsync(DevSpan<T> dst, const T* src, std::size_t bytes,
+                            cudaMemcpyKind kind, cudaStream_t stream = nullptr,
+                            HostMem mem = HostMem::kPinned) {
+  (void)kind;
+  rt().memcpy_h2d_async(stream_of(stream), DevSpan<T>{dst.addr, bytes / sizeof(T)},
+                        std::span<const T>(src, bytes / sizeof(T)), mem);
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaMemcpyAsync(T* dst, DevSpan<T> src, std::size_t bytes,
+                            cudaMemcpyKind kind, cudaStream_t stream = nullptr,
+                            HostMem mem = HostMem::kPinned) {
+  (void)kind;
+  rt().memcpy_d2h_async(stream_of(stream), std::span<T>(dst, bytes / sizeof(T)),
+                        DevSpan<T>{src.addr, bytes / sizeof(T)}, mem);
+  return cudaSuccess;
+}
+
+template <typename T>
+cudaError_t cudaMemPrefetchAsync(DevSpan<T> devPtr, std::size_t bytes,
+                                 cudaStream_t stream = nullptr) {
+  rt().prefetch_to_device(stream_of(stream),
+                          DevSpan<T>{devPtr.addr, bytes / sizeof(T)});
+  return cudaSuccess;
+}
+
+// --- Streams & synchronization ----------------------------------------------
+inline cudaError_t cudaStreamCreate(cudaStream_t* stream) {
+  *stream = &rt().create_stream();
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaStreamDestroy(cudaStream_t) { return cudaSuccess; }
+
+inline cudaError_t cudaStreamSynchronize(cudaStream_t stream) {
+  rt().stream_synchronize(stream_of(stream));
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaDeviceSynchronize() {
+  rt().synchronize();
+  return cudaSuccess;
+}
+
+// --- Events ------------------------------------------------------------------
+inline cudaError_t cudaEventCreate(cudaEvent_t* event) {
+  *event = Event{};
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaEventDestroy(cudaEvent_t&) { return cudaSuccess; }
+
+inline cudaError_t cudaEventRecord(cudaEvent_t& event,
+                                   cudaStream_t stream = nullptr) {
+  event = rt().record_event(stream_of(stream));
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaEventSynchronize(const cudaEvent_t& event) {
+  rt().timeline().event_synchronize(event);
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaEventElapsedTime(float* ms, const cudaEvent_t& start,
+                                        const cudaEvent_t& stop) {
+  *ms = static_cast<float>(rt().elapsed_ms(start, stop));
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaStreamWaitEvent(cudaStream_t stream,
+                                       const cudaEvent_t& event) {
+  rt().stream_wait_event(stream_of(stream), event);
+  return cudaSuccess;
+}
+
+/// Launch result of the most recent CUDA_KERNEL_LAUNCH on this thread, for
+/// drivers that want the stats nvprof-style host code can't see.
+inline LaunchInfo& last_launch() {
+  thread_local LaunchInfo info;
+  return info;
+}
+
+}  // namespace vgpu::cuda
+
+/// kernel<<<grid, block, 0, stream>>>(args...) spelled as a macro:
+///   CUDA_KERNEL_LAUNCH(kernel, grid, block, stream, args...)
+/// `kernel` is a WarpTask free function taking (WarpCtx&, args...); the
+/// stringized kernel name labels profiler/trace rows.
+#define CUDA_KERNEL_LAUNCH(kernel, grid, block, stream, ...)                 \
+  (::vgpu::cuda::last_launch() = ::vgpu::cuda::rt().launch(                  \
+       ::vgpu::cuda::stream_of(stream),                                      \
+       {::vgpu::Dim3{grid}, ::vgpu::Dim3{block}, #kernel},                   \
+       [=](::vgpu::WarpCtx& w) { return kernel(w, __VA_ARGS__); }))

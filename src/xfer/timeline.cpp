@@ -23,6 +23,7 @@ Timeline::Span Timeline::copy_h2d(Stream& s, double bytes, bool sync,
                                   bool charge_submit, double bw_scale) {
   Span span = copy(s, bytes, sync, charge_submit, bw_scale, h2d_free_);
   trace("h2d", s, span, TraceOp::Kind::kH2D);
+  prof_activity(ActivityRecord::Kind::kMemcpyH2D, "h2d", s, span, bytes);
   return span;
 }
 
@@ -30,6 +31,7 @@ Timeline::Span Timeline::copy_d2h(Stream& s, double bytes, bool sync,
                                   bool charge_submit, double bw_scale) {
   Span span = copy(s, bytes, sync, charge_submit, bw_scale, d2h_free_);
   trace("d2h", s, span, TraceOp::Kind::kD2H);
+  prof_activity(ActivityRecord::Kind::kMemcpyD2H, "d2h", s, span, bytes);
   return span;
 }
 
@@ -53,6 +55,42 @@ Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
   note(end);
   Span span{start, end};
   trace(run.name.c_str(), s, span, TraceOp::Kind::kKernel);
+  if (prof_ != nullptr) {
+    ActivityRecord r;
+    r.kind = ActivityRecord::Kind::kKernel;
+    r.name = run.name;
+    r.stream = s.id();
+    r.start_us = span.start;
+    r.end_us = span.end;
+    r.stats = run.stats;
+    r.grid_blocks = run.level_block_cycles.empty()
+                        ? 0
+                        : static_cast<long long>(run.level_block_cycles[0].size());
+    r.block_threads = run.threads_per_block;
+    r.blocks_per_sm = run.blocks_per_sm;
+    r.granted_sms = want;
+    // nvprof achieved_occupancy: resident warps per SM over the hardware max.
+    int warps_per_block = (run.threads_per_block + 31) / 32;
+    int max_warps = profile_->max_threads_per_sm / 32;
+    r.achieved_occupancy =
+        max_warps > 0
+            ? std::min(1.0, static_cast<double>(run.blocks_per_sm) *
+                                warps_per_block / max_warps)
+            : 0.0;
+    prof_->record(std::move(r));
+  }
+  return span;
+}
+
+Timeline::Span Timeline::memset(Stream& s, double bytes, double duration_us) {
+  host_advance(profile_->stream_op_us);
+  double start = std::max(host_now_, s.last_end());
+  double end = start + duration_us;
+  s.set_last_end(end);
+  note(end);
+  Span span{start, end};
+  trace("memset", s, span, TraceOp::Kind::kMemset);
+  prof_activity(ActivityRecord::Kind::kMemset, "memset", s, span, bytes);
   return span;
 }
 
@@ -64,6 +102,7 @@ Timeline::Span Timeline::host_op(Stream& s, double duration_us, bool charge_subm
   note(end);
   Span span{start, end};
   trace("host", s, span, TraceOp::Kind::kHost);
+  prof_activity(ActivityRecord::Kind::kHostFunc, "host", s, span, 0);
   return span;
 }
 
@@ -71,6 +110,8 @@ void Timeline::record_event(Stream& s, Event& e) {
   host_advance(profile_->stream_op_us * 0.25);
   e.time = s.last_end();
   e.recorded = true;
+  prof_activity(ActivityRecord::Kind::kEventRecord, "event", s,
+                Span{e.time, e.time}, 0);
 }
 
 void Timeline::stream_wait_event(Stream& s, const Event& e) {
@@ -88,5 +129,18 @@ void Timeline::stream_synchronize(Stream& s) {
 }
 
 void Timeline::device_synchronize() { host_now_ = std::max(host_now_, frontier_); }
+
+void Timeline::prof_activity(ActivityRecord::Kind kind, const char* name,
+                             const Stream& s, Span span, double bytes) {
+  if (prof_ == nullptr) return;
+  ActivityRecord r;
+  r.kind = kind;
+  r.name = name;
+  r.stream = s.id();
+  r.start_us = span.start;
+  r.end_us = span.end;
+  r.bytes = bytes;
+  prof_->record(std::move(r));
+}
 
 }  // namespace vgpu

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "sim/device.hpp"
 #include "sim/gpu.hpp"
 #include "xfer/stream.hpp"
@@ -56,6 +57,11 @@ class Timeline {
   /// A host callback occupying the stream (cudaLaunchHostFunc).
   Span host_op(Stream& s, double duration_us, bool charge_submit = true);
 
+  /// Device-side fill (cudaMemsetAsync): an ordinary stream op that runs on
+  /// the device for `duration_us` — it contends with nothing but its own
+  /// stream and overlaps with other streams, unlike a host callback.
+  Span memset(Stream& s, double bytes, double duration_us);
+
   /// cudaEventRecord / cudaStreamWaitEvent / cudaEventSynchronize.
   void record_event(Stream& s, Event& e);
   void stream_wait_event(Stream& s, const Event& e);
@@ -71,6 +77,10 @@ class Timeline {
   /// Attach an nvvp-style trace recorder (nullptr to detach).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attach the vgpu-prof activity sink (nullptr to detach). Every device
+  /// op the timeline schedules is recorded there in submission order.
+  void set_profiler(Profiler* prof) { prof_ = prof; }
+
  private:
   void note(double t) {
     if (t > frontier_) frontier_ = t;
@@ -79,6 +89,9 @@ class Timeline {
     if (trace_ != nullptr)
       trace_->record(TraceOp{name, s.id(), span.start, span.end, kind});
   }
+  /// Record a non-kernel activity on the profiler (no-op when detached).
+  void prof_activity(ActivityRecord::Kind kind, const char* name,
+                     const Stream& s, Span span, double bytes);
   Span copy(Stream& s, double bytes, bool sync, bool charge_submit,
             double bw_scale, double& engine_free);
 
@@ -89,6 +102,7 @@ class Timeline {
   double frontier_ = 0;
   std::vector<double> sm_free_;
   TraceRecorder* trace_ = nullptr;
+  Profiler* prof_ = nullptr;
 };
 
 }  // namespace vgpu

@@ -22,6 +22,7 @@ std::string TraceRecorder::render_gantt(int width) const {
       case TraceOp::Kind::kKernel: return '#';
       case TraceOp::Kind::kH2D: return '>';
       case TraceOp::Kind::kD2H: return '<';
+      case TraceOp::Kind::kMemset: return 'm';
       default: return '@';
     }
   };
@@ -39,7 +40,8 @@ std::string TraceRecorder::render_gantt(int width) const {
   std::ostringstream os;
   char hdr[128];
   std::snprintf(hdr, sizeof hdr,
-                "timeline %.1f..%.1f us  (#=kernel >=H2D <=D2H @=host)\n", t0, t1);
+                "timeline %.1f..%.1f us  (#=kernel >=H2D <=D2H m=memset @=host)\n",
+                t0, t1);
   os << hdr;
   for (auto& [stream, row] : rows) {
     char label[32];

@@ -18,7 +18,7 @@ struct TraceOp {
   int stream = 0;
   double start_us = 0;
   double end_us = 0;
-  enum class Kind { kKernel, kH2D, kD2H, kHost } kind = Kind::kKernel;
+  enum class Kind { kKernel, kH2D, kD2H, kHost, kMemset } kind = Kind::kKernel;
 };
 
 class TraceRecorder {

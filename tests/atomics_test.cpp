@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "core/histogram.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 #include "sim/warp_ops.hpp"
 
 namespace {

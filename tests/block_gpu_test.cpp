@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 namespace {
 

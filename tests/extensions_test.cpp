@@ -6,8 +6,7 @@
 #include <vector>
 
 #include "core/layout.hpp"
-#include "rt/runtime.hpp"
-#include "xfer/trace.hpp"
+#include <vgpu.hpp>
 
 namespace {
 

@@ -8,7 +8,7 @@
 #include <numeric>
 #include <vector>
 
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 #include "sim/warp_ops.hpp"
 #include "xfer/graph.hpp"
 

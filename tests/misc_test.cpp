@@ -4,9 +4,8 @@
 
 #include <gtest/gtest.h>
 
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 #include "xfer/graph.hpp"
-#include "xfer/trace.hpp"
 
 namespace {
 

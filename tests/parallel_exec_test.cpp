@@ -18,7 +18,7 @@
 #include "core/histogram.hpp"
 #include "core/shmem_mm.hpp"
 #include "core/shuffle_reduce.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 namespace {
 

@@ -6,7 +6,7 @@
 #include <sstream>
 
 #include "core/report.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 namespace {
 

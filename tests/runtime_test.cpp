@@ -5,7 +5,7 @@
 #include <numeric>
 #include <vector>
 
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 namespace {
 

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/warpdiv.hpp"
-#include "rt/runtime.hpp"
+#include <vgpu.hpp>
 
 namespace {
 
