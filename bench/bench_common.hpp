@@ -9,17 +9,23 @@
 // so one iteration per configuration is exact. A header printed from main()
 // states which figure the series reproduces and what the paper measured.
 
-// Every bench binary also understands two vgpu-prof flags (consumed before
-// google-benchmark sees the argv):
+// Every bench binary also understands the vgpu-prof / vgpu-advise flags
+// (consumed before google-benchmark sees the argv):
 //
 //   --prof[=summary,metrics,trace]   enable profiling for every Runtime the
 //                                    bench constructs (default: summary,metrics)
 //   --trace-out=FILE.json            write chrome://tracing JSON; implies
 //                                    --prof=trace. Successive configurations
 //                                    number their files FILE.json, FILE.1.json, ...
+//   --advise[=warn|full]             enable the performance advisor (default:
+//                                    full); each Runtime prints its report at
+//                                    destruction
+//   --advise-out=FILE.json           write the JSON advice report; implies
+//                                    --advise=full
 //
-// Both just seed the VGPU_PROF / VGPU_TRACE_OUT environment variables, which
-// each Runtime reads at construction.
+// All of them just seed the VGPU_PROF / VGPU_TRACE_OUT / VGPU_ADVISE /
+// VGPU_ADVISE_OUT environment variables, which each Runtime reads at
+// construction.
 
 #include <benchmark/benchmark.h>
 
@@ -53,11 +59,19 @@ inline void banner(const char* figure, const char* paper_result) {
               figure, paper_result);
 }
 
-/// Strip --prof / --trace-out from argv (google-benchmark rejects unknown
-/// flags) and translate them into the VGPU_PROF / VGPU_TRACE_OUT env vars.
-/// Validates the mode eagerly so a typo fails the run instead of silently
-/// profiling nothing.
+/// Strip the vgpu flags (--prof / --trace-out / --advise / --advise-out)
+/// from argv (google-benchmark rejects unknown flags) and translate them
+/// into the corresponding environment variables. Validates modes eagerly so
+/// a typo fails the run instead of silently profiling/advising nothing; any
+/// other spelling starting with a vgpu flag name (e.g. "--trace-out" without
+/// a value, "--advise-x") is rejected here too instead of leaking through to
+/// google-benchmark's own confusing "unrecognized argument" failure.
 inline void consume_prof_flags(int* argc, char** argv) {
+  auto is_vgpu_flag = [](const char* a) {
+    return std::strncmp(a, "--prof", 6) == 0 ||
+           std::strncmp(a, "--trace-out", 11) == 0 ||
+           std::strncmp(a, "--advise", 8) == 0;
+  };
   int keep = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* a = argv[i];
@@ -70,6 +84,18 @@ inline void consume_prof_flags(int* argc, char** argv) {
       setenv("VGPU_TRACE_OUT", a + 12, 1);
       const char* mode = std::getenv("VGPU_PROF");
       if (mode == nullptr || *mode == '\0') setenv("VGPU_PROF", "trace", 1);
+    } else if (std::strcmp(a, "--advise") == 0) {
+      setenv("VGPU_ADVISE", "full", 1);
+    } else if (std::strncmp(a, "--advise=", 9) == 0) {
+      vgpu::parse_advise_mode(a + 9);  // Throws on a bad token.
+      setenv("VGPU_ADVISE", a + 9, 1);
+    } else if (std::strncmp(a, "--advise-out=", 13) == 0) {
+      setenv("VGPU_ADVISE_OUT", a + 13, 1);
+      const char* mode = std::getenv("VGPU_ADVISE");
+      if (mode == nullptr || *mode == '\0') setenv("VGPU_ADVISE", "full", 1);
+    } else if (is_vgpu_flag(a)) {
+      std::fprintf(stderr, "unrecognized vgpu flag: %s\n", a);
+      std::exit(1);
     } else {
       argv[keep++] = argv[i];
     }

@@ -1,0 +1,639 @@
+#include "advise/advise.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vgpu {
+
+namespace {
+
+// --- Rule gates --------------------------------------------------------------
+// Calibrated against the suite's golden stats: each naive kernel clears its
+// gate with margin, and every optimized counterpart stays below it (the
+// closed-loop property tests/advise_test.cpp asserts). DESIGN.md section 9
+// tabulates rule -> counters -> speedup bound.
+constexpr double kDivergentWarpShare = 0.9;   ///< both-arm branches / warps.
+constexpr double kUncoalescedTpr = 6.0;       ///< gld transactions per request.
+constexpr double kMisalignedShare = 0.3;      ///< wasted lines / requests.
+constexpr double kBankConflictShare = 0.5;    ///< conflicts / smem accesses.
+constexpr double kReuseHitRate = 60.0;        ///< L1 hit %, reuse without smem.
+constexpr double kReuseLoadsPerWarp = 64.0;   ///< gld requests per warp.
+constexpr double kUniformShare = 0.7;         ///< broadcast loads / loads.
+// Greedy block scheduling keeps slack near 0.20 even for heavily skewed
+// escape-time work (the tail block hides behind earlier rounds), so the
+// imbalance bar sits below that; uniform kernels measure under 0.05.
+constexpr double kImbalanceSlack = 0.15;      ///< idle SM-time fraction.
+constexpr double kLowOccupancy = 0.5;         ///< achieved occupancy floor.
+constexpr double kSmallKernelFill = 1.0 / 16; ///< granted_sms / sm_count cap.
+constexpr double kOverlapEngineShare = 0.10;  ///< engine busy / makespan floor.
+constexpr double kOverlapSaving = 0.20;       ///< overlap saving / makespan.
+constexpr double kLaunchOverheadShare = 0.30; ///< launch cost / makespan.
+constexpr double kEagerCopyRatio = 3.0;       ///< H2D bytes / touched bytes.
+constexpr double kSparseTouchTpr = 8.0;       ///< strided-touch transaction rate.
+constexpr double kDenseOffloadRatio = 32.0;   ///< H2D bytes / D2H bytes.
+constexpr double kDenseH2dShare = 0.30;       ///< H2D busy / makespan.
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+Severity severity_for(double est) {
+  if (est >= 1.8) return Severity::kCritical;
+  if (est >= 1.2) return Severity::kWarning;
+  return Severity::kNote;
+}
+
+/// Stats of every launch of one kernel name within a phase, merged.
+struct KernelAgg {
+  std::string name;
+  KernelStats stats;
+  long long grid_blocks = 0;      // max over launches
+  int block_threads = 0;
+  int blocks_per_sm = 0;
+  std::size_t shared_bytes = 0;   // max over launches
+  double achieved = 1.0;          // min over launches
+  double slack = 0;               // max over launches
+  double busy_us = 0;             // summed duration
+  int launches = 0;
+};
+
+bool is_copy(const ActivityRecord& r) {
+  return r.kind == ActivityRecord::Kind::kMemcpyH2D ||
+         r.kind == ActivityRecord::Kind::kMemcpyD2H;
+}
+
+bool spans_overlap(const ActivityRecord& a, const ActivityRecord& b) {
+  return a.start_us < b.end_us && b.start_us < a.end_us;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AdviseMode parse_advise_mode(std::string_view s) {
+  if (s == "off" || s == "0" || s == "none") return AdviseMode::kOff;
+  if (s == "warn") return AdviseMode::kWarn;
+  if (s == "full" || s == "on" || s == "all" || s == "1") return AdviseMode::kFull;
+  throw std::invalid_argument("unknown VGPU_ADVISE token: '" + std::string(s) +
+                              "' (expected off|warn|full)");
+}
+
+AdviseMode advise_mode_from_env() {
+  const char* v = std::getenv("VGPU_ADVISE");
+  if (v == nullptr || *v == '\0') return AdviseMode::kOff;
+  return parse_advise_mode(v);
+}
+
+std::string advise_json_path_from_env() {
+  const char* v = std::getenv("VGPU_ADVISE_OUT");
+  return v == nullptr ? std::string{} : std::string{v};
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+double OccupancyCalculator::theoretical_occupancy(int block_size,
+                                                  std::size_t dynamic_smem) const {
+  int blocks = max_active_blocks(block_size, dynamic_smem);
+  double occ = static_cast<double>(blocks) * block_size / p_.max_threads_per_sm;
+  return occ > 1.0 ? 1.0 : occ;
+}
+
+OccupancyCalculator::BlockSuggestion OccupancyCalculator::max_potential_block_size(
+    std::size_t dynamic_smem, int block_size_limit) const {
+  int cap = p_.max_threads_per_sm < 1024 ? p_.max_threads_per_sm : 1024;
+  if (block_size_limit > 0 && block_size_limit < cap) cap = block_size_limit;
+  BlockSuggestion best;
+  long long best_resident = -1;
+  for (int bs = 32; bs <= cap; bs += 32) {
+    int blocks = max_active_blocks(bs, dynamic_smem);
+    long long resident = static_cast<long long>(blocks) * bs;
+    // Ties go to the larger block: fewer, fatter blocks, matching CUDA's
+    // cudaOccupancyMaxPotentialBlockSize preference.
+    if (resident >= best_resident) {
+      best_resident = resident;
+      best.block = bs;
+      best.min_grid = blocks * p_.sm_count;
+    }
+  }
+  return best;
+}
+
+void Advisor::begin_phase(std::string name) {
+  // Reuse the implicit head phase if nothing was recorded into it yet.
+  if (phases_.size() == 1 && phases_.front().name.empty() &&
+      phases_.front().records.empty()) {
+    phases_.front().name = std::move(name);
+    return;
+  }
+  phases_.push_back(Phase{std::move(name), {}});
+}
+
+void Advisor::record(const ActivityRecord& r) {
+  if (!active()) return;
+  phases_.back().records.push_back(r);
+  flushed_ = false;
+}
+
+void Advisor::clear() {
+  phases_.clear();
+  phases_.push_back(Phase{});
+  flushed_ = false;
+}
+
+void Advisor::analyze_phase(const Phase& ph, std::vector<Advice>& out) const {
+  const DeviceProfile& p = profile_;
+  auto push = [&](std::string rule, std::string target, double est,
+                  std::vector<Metric> evidence, std::string remediation) {
+    est = est < 1.0 ? 1.0 : est;
+    Advice a;
+    a.rule = std::move(rule);
+    a.phase = ph.name;
+    a.target = std::move(target);
+    a.severity = severity_for(est);
+    a.est_speedup = est;
+    a.evidence = std::move(evidence);
+    a.remediation = std::move(remediation);
+    out.push_back(std::move(a));
+  };
+
+  // --- Phase-wide aggregates --------------------------------------------------
+  std::vector<KernelAgg> kernels;
+  std::map<std::string, std::size_t> index;
+  std::vector<const ActivityRecord*> kernel_recs;
+  double span_begin = 0, span_end = 0;
+  bool have_span = false;
+  double h2d_bytes = 0, d2h_bytes = 0;
+  std::uint64_t phase_um_faults = 0;
+  double launch_overhead = 0;
+  for (const ActivityRecord& r : ph.records) {
+    if (r.kind == ActivityRecord::Kind::kEventRecord) continue;
+    if (!have_span) {
+      span_begin = r.start_us;
+      span_end = r.end_us;
+      have_span = true;
+    } else {
+      span_begin = std::min(span_begin, r.start_us);
+      span_end = std::max(span_end, r.end_us);
+    }
+    if (r.kind == ActivityRecord::Kind::kMemcpyH2D) h2d_bytes += r.bytes;
+    if (r.kind == ActivityRecord::Kind::kMemcpyD2H) d2h_bytes += r.bytes;
+    if (r.kind != ActivityRecord::Kind::kKernel) continue;
+
+    kernel_recs.push_back(&r);
+    phase_um_faults += r.stats.um_page_faults;
+    launch_overhead += r.launch_overhead_us;
+    auto [it, fresh] = index.try_emplace(r.name, kernels.size());
+    if (fresh) kernels.push_back(KernelAgg{r.name, {}, 0, r.block_threads,
+                                           r.blocks_per_sm, 0, 1.0, 0, 0, 0});
+    KernelAgg& a = kernels[it->second];
+    a.stats += r.stats;
+    a.grid_blocks = std::max(a.grid_blocks, r.grid_blocks);
+    a.shared_bytes = std::max(a.shared_bytes, r.shared_bytes);
+    a.achieved = std::min(a.achieved, r.achieved_occupancy);
+    a.slack = std::max(a.slack, r.sm_slack);
+    a.busy_us += r.duration_us();
+    ++a.launches;
+  }
+  double makespan = have_span ? span_end - span_begin : 0;
+  double kernel_busy = 0;
+  for (const KernelAgg& a : kernels) kernel_busy += a.busy_us;
+  // Bandwidth-only engine busy time: the fixed per-transfer latency is paid
+  // either way, so only the bandwidth component can be hidden by overlap.
+  double h2d_busy = h2d_bytes / (p.pcie_bw_gbps * 1e3);
+  double d2h_busy = d2h_bytes / (p.pcie_bw_gbps * 1e3);
+
+  bool any_kernel_overlap = false;
+  for (std::size_t i = 0; i < kernel_recs.size() && !any_kernel_overlap; ++i)
+    for (std::size_t j = i + 1; j < kernel_recs.size(); ++j)
+      if (spans_overlap(*kernel_recs[i], *kernel_recs[j])) {
+        any_kernel_overlap = true;
+        break;
+      }
+  bool any_overlap = any_kernel_overlap;
+  {
+    std::vector<const ActivityRecord*> busy;
+    for (const ActivityRecord& r : ph.records)
+      if (r.kind == ActivityRecord::Kind::kKernel || is_copy(r)) busy.push_back(&r);
+    for (std::size_t i = 0; i < busy.size() && !any_overlap; ++i)
+      for (std::size_t j = i + 1; j < busy.size(); ++j)
+        if (spans_overlap(*busy[i], *busy[j])) {
+          any_overlap = true;
+          break;
+        }
+  }
+
+  // Phase-aggregate global transaction rate: how strided the kernels' device
+  // traffic is, the discriminator between "copied it all and touched it all"
+  // and "copied it all, touched a strided sliver".
+  std::uint64_t agg_req = 0, agg_trans = 0;
+  double kernel_dram_bytes = 0;
+  std::uint64_t phase_device_launches = 0;
+  for (const KernelAgg& a : kernels) {
+    agg_req += a.stats.gld_requests + a.stats.gst_requests;
+    agg_trans += a.stats.gld_transactions + a.stats.gst_transactions;
+    kernel_dram_bytes += static_cast<double>(a.stats.dram_read_bytes +
+                                             a.stats.dram_write_bytes +
+                                             a.stats.tex_dram_bytes);
+    phase_device_launches += a.stats.device_launches;
+  }
+  double agg_tpr = agg_req > 0 ? static_cast<double>(agg_trans) / agg_req : 0;
+
+  // --- Timeline rules ---------------------------------------------------------
+  // Evaluated before the per-kernel rules because a data-movement diagnosis
+  // subsumes the memory-access symptoms it causes: a dense offload explains
+  // the strided transactions, so "uncoalesced" on top would be noise.
+  bool movement_fired = false;  // dense-offload or eager-copy fired.
+
+  // dense-offload-sparse (MiniTransfer): the H2D engine spends the phase
+  // shipping a dense structure the kernels then read sparsely.
+  if (!kernels.empty() && makespan > 0 && d2h_bytes > 0 &&
+      h2d_bytes >= kDenseOffloadRatio * d2h_bytes &&
+      h2d_busy >= kDenseH2dShare * makespan && agg_tpr >= kSparseTouchTpr) {
+    double est = makespan / std::max(makespan - h2d_busy, 1e-9);
+    push("dense-offload-sparse", "timeline", est,
+         {{"h2d_bytes", h2d_bytes, ""},
+          {"d2h_bytes", d2h_bytes, ""},
+          {"h2d_busy_share", h2d_busy / makespan, ""},
+          {"transactions_per_request", agg_tpr, ""}},
+         "offload the sparse structure (e.g. CSR) instead of the dense matrix "
+         "and transfer only what the kernel reads (MiniTransfer)");
+    movement_fired = true;
+  }
+
+  // eager-copy-sparse-touch (UMBench): everything is copied up front but the
+  // kernels touch a strided sliver of it; demand paging (or a prefetch of the
+  // touched range) moves less.
+  if (!movement_fired && !kernels.empty() && makespan > 0 &&
+      kernel_dram_bytes > 0 && phase_um_faults == 0 &&
+      h2d_bytes >= kEagerCopyRatio * kernel_dram_bytes &&
+      agg_tpr >= kSparseTouchTpr) {
+    double saving = h2d_busy * (1.0 - kernel_dram_bytes / h2d_bytes);
+    double est = makespan / std::max(makespan - saving, 1e-9);
+    push("eager-copy-sparse-touch", "timeline", est,
+         {{"h2d_bytes", h2d_bytes, ""},
+          {"kernel_dram_bytes", kernel_dram_bytes, ""},
+          {"transactions_per_request", agg_tpr, ""}},
+         "copy only the touched range, or let unified memory / "
+         "cudaMemPrefetchAsync page in what the kernel actually reads (UMBench)");
+    movement_fired = true;
+  }
+
+  // missed-copy-compute-overlap (HDOverlap): both copy engines and the SMs
+  // are busy but strictly serialized.
+  if (!movement_fired && !kernels.empty() && makespan > 0 && !any_overlap &&
+      h2d_busy >= kOverlapEngineShare * makespan &&
+      d2h_busy >= kOverlapEngineShare * makespan) {
+    double busy_sum = h2d_busy + d2h_busy + kernel_busy;
+    double busy_max = std::max({h2d_busy, d2h_busy, kernel_busy});
+    double saving = busy_sum - busy_max;
+    if (saving >= kOverlapSaving * makespan) {
+      double est = makespan / std::max(makespan - saving, 1e-9);
+      push("missed-copy-compute-overlap", "timeline", est,
+           {{"h2d_busy_us", h2d_busy, "us"},
+            {"d2h_busy_us", d2h_busy, "us"},
+            {"kernel_busy_us", kernel_busy, "us"},
+            {"makespan_us", makespan, "us"}},
+           "chunk the transfers and pipeline H2D/kernel/D2H on multiple "
+           "streams so the copy engines run under the compute (HDOverlap)");
+    }
+  }
+
+  // serial-small-kernels (ConKernels): small independent kernels that each
+  // leave most of the device idle, run strictly one after another.
+  if (kernel_recs.size() >= 2 && !any_kernel_overlap) {
+    bool all_small = true;
+    double total_dur = 0, max_dur = 0;
+    for (const ActivityRecord* r : kernel_recs) {
+      double d = r->duration_us();
+      total_dur += d;
+      max_dur = std::max(max_dur, d);
+      if (d < 2 * p.kernel_launch_us ||
+          static_cast<double>(r->granted_sms) > kSmallKernelFill * p.sm_count)
+        all_small = false;
+    }
+    if (all_small) {
+      double est = max_dur > 0 ? total_dur / max_dur : 1.0;
+      push("serial-small-kernels", "timeline", est,
+           {{"kernels", static_cast<double>(kernel_recs.size()), ""},
+            {"max_device_fill",
+             kernel_recs.empty() ? 0
+                                 : static_cast<double>(kernel_recs[0]->granted_sms) /
+                                       p.sm_count,
+             ""},
+            {"serialized_us", total_dur, "us"}},
+           "launch independent small kernels on distinct streams so they "
+           "share the idle SMs concurrently (ConKernels)");
+    }
+  }
+
+  // launch-overhead (TaskGraph): host launch cost dominates a chain of tiny
+  // kernels; a CUDA graph amortizes it.
+  if (kernel_recs.size() >= 4 && makespan > 0 &&
+      launch_overhead >= kLaunchOverheadShare * makespan) {
+    double mean_dur = kernel_busy / static_cast<double>(kernel_recs.size());
+    double mean_overhead = launch_overhead / static_cast<double>(kernel_recs.size());
+    if (mean_dur < 2 * mean_overhead) {
+      double share = std::min(launch_overhead / makespan, 0.95);
+      push("launch-overhead", "timeline", 1.0 / (1.0 - share),
+           {{"kernels", static_cast<double>(kernel_recs.size()), ""},
+            {"launch_overhead_us", launch_overhead, "us"},
+            {"mean_kernel_us", mean_dur, "us"}},
+           "capture the repeated launch sequence in a CUDA graph so the "
+           "per-kernel host launch cost is paid once (TaskGraph)");
+    }
+  }
+
+  // --- Per-kernel rules -------------------------------------------------------
+  bool bank_conflicts_fired = false;
+  for (const KernelAgg& a : kernels) {
+    const KernelStats& s = a.stats;
+    std::uint64_t smem_accesses = s.smem_loads + s.smem_stores;
+    if (s.bank_conflicts >= kBankConflictShare * static_cast<double>(smem_accesses) &&
+        smem_accesses > 0)
+      bank_conflicts_fired = true;
+  }
+
+  for (const KernelAgg& a : kernels) {
+    const KernelStats& s = a.stats;
+    double gld_tpr = ratio(s.gld_transactions, s.gld_requests);
+    std::uint64_t req_total = s.gld_requests + s.gst_requests;
+    std::uint64_t trans_total = s.gld_transactions + s.gst_transactions;
+    std::uint64_t smem_accesses = s.smem_loads + s.smem_stores;
+
+    // warp-divergence (WarpDivRedux): nearly every warp split on a
+    // both-arms branch.
+    if (s.warps > 0 &&
+        s.divergent_both_arms >= kDivergentWarpShare * static_cast<double>(s.warps)) {
+      double wee = s.warp_execution_efficiency();
+      push("warp-divergence", a.name, wee > 0 ? 100.0 / wee : 1.0,
+           {{"warp_execution_efficiency", wee, "%"},
+            {"divergent_both_arms", static_cast<double>(s.divergent_both_arms), ""},
+            {"warps", static_cast<double>(s.warps), ""}},
+           "branch at warp granularity (partition work so whole warps take "
+           "one path) instead of per-thread (WarpDivRedux)");
+    }
+
+    // uncoalesced-global (CoMem): each load request touches many 128-byte
+    // lines. Suppressed when a movement rule already explains the stride and
+    // when unified memory is live (faults dominate, the stride is secondary).
+    if (!movement_fired && s.gld_requests > 0 && s.um_page_faults == 0 &&
+        gld_tpr >= kUncoalescedTpr) {
+      push("uncoalesced-global", a.name, gld_tpr,
+           {{"gld_transactions_per_request", gld_tpr, ""},
+            {"gld_requests", static_cast<double>(s.gld_requests), ""}},
+           "switch block-distributed loops to cyclic distribution so a "
+           "warp's lanes read consecutive elements (CoMem)");
+    }
+
+    // misaligned-global (MemAlign): unit-stride accesses whose base sits off
+    // a 128-byte line pay one extra transaction per request.
+    if (req_total > 0 &&
+        s.gmem_misaligned_extra >= kMisalignedShare * static_cast<double>(req_total)) {
+      double est = trans_total > s.gmem_misaligned_extra
+                       ? static_cast<double>(trans_total) /
+                             static_cast<double>(trans_total - s.gmem_misaligned_extra)
+                       : 1.0;
+      push("misaligned-global", a.name, est,
+           {{"gmem_misaligned_extra", static_cast<double>(s.gmem_misaligned_extra), ""},
+            {"global_requests", static_cast<double>(req_total), ""}},
+           "align the access base to the 128-byte line (offset the loop "
+           "bounds, or pad with cudaMalloc alignment) (MemAlign)");
+    }
+
+    // shared-bank-conflicts (BankRedux).
+    if (smem_accesses > 0 &&
+        s.bank_conflicts >= kBankConflictShare * static_cast<double>(smem_accesses)) {
+      double est = static_cast<double>(smem_accesses + s.bank_conflicts) /
+                   static_cast<double>(smem_accesses);
+      push("shared-bank-conflicts", a.name, est,
+           {{"shared_bank_conflicts", static_cast<double>(s.bank_conflicts), ""},
+            {"shared_accesses", static_cast<double>(smem_accesses), ""}},
+           "pad or permute the shared-memory indexing so a warp's lanes hit "
+           "32 distinct banks (BankRedux)");
+    }
+
+    // smem-reduction-shuffle (Shuffle): a barrier-heavy shared-memory
+    // reduction with no shuffles. A note, not a warning: the win is modest.
+    // Suppressed when bank conflicts fired in this phase — fix those first.
+    if (!bank_conflicts_fired && s.shuffles == 0 && s.smem_loads > 0 &&
+        s.blocks > 0 && s.barriers >= 4 * s.blocks &&
+        s.smem_loads <= 2 * s.smem_stores) {
+      push("smem-reduction-shuffle", a.name, 1.1,
+           {{"barriers_per_block", ratio(s.barriers, s.blocks), ""},
+            {"shuffles", 0.0, ""}},
+           "finish the per-warp reduction with __shfl_down_sync instead of "
+           "shared memory and __syncthreads (Shuffle)");
+    }
+
+    // global-reuse-no-smem (ShMem): heavy reuse served by L1 that a shared-
+    // memory tile would serve at lower latency and without eviction risk.
+    // Requires coalesced access: an uncoalesced kernel's hit rate comes from
+    // each lane walking its own line, which shared memory would not fix.
+    double hit_rate = 100.0 * ratio(s.l1_hits, s.l1_hits + s.l1_misses);
+    if (gld_tpr < kUncoalescedTpr &&
+        s.smem_loads == 0 && s.warps > 0 && hit_rate >= kReuseHitRate &&
+        static_cast<double>(s.gld_requests) >=
+            kReuseLoadsPerWarp * static_cast<double>(s.warps)) {
+      push("global-reuse-no-smem", a.name, 1.0 + hit_rate / 100.0,
+           {{"global_hit_rate", hit_rate, "%"},
+            {"gld_requests_per_warp", ratio(s.gld_requests, s.warps), ""}},
+           "stage the reused tile in shared memory instead of re-reading "
+           "global memory through the cache (ShMem)");
+    }
+
+    // read-only-no-texture (ReadOnly): on parts without global L1 caching,
+    // read-only traffic belongs on the texture path.
+    if (!p.l1_enabled_for_global && s.gld_requests > 0 && s.tex_requests == 0 &&
+        p.tex_bw_factor > 1.0) {
+      push("read-only-no-texture", a.name, p.tex_bw_factor,
+           {{"gld_requests", static_cast<double>(s.gld_requests), ""},
+            {"tex_requests", 0.0, ""}},
+           "route read-only data through the texture / __ldg read-only path "
+           "(this device does not cache global loads in L1) (ReadOnly)");
+    }
+
+    // missed-constant-broadcast (Const): most loads broadcast one address to
+    // the whole warp; the constant cache serves that in one cycle.
+    if (s.const_requests == 0 && s.warps > 0 &&
+        s.gld_uniform_requests >= s.warps &&
+        static_cast<double>(s.gld_uniform_requests) >=
+            kUniformShare * static_cast<double>(s.gld_requests)) {
+      double share = ratio(s.gld_uniform_requests, s.gld_requests);
+      push("missed-constant-broadcast", a.name, 1.0 + share,
+           {{"gld_uniform_requests", static_cast<double>(s.gld_uniform_requests), ""},
+            {"gld_requests", static_cast<double>(s.gld_requests), ""}},
+           "promote the warp-uniform operand to __constant__ memory so the "
+           "broadcast comes from the constant cache (Const)");
+    }
+
+    // block-imbalance (DynPar): the list schedule leaves SMs idle behind a
+    // few long blocks. Dynamic parallelism (or finer blocks) rebalances.
+    if (a.slack >= kImbalanceSlack && s.device_launches == 0 &&
+        a.grid_blocks >= 8) {
+      push("block-imbalance", a.name, 1.0 / (1.0 - a.slack),
+           {{"sm_idle_fraction", a.slack, ""},
+            {"grid_blocks", static_cast<double>(a.grid_blocks), ""}},
+           "split hot blocks with device-side child launches (dynamic "
+           "parallelism) or finer-grained blocks so SMs stay busy (DynPar)");
+    }
+
+    // sync-staging-no-async (SimpleMultiCopy/memcpy_async): a classic
+    // load-to-shared staging loop on hardware with async copy support.
+    if (p.supports_memcpy_async && s.async_copies == 0 && s.gld_requests > 0 &&
+        s.barriers > 0 && s.warps > 0 && s.smem_stores >= s.warps &&
+        static_cast<double>(s.smem_stores) >=
+            0.5 * static_cast<double>(s.gld_requests)) {
+      push("sync-staging-no-async", a.name, 1.3,
+           {{"smem_stores", static_cast<double>(s.smem_stores), ""},
+            {"gld_requests", static_cast<double>(s.gld_requests), ""},
+            {"async_copies", 0.0, ""}},
+           "stage global->shared tiles with memcpy_async / cp.async so the "
+           "copy overlaps compute and skips the register round-trip (AsyncCopy)");
+    }
+
+    // low-occupancy: the block shape caps resident warps well below the SM's
+    // capacity while the grid could fill the device.
+    if (a.achieved < kLowOccupancy && a.grid_blocks >= p.sm_count) {
+      OccupancyCalculator calc(p);
+      OccupancyCalculator::BlockSuggestion sug =
+          calc.max_potential_block_size(a.shared_bytes);
+      double best = calc.theoretical_occupancy(sug.block, a.shared_bytes);
+      double est = a.achieved > 0 ? best / a.achieved : 1.0;
+      char fix[160];
+      std::snprintf(fix, sizeof fix,
+                    "resize blocks to raise occupancy: "
+                    "cudaOccupancyMaxPotentialBlockSize suggests %d threads "
+                    "per block (theoretical occupancy %.0f%%)",
+                    sug.block, best * 100.0);
+      push("low-occupancy", a.name, est,
+           {{"achieved_occupancy", a.achieved, ""},
+            {"block_threads", static_cast<double>(a.block_threads), ""},
+            {"suggested_block", static_cast<double>(sug.block), ""}},
+           fix);
+    }
+  }
+}
+
+std::vector<Advice> Advisor::analyze() const {
+  std::vector<Advice> out;
+  for (const Phase& ph : phases_) analyze_phase(ph, out);
+  std::stable_sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
+    if (a.severity != b.severity)
+      return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+    if (a.est_speedup != b.est_speedup) return a.est_speedup > b.est_speedup;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.target < b.target;
+  });
+  return out;
+}
+
+std::string Advisor::report() const {
+  std::vector<Advice> advice = analyze();
+  std::size_t shown = 0;
+  for (const Advice& a : advice)
+    if (mode_ == AdviseMode::kFull || a.severity != Severity::kNote) ++shown;
+
+  std::ostringstream os;
+  os << "==vgpu-advise== " << shown << " finding" << (shown == 1 ? "" : "s");
+  if (mode_ == AdviseMode::kWarn && shown != advice.size())
+    os << " (" << advice.size() - shown << " note"
+       << (advice.size() - shown == 1 ? "" : "s") << " hidden; VGPU_ADVISE=full)";
+  os << ":\n";
+  char buf[64];
+  for (const Advice& a : advice) {
+    if (mode_ != AdviseMode::kFull && a.severity == Severity::kNote) continue;
+    std::snprintf(buf, sizeof buf, "%.2f", a.est_speedup);
+    os << "  [" << severity_name(a.severity) << "] " << a.rule << " on "
+       << a.target;
+    if (!a.phase.empty()) os << " (phase " << a.phase << ")";
+    os << ": up to " << buf << "x\n";
+    os << "    evidence:";
+    bool first = true;
+    for (const Metric& m : a.evidence) {
+      std::snprintf(buf, sizeof buf, "%.4g", m.value);
+      os << (first ? " " : ", ") << m.name << "=" << buf << m.unit;
+      first = false;
+    }
+    os << "\n    fix: " << a.remediation << "\n";
+  }
+  return os.str();
+}
+
+std::string Advisor::report_json() const {
+  std::vector<Advice> advice = analyze();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << "{\"tool\":\"vgpu-advise\",\"device\":\"" << json_escape(profile_.name)
+     << "\",\"advice\":[";
+  bool first = true;
+  for (const Advice& a : advice) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"rule\":\"" << json_escape(a.rule) << "\",\"phase\":\""
+       << json_escape(a.phase) << "\",\"target\":\"" << json_escape(a.target)
+       << "\",\"severity\":\"" << severity_name(a.severity)
+       << "\",\"est_speedup\":" << a.est_speedup << ",\"evidence\":{";
+    bool fe = true;
+    for (const Metric& m : a.evidence) {
+      if (!fe) os << ",";
+      fe = false;
+      os << "\"" << json_escape(m.name) << "\":" << m.value;
+    }
+    os << "},\"remediation\":\"" << json_escape(a.remediation) << "\"}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void Advisor::flush(std::ostream& out) {
+  bool empty = true;
+  for (const Phase& ph : phases_)
+    if (!ph.records.empty()) empty = false;
+  if (flushed_ || empty) return;
+  flushed_ = true;
+  out << report();
+  if (!json_path_.empty()) {
+    std::ofstream f(json_path_);
+    if (f && (f << report_json()))
+      out << "==vgpu-advise== wrote JSON report to " << json_path_ << "\n";
+    else
+      out << "==vgpu-advise== FAILED to write JSON report to " << json_path_ << "\n";
+  }
+}
+
+}  // namespace vgpu

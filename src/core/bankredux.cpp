@@ -77,6 +77,9 @@ BankReduxResult run_bankredux(Runtime& rt, int n) {
     out = sum_ref(partial);
   };
 
+  // One joint phase: the bank-conflict finding on sum_bc must suppress the
+  // shuffle note on the conflict-free sibling (same reduction, same fix).
+  rt.advise_phase("bankredux");
   auto bc = rt.launch(cfg, [=](WarpCtx& w) { return sum_bc_kernel(w, x, r); });
   double bc_sum = 0;
   fold(bc_sum);

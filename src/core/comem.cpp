@@ -93,25 +93,29 @@ CoMemResult run_comem(Runtime& rt, int n, int grid_blocks) {
   CoMemResult r;
   r.name = "CoMem";
 
-  auto run_variant = [&](const char* name, auto&& fn) {
+  auto run_variant = [&](const char* name, const char* phase, auto&& fn) {
+    // Close the previous variant's phase before the reset copy so each advice
+    // phase sees exactly one kernel (and its result copy), nothing else's setup.
+    rt.advise_phase("");
     rt.memcpy_h2d(y, std::span<const Real>(hy0));
+    rt.advise_phase(phase);
     LaunchConfig c = cfg;
     c.name = name;
     return rt.launch(c, fn);
   };
 
-  auto blk = run_variant("axpy_block",
+  auto blk = run_variant("axpy_block", "comem.naive",
                          [=](WarpCtx& w) { return axpy_block(w, x, y, n, a); });
   std::vector<Real> got(static_cast<std::size_t>(n));
   rt.memcpy_d2h(std::span<Real>(got), y);
   bool blk_ok = max_abs_diff(got, want) == 0;
 
-  auto cyc = run_variant("axpy_cyclic",
+  auto cyc = run_variant("axpy_cyclic", "comem.optimized",
                          [=](WarpCtx& w) { return axpy_cyclic(w, x, y, n, a); });
   rt.memcpy_d2h(std::span<Real>(got), y);
   bool cyc_ok = max_abs_diff(got, want) == 0;
 
-  auto gat = run_variant("axpy_gather", [=](WarpCtx& w) {
+  auto gat = run_variant("axpy_gather", "comem.gather", [=](WarpCtx& w) {
     return axpy_gather(w, x, y, p, n, a);
   });
 

@@ -45,6 +45,7 @@ ConKernelsResult run_conkernels(Runtime& rt, int kernels, int iters) {
   LaunchConfig cfg{Dim3{1}, Dim3{kTpb}, "burn"};
 
   // Serial: every kernel on the default stream.
+  rt.advise_phase("conkernels.naive");
   rt.synchronize();
   double t0 = rt.now_us();
   KernelStats serial_stats;
@@ -65,6 +66,7 @@ ConKernelsResult run_conkernels(Runtime& rt, int kernels, int iters) {
   }
 
   // Concurrent: one stream per kernel.
+  rt.advise_phase("conkernels.optimized");
   std::vector<Stream*> streams;
   for (int i = 0; i < kernels; ++i) streams.push_back(&rt.create_stream());
   rt.synchronize();

@@ -193,6 +193,7 @@ DynParallelResult run_dynparallel(Runtime& rt, int size, int max_iter) {
   res.name = "DynParallel";
 
   // Baseline: escape time, one thread per pixel, 16x16 blocks.
+  rt.advise_phase("dynparallel.naive");
   LaunchConfig esc_cfg{Dim3{size / 16, size / 16}, Dim3{16, 16}, "mandel_escape"};
   auto esc = rt.launch(esc_cfg, [=](WarpCtx& w) {
     return mandel_escape_kernel(w, dwell, size, size, f, max_iter);
@@ -201,6 +202,7 @@ DynParallelResult run_dynparallel(Runtime& rt, int size, int max_iter) {
   rt.memcpy_d2h(std::span<int>(escape_out), dwell);
 
   // Mariani-Silver with dynamic parallelism.
+  rt.advise_phase("dynparallel.optimized");
   int init_size = size / kMsInitDiv;
   LaunchConfig ms_cfg{Dim3{kMsInitDiv, kMsInitDiv}, Dim3{kMsTpb}, "mandel_ms"};
   auto ms = rt.launch(ms_cfg, [=](WarpCtx& w) {

@@ -29,6 +29,7 @@ HdOverlapResult run_hdoverlap(Runtime& rt, int n, int chunks, int streams) {
   res.streams = streams;
 
   // --- Synchronous offload. ---
+  rt.advise_phase("hdoverlap.naive");
   rt.synchronize();
   double t0 = rt.now_us();
   rt.memcpy_h2d(x, std::span<const Real>(hx));
@@ -43,6 +44,7 @@ HdOverlapResult run_hdoverlap(Runtime& rt, int n, int chunks, int streams) {
   bool sync_ok = max_abs_diff(got, want) == 0;
 
   // --- Pipelined offload: chunked copies + kernels across streams. ---
+  rt.advise_phase("hdoverlap.optimized");
   std::vector<Stream*> ss;
   for (int i = 0; i < streams; ++i) ss.push_back(&rt.create_stream());
 

@@ -48,13 +48,16 @@ MemAlignResult run_memalign(Runtime& rt, int n) {
   r.name = "MemAlign";
 
   rt.memcpy_h2d(y, std::span<const Real>(hy0));
+  rt.advise_phase("memalign.naive");  // After setup copies: advise on the kernel.
   auto mis = rt.launch(cfg, [=](WarpCtx& w) { return axpy_misaligned(w, x, y, n, a); });
   std::vector<Real> got(static_cast<std::size_t>(n));
   rt.memcpy_d2h(std::span<Real>(got), y);
   bool mis_ok = max_abs_diff(got, want) == 0;
 
   cfg.name = "axpy_aligned";
+  rt.advise_phase("");  // Keep the reset copy out of the naive phase.
   rt.memcpy_h2d(y, std::span<const Real>(hy0));
+  rt.advise_phase("memalign.optimized");
   auto ali = rt.launch(cfg, [=](WarpCtx& w) { return axpy_aligned(w, x, y, n, a); });
   rt.memcpy_d2h(std::span<Real>(got), y);
   bool ali_ok = max_abs_diff(got, want) == 0;

@@ -84,6 +84,7 @@ MiniTransferResult run_minitransfer(Runtime& rt, int n, long long nnz) {
   std::vector<Real> got(static_cast<std::size_t>(n));
 
   // --- Dense offload: full matrix across the link. ---
+  rt.advise_phase("minitransfer.naive");
   std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
   DevSpan<Real> da = rt.malloc<Real>(nn);
   DevSpan<Real> dx = rt.malloc<Real>(static_cast<std::size_t>(n));
@@ -103,6 +104,7 @@ MiniTransferResult run_minitransfer(Runtime& rt, int n, long long nnz) {
   double derr = max_abs_diff(got, want);
 
   // --- CSR offload: three small arrays. ---
+  rt.advise_phase("minitransfer.optimized");
   DevSpan<int> rp = rt.malloc<int>(csr.row_ptr.size());
   DevSpan<int> ci = rt.malloc<int>(std::max<std::size_t>(1, csr.col_idx.size()));
   DevSpan<Real> va = rt.malloc<Real>(std::max<std::size_t>(1, csr.vals.size()));

@@ -118,6 +118,7 @@ ReadOnlyResult run_readonly(Runtime& rt, int n) {
   std::vector<Real> got(nn);
   bool ok = true;
 
+  rt.advise_phase("readonly.naive");
   auto glob = rt.launch(cfg, [=](WarpCtx& w) {
     return matadd_global_kernel(w, a, b, c, n, n);
   });
@@ -125,6 +126,7 @@ ReadOnlyResult run_readonly(Runtime& rt, int n) {
   ok = ok && max_abs_diff(got, want) == 0;
 
   cfg.name = "matadd_tex1d";
+  rt.advise_phase("readonly.optimized");
   auto t1 = rt.launch(cfg, [=](WarpCtx& w) {
     return matadd_tex1d_kernel(w, la, lb, c, n, n);
   });
@@ -177,6 +179,7 @@ PairResult run_const_poly(Runtime& rt, int n, int terms) {
   res.name = "ConstPoly";
   std::vector<Real> got(static_cast<std::size_t>(n));
 
+  rt.advise_phase("constpoly.naive");
   auto glob = rt.launch(cfg, [=](WarpCtx& w) {
     return poly_global_kernel(w, cg, terms, x, y, n);
   });
@@ -184,6 +187,7 @@ PairResult run_const_poly(Runtime& rt, int n, int terms) {
   bool ok1 = max_abs_diff(got, want) == 0;
 
   cfg.name = "poly_const";
+  rt.advise_phase("constpoly.optimized");
   auto cst = rt.launch(cfg, [=](WarpCtx& w) {
     return poly_const_kernel(w, cc, terms, x, y, n);
   });

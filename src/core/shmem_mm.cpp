@@ -70,12 +70,14 @@ ShmemResult run_shmem_mm(Runtime& rt, int n) {
   ShmemResult res;
   res.name = "Shmem";
 
+  rt.advise_phase("shmem.naive");
   auto glob = rt.launch(cfg, [=](WarpCtx& w) { return mm_global_kernel(w, a, b, c, n); });
   std::vector<Real> got(nn);
   rt.memcpy_d2h(std::span<Real>(got), c);
   double err1 = max_abs_diff(got, want);
 
   cfg.name = "mm_shared";
+  rt.advise_phase("shmem.optimized");
   auto shar = rt.launch(cfg, [=](WarpCtx& w) { return mm_shared_kernel(w, a, b, c, n); });
   rt.memcpy_d2h(std::span<Real>(got), c);
   double err2 = max_abs_diff(got, want);

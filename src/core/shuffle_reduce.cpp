@@ -94,10 +94,12 @@ ShuffleResult run_shuffle_reduce(Runtime& rt, int n) {
     return sum_ref(partial);
   };
 
+  rt.advise_phase("shuffle.naive");
   auto base = rt.launch(cfg, [=](WarpCtx& w) { return reduce_shared_kernel(w, x, r, n); });
   double base_sum = fold();
 
   cfg.name = "reduce_shuffle";
+  rt.advise_phase("shuffle.optimized");
   auto shf = rt.launch(cfg, [=](WarpCtx& w) { return reduce_shuffle_kernel(w, x, r, n); });
   res.device_sum = fold();
 

@@ -31,6 +31,7 @@ TaskGraphResult run_taskgraph(Runtime& rt, int n, int chain_length, int repeats)
   res.repeats = repeats;
 
   // --- Stream path: one submission per kernel. ---
+  rt.advise_phase("taskgraph.naive");
   rt.memcpy_h2d(y, std::span<const Real>(hy0));
   rt.synchronize();
   double t0 = rt.now_us();
@@ -44,6 +45,7 @@ TaskGraphResult run_taskgraph(Runtime& rt, int n, int chain_length, int repeats)
   bool stream_ok = max_abs_diff(got, want) == 0;
 
   // --- Graph path: instantiate once, launch per repeat. ---
+  rt.advise_phase("taskgraph.optimized");
   rt.memcpy_h2d(y, std::span<const Real>(hy0));
   vgpu::GraphBuilder builder;
   vgpu::GraphNodeId prev = -1;

@@ -42,6 +42,7 @@ UniMemResult run_unimem(Runtime& rt, int n, int stride) {
   std::vector<Real> got(static_cast<std::size_t>(n));
 
   // --- Explicit offload: whole arrays both ways. ---
+  rt.advise_phase("unimem.naive");
   DevSpan<Real> xe = rt.malloc<Real>(static_cast<std::size_t>(n));
   DevSpan<Real> ye = rt.malloc<Real>(static_cast<std::size_t>(n));
   rt.synchronize();
@@ -58,6 +59,7 @@ UniMemResult run_unimem(Runtime& rt, int n, int stride) {
   res.explicit_bytes = 3u * static_cast<std::uint64_t>(n) * sizeof(Real);
 
   // --- Unified memory: pages move on demand. ---
+  rt.advise_phase("unimem.optimized");
   DevSpan<Real> xm = rt.malloc_managed<Real>(static_cast<std::size_t>(n));
   DevSpan<Real> ym = rt.malloc_managed<Real>(static_cast<std::size_t>(n));
   rt.managed_write(xm, std::span<const Real>(hx));
@@ -79,6 +81,7 @@ UniMemResult run_unimem(Runtime& rt, int n, int stride) {
   res.page_faults = minfo.stats.um_page_faults;
 
   // --- Extension: managed + whole-range prefetch (paper's future work). ---
+  rt.advise_phase("unimem.prefetch");
   DevSpan<Real> xp = rt.malloc_managed<Real>(static_cast<std::size_t>(n));
   DevSpan<Real> yp = rt.malloc_managed<Real>(static_cast<std::size_t>(n));
   rt.managed_write(xp, std::span<const Real>(hx));

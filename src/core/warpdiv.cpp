@@ -76,6 +76,7 @@ WarpDivResult run_warpdiv(Runtime& rt, int n) {
   WarpDivResult r;
   r.name = "WarpDivRedux";
 
+  rt.advise_phase("warpdiv.naive");
   auto wd = rt.launch(cfg, [=](WarpCtx& w) { return wd_kernel(w, x, y, z, n); });
   std::vector<Real> got(static_cast<std::size_t>(n));
   rt.memcpy_d2h(std::span<Real>(got), z);
@@ -84,6 +85,7 @@ WarpDivResult run_warpdiv(Runtime& rt, int n) {
   r.max_error = max_abs_diff(got, want);
   bool wd_ok = r.max_error == 0;
 
+  rt.advise_phase("warpdiv.optimized");
   auto nowd = rt.launch(cfg, [=](WarpCtx& w) { return nowd_kernel(w, x, y, z, n); });
   rt.memcpy_d2h(std::span<Real>(got), z);
   nowd_ref(hx, hy, want);

@@ -22,6 +22,36 @@ IssueCost GlobalMemory::begin_access(const LaneVec<std::uint64_t>& addrs, Mask a
     stats.gld_transactions += static_cast<std::uint64_t>(co.transactions());
   }
 
+  // vgpu-advise evidence. Walk the active lanes once in lane order to
+  // classify the request shape: a broadcast (every active lane reading one
+  // address) is a constant-memory candidate, and a unit-stride run that
+  // starts off a 128-byte line wastes transactions the MemAlign way.
+  int active_lanes = 0;
+  bool uniform = true;
+  bool unit_stride = true;
+  std::uint64_t first = 0, prev = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!lane_in(active, lane)) continue;
+    std::uint64_t a = addrs[lane];
+    if (active_lanes == 0) {
+      first = a;
+    } else {
+      if (a != first) uniform = false;
+      if (a != prev + elem_bytes) unit_stride = false;
+    }
+    prev = a;
+    ++active_lanes;
+  }
+  if (active_lanes >= 2) {
+    if (!write && uniform) ++stats.gld_uniform_requests;
+    if (unit_stride && first % kLineBytes != 0) {
+      std::uint64_t span = static_cast<std::uint64_t>(active_lanes) * elem_bytes;
+      std::uint64_t ideal = (span + kLineBytes - 1) / kLineBytes;
+      std::uint64_t got = static_cast<std::uint64_t>(co.transactions());
+      if (got > ideal) stats.gmem_misaligned_extra += got - ideal;
+    }
+  }
+
   // Unified-memory page residency, resolved at access time (first toucher
   // pays the fault).
   if (um_ != nullptr) {

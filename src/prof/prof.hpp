@@ -22,6 +22,7 @@
 // VGPU_THREADS, and KernelStats/timing are bit-identical with profiling on
 // or off.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -92,6 +93,9 @@ struct ActivityRecord {
   int blocks_per_sm = 0;     ///< Occupancy limit for this block shape.
   int granted_sms = 0;       ///< SM slots the scheduler actually granted.
   double achieved_occupancy = 0;  ///< Resident warps / max warps per SM.
+  double launch_overhead_us = 0;  ///< Host launch cost charged (0 inside graphs).
+  double sm_slack = 0;       ///< Idle fraction of granted SM-time (imbalance).
+  std::size_t shared_bytes = 0;   ///< Largest per-block shared allocation.
 
   double duration_us() const { return end_us - start_us; }
   bool operator==(const ActivityRecord&) const = default;
@@ -107,6 +111,11 @@ struct Metric {
   std::string name;
   double value = 0;
   const char* unit = "";  ///< "%", "", "bytes", ...
+
+  bool operator==(const Metric& o) const {
+    return name == o.name && value == o.value &&
+           std::string_view(unit) == std::string_view(o.unit);
+  }
 };
 
 /// nvprof-named derived metrics for one kernel activity record. Every value

@@ -9,10 +9,12 @@ Runtime::Runtime(DeviceProfile profile)
   gpu_.gmem().set_um_hook(&managed_);
   streams_.emplace_back(0);  // Default stream.
   set_prof_mode(prof_mode_from_env());
+  set_advise_mode(advise_mode_from_env());
 }
 
 Runtime::~Runtime() {
   if (prof_ != nullptr) prof_->flush(std::cout);
+  if (advise_ != nullptr) advise_->flush(std::cout);
 }
 
 void Runtime::set_prof_mode(ProfMode m) {
@@ -32,6 +34,25 @@ void Runtime::set_prof_mode(ProfMode m) {
 
 void Runtime::flush_prof(std::ostream& out) {
   if (prof_ != nullptr) prof_->flush(out);
+}
+
+void Runtime::set_advise_mode(AdviseMode m) {
+  if (m == AdviseMode::kOff) {
+    tl_.set_advisor(nullptr);
+    advise_.reset();
+    return;
+  }
+  if (advise_ == nullptr) {
+    advise_ = std::make_unique<Advisor>(m, profile_);
+    advise_->set_json_path(advise_json_path_from_env());
+    tl_.set_advisor(advise_.get());
+  } else {
+    advise_->set_mode(m);
+  }
+}
+
+void Runtime::flush_advise(std::ostream& out) {
+  if (advise_ != nullptr) advise_->flush(out);
 }
 
 Stream& Runtime::create_stream() {

@@ -24,9 +24,11 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "advise/advise.hpp"
 #include "mem/constant.hpp"
 #include "prof/prof.hpp"
 #include "mem/texture.hpp"
@@ -87,6 +89,27 @@ class Runtime {
   const Profiler* profiler() const { return prof_.get(); }
   /// Emit the enabled profiler reports now instead of at destruction.
   void flush_prof(std::ostream& out);
+
+  // --- vgpu-advise (performance advisor) -------------------------------------
+  /// Rule-based Table-I anti-pattern diagnosis over subsequent device ops
+  /// (VGPU_ADVISE env var by default; e.g. set_advise_mode(AdviseMode::kFull)).
+  /// Switching to kOff detaches and discards the advisor. Strictly
+  /// observational: stats and simulated times are bit-identical on or off.
+  AdviseMode advise_mode() const {
+    return advise_ ? advise_->mode() : AdviseMode::kOff;
+  }
+  void set_advise_mode(AdviseMode m);
+  /// The evidence collector / rule engine; nullptr while advising is off.
+  Advisor* advisor() { return advise_.get(); }
+  const Advisor* advisor() const { return advise_.get(); }
+  /// Start a new advisor evidence phase (no-op while advising is off). Rules
+  /// never correlate records across phases, so callers can bracket one
+  /// benchmark variant per phase and get per-variant diagnoses.
+  void advise_phase(std::string name) {
+    if (advise_ != nullptr) advise_->begin_phase(std::move(name));
+  }
+  /// Emit the advice report now instead of at destruction.
+  void flush_advise(std::ostream& out);
 
   Timeline& timeline() { return tl_; }
   ManagedDirectory& managed() { return managed_; }
@@ -252,7 +275,7 @@ class Runtime {
                     (profile_.um_migrate_bw_gbps * 1e3);
     double start = tl_.host_now();
     tl_.host_advance(us);
-    if (prof_ != nullptr) {
+    if (prof_ != nullptr || advise_ != nullptr) {
       ActivityRecord r;
       r.kind = ActivityRecord::Kind::kUmMigration;
       r.name = "um host fault";
@@ -260,7 +283,8 @@ class Runtime {
       r.start_us = start;
       r.end_us = start + us;
       r.bytes = static_cast<double>(t.migrated_bytes);
-      prof_->record(std::move(r));
+      if (advise_ != nullptr) advise_->record(r);
+      if (prof_ != nullptr) prof_->record(std::move(r));
     }
   }
 
@@ -269,6 +293,7 @@ class Runtime {
   Timeline tl_;
   ManagedDirectory managed_;
   std::unique_ptr<Profiler> prof_;  // Present only while profiling is on.
+  std::unique_ptr<Advisor> advise_;  // Present only while advising is on.
   std::deque<Stream> streams_;  // Deque keeps references stable.
   int next_stream_id_ = 1;
 };

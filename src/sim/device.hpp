@@ -98,4 +98,21 @@ struct DeviceProfile {
   static DeviceProfile test_tiny();
 };
 
+/// Resident blocks per SM for a block shape: the limiter is whichever of the
+/// block-count, thread-count or shared-memory budgets runs out first. Shared
+/// between the timing model (GpuExec::occupancy) and the advisor's
+/// OccupancyCalculator / cudaOccupancyMaxActiveBlocksPerMultiprocessor shim so
+/// the two can never drift apart.
+inline int max_resident_blocks_per_sm(const DeviceProfile& p, int threads_per_block,
+                                      std::size_t shared_bytes) {
+  int by_threads = p.max_threads_per_sm / (threads_per_block < 1 ? 1 : threads_per_block);
+  int by_shared = shared_bytes == 0
+                      ? p.max_blocks_per_sm
+                      : static_cast<int>(p.shared_mem_per_sm / shared_bytes);
+  int occ = p.max_blocks_per_sm;
+  if (by_threads < occ) occ = by_threads;
+  if (by_shared < occ) occ = by_shared;
+  return occ < 1 ? 1 : occ;
+}
+
 }  // namespace vgpu

@@ -61,13 +61,22 @@ double KernelRun::duration_us(const DeviceProfile& p, int granted_sms) const {
          p.roofline_interference * std::min(compute_us, mem_us);
 }
 
+double KernelRun::sm_slack(const DeviceProfile& p, int granted_sms) const {
+  granted_sms = std::clamp(granted_sms, 1, p.sm_count);
+  int slots = granted_sms;
+  double total_mk = 0;
+  double total_cycles = 0;
+  for (const auto& level : level_block_cycles) {
+    total_mk += makespan(level, slots);
+    for (double j : level) total_cycles += j;
+  }
+  if (total_mk <= 0) return 0;
+  double slack = 1.0 - total_cycles / (static_cast<double>(slots) * total_mk);
+  return std::clamp(slack, 0.0, 1.0);
+}
+
 int GpuExec::occupancy(int threads_per_block, std::size_t shared_bytes) const {
-  const DeviceProfile& p = profile_;
-  int by_threads = p.max_threads_per_sm / std::max(1, threads_per_block);
-  int by_shared = shared_bytes == 0
-                      ? p.max_blocks_per_sm
-                      : static_cast<int>(p.shared_mem_per_sm / shared_bytes);
-  return std::max(1, std::min({p.max_blocks_per_sm, by_threads, by_shared}));
+  return max_resident_blocks_per_sm(profile_, threads_per_block, shared_bytes);
 }
 
 double GpuExec::block_time_cycles(const BlockOutcome& b, int threads_per_block,
@@ -257,6 +266,7 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
       run_grids({GridRef{&cfg, &fn}}, run.stats, &shared_bytes, &run.check)
           .front()));
   run.blocks_per_sm = occupancy(run.threads_per_block, shared_bytes);
+  run.shared_bytes = shared_bytes;
 
   // Dynamic parallelism: run children level by level (children enqueued by
   // level N form level N+1). Each level's blocks are pooled: on hardware the

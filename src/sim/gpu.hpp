@@ -47,9 +47,16 @@ struct KernelRun {
   int threads_per_block = 1;
   int blocks_per_sm = 1;     ///< Occupancy of the level-0 grid.
   int preferred_sms = 1;     ///< SMs the grid can usefully occupy.
+  std::size_t shared_bytes = 0;  ///< Largest per-block shared allocation.
 
   /// Kernel execution time given `granted_sms` SMs (excludes launch overhead).
   double duration_us(const DeviceProfile& p, int granted_sms) const;
+
+  /// Fraction of granted SM-time idle under the list schedule, in [0, 1):
+  /// 0 for a balanced grid, approaching 1 when one long block (Mandelbrot's
+  /// hot tile) serializes the tail. Evidence for the advisor's
+  /// block-imbalance rule.
+  double sm_slack(const DeviceProfile& p, int granted_sms) const;
 };
 
 class GpuExec {

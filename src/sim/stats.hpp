@@ -29,7 +29,9 @@ namespace vgpu {
   X(tex_requests) X(tex_hits) X(tex_misses) X(tex_dram_bytes)         \
   X(atomic_ops) X(atomic_serializations)                              \
   X(branches) X(divergent_branches) X(shuffles) X(barriers)           \
-  X(device_launches) X(um_page_faults) X(um_migrated_bytes)
+  X(device_launches) X(um_page_faults) X(um_migrated_bytes)           \
+  X(divergent_both_arms) X(gld_uniform_requests)                      \
+  X(gmem_misaligned_extra) X(async_copies)
 
 struct KernelStats {
   // Launch shape.
@@ -78,6 +80,18 @@ struct KernelStats {
   std::uint64_t device_launches = 0;
   std::uint64_t um_page_faults = 0;
   std::uint64_t um_migrated_bytes = 0;
+
+  // vgpu-advise pattern evidence (PR 4). `divergent_both_arms` counts
+  // branches where both a then- and an else-arm executed with a split warp —
+  // the WarpDivRedux shape, as opposed to the benign guard `if (i < n)`.
+  // `gld_uniform_requests` counts load requests whose active lanes (>= 2) all
+  // read one address: a constant-broadcast candidate. `gmem_misaligned_extra`
+  // counts the transactions a unit-stride access wasted by starting off a
+  // 128-byte line. `async_copies` counts memcpy_async staging instructions.
+  std::uint64_t divergent_both_arms = 0;
+  std::uint64_t gld_uniform_requests = 0;
+  std::uint64_t gmem_misaligned_extra = 0;
+  std::uint64_t async_copies = 0;
 
   /// Exact counter equality — the parallel grid engine's determinism tests
   /// assert serial and multithreaded runs agree on every field.

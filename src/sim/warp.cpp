@@ -74,7 +74,12 @@ void WarpCtx::branch(Mask pred, const std::function<void()>& then_f,
   charge_instr(1);  // The branch instruction itself.
   Mask taken = pred & active();
   Mask fallthrough = ~pred & active();
-  if (taken != 0 && fallthrough != 0) ++s.divergent_branches;
+  if (taken != 0 && fallthrough != 0) {
+    ++s.divergent_branches;
+    // Both arms executing with a split warp is the WarpDivRedux anti-pattern;
+    // a guard with no else-arm (the `if (i < n)` idiom) is not.
+    if (else_f) ++s.divergent_both_arms;
+  }
   if (taken != 0) {
     push_mask(taken);
     then_f();
@@ -253,6 +258,7 @@ void WarpCtx::async_copy_cost(const LaneVec<std::uint64_t>& gaddrs,
                               std::size_t elem) {
   const DeviceProfile& p = gpu_->profile();
   KernelStats& s = stats();
+  ++s.async_copies;
   if (p.supports_memcpy_async) {
     // Hardware path: one LDGSTS-style instruction. The global transactions
     // still occupy the LSU, but the register round-trip and the shared-store

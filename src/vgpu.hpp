@@ -7,13 +7,14 @@
 // is the documented entry point to the simulator: it provides the Runtime
 // (CUDA-runtime-shaped host API), kernel authoring vocabulary (WarpCtx,
 // LaneVec, DevSpan, LaunchConfig, warp-level collectives), streams/events/
-// graphs, the vgpu-san dynamic checker, the vgpu-prof activity tracer and
-// the nvvp-style ASCII trace. The deep headers (rt/..., sim/..., xfer/...)
+// graphs, the vgpu-san dynamic checker, the vgpu-prof activity tracer, the
+// vgpu-advise performance advisor and the nvvp-style ASCII trace. The deep headers (rt/..., sim/..., xfer/...)
 // stay valid for code that pokes at internals, but new code should include
 // this one.
 //
 // For host code ported verbatim from CUDA, see <vgpu/cuda_names.hpp>.
 
+#include "advise/advise.hpp" // vgpu-advise: AdviseMode, Advisor, Advice.
 #include "prof/prof.hpp"     // vgpu-prof: ProfMode, Profiler, ActivityRecord.
 #include "rt/runtime.hpp"    // Runtime, LaunchInfo, streams, events, graphs.
 #include "san/check.hpp"     // vgpu-san: CheckMode, CheckReport.

@@ -30,6 +30,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "advise/advise.hpp"
 #include "rt/runtime.hpp"
 
 namespace vgpu::cuda {
@@ -192,6 +193,38 @@ inline cudaError_t cudaEventElapsedTime(float* ms, const cudaEvent_t& start,
 inline cudaError_t cudaStreamWaitEvent(cudaStream_t stream,
                                        const cudaEvent_t& event) {
   rt().stream_wait_event(stream_of(stream), event);
+  return cudaSuccess;
+}
+
+// --- Occupancy ----------------------------------------------------------------
+// Backed by the OccupancyCalculator, which wraps the same
+// max_resident_blocks_per_sm() the timing model schedules with — the shim can
+// never disagree with what the simulator actually does. The kernel argument
+// is accepted for signature parity and ignored: vgpu kernels have no
+// per-kernel register pressure, so only block size and dynamic shared memory
+// constrain residency.
+template <typename F>
+cudaError_t cudaOccupancyMaxActiveBlocksPerMultiprocessor(
+    int* numBlocks, F&& /*kernel*/, int blockSize, std::size_t dynamicSMemSize = 0) {
+  if (numBlocks == nullptr || blockSize <= 0)
+    throw std::invalid_argument("cudaOccupancyMaxActiveBlocksPerMultiprocessor");
+  *numBlocks =
+      OccupancyCalculator(rt().profile()).max_active_blocks(blockSize, dynamicSMemSize);
+  return cudaSuccess;
+}
+
+template <typename F>
+cudaError_t cudaOccupancyMaxPotentialBlockSize(int* minGridSize, int* blockSize,
+                                               F&& /*kernel*/,
+                                               std::size_t dynamicSMemSize = 0,
+                                               int blockSizeLimit = 0) {
+  if (minGridSize == nullptr || blockSize == nullptr)
+    throw std::invalid_argument("cudaOccupancyMaxPotentialBlockSize");
+  OccupancyCalculator::BlockSuggestion sug =
+      OccupancyCalculator(rt().profile())
+          .max_potential_block_size(dynamicSMemSize, blockSizeLimit);
+  *minGridSize = sug.min_grid;
+  *blockSize = sug.block;
   return cudaSuccess;
 }
 

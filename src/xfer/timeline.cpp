@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "advise/advise.hpp"
+
 namespace vgpu {
 
 Timeline::Span Timeline::copy(Stream& s, double bytes, bool sync, bool charge_submit,
@@ -55,7 +57,7 @@ Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
   note(end);
   Span span{start, end};
   trace(run.name.c_str(), s, span, TraceOp::Kind::kKernel);
-  if (prof_ != nullptr) {
+  if (prof_ != nullptr || advisor_ != nullptr) {
     ActivityRecord r;
     r.kind = ActivityRecord::Kind::kKernel;
     r.name = run.name;
@@ -77,7 +79,11 @@ Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
             ? std::min(1.0, static_cast<double>(run.blocks_per_sm) *
                                 warps_per_block / max_warps)
             : 0.0;
-    prof_->record(std::move(r));
+    r.launch_overhead_us = launch_overhead_us;
+    r.sm_slack = run.sm_slack(*profile_, want);
+    r.shared_bytes = run.shared_bytes;
+    if (advisor_ != nullptr) advisor_->record(r);
+    if (prof_ != nullptr) prof_->record(std::move(r));
   }
   return span;
 }
@@ -132,7 +138,7 @@ void Timeline::device_synchronize() { host_now_ = std::max(host_now_, frontier_)
 
 void Timeline::prof_activity(ActivityRecord::Kind kind, const char* name,
                              const Stream& s, Span span, double bytes) {
-  if (prof_ == nullptr) return;
+  if (prof_ == nullptr && advisor_ == nullptr) return;
   ActivityRecord r;
   r.kind = kind;
   r.name = name;
@@ -140,7 +146,8 @@ void Timeline::prof_activity(ActivityRecord::Kind kind, const char* name,
   r.start_us = span.start;
   r.end_us = span.end;
   r.bytes = bytes;
-  prof_->record(std::move(r));
+  if (advisor_ != nullptr) advisor_->record(r);
+  if (prof_ != nullptr) prof_->record(std::move(r));
 }
 
 }  // namespace vgpu

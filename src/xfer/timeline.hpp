@@ -21,6 +21,8 @@
 
 namespace vgpu {
 
+class Advisor;
+
 class Timeline {
  public:
   struct Span {
@@ -81,6 +83,10 @@ class Timeline {
   /// op the timeline schedules is recorded there in submission order.
   void set_profiler(Profiler* prof) { prof_ = prof; }
 
+  /// Attach the vgpu-advise sink (nullptr to detach). It sees the same
+  /// ActivityRecord stream the profiler does, in the same submission order.
+  void set_advisor(Advisor* advisor) { advisor_ = advisor; }
+
  private:
   void note(double t) {
     if (t > frontier_) frontier_ = t;
@@ -103,6 +109,7 @@ class Timeline {
   std::vector<double> sm_free_;
   TraceRecorder* trace_ = nullptr;
   Profiler* prof_ = nullptr;
+  Advisor* advisor_ = nullptr;
 };
 
 }  // namespace vgpu

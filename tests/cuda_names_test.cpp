@@ -112,6 +112,86 @@ TEST(CudaNames, ManagedAndPrefetch) {
   EXPECT_EQ(runtime.managed().device_resident_bytes(m.addr), m.bytes());
 }
 
+TEST(CudaNames, OccupancyMaxActiveBlocksMatchesScheduler) {
+  // The shim must report exactly the residency the timing model schedules
+  // with (max_resident_blocks_per_sm) for every block shape.
+  Runtime runtime(DeviceProfile::v100());
+  CudaContext ctx(runtime);
+  const DeviceProfile& p = runtime.profile();
+  for (int block : {32, 64, 96, 128, 256, 512, 1024}) {
+    for (std::size_t smem : {std::size_t{0}, std::size_t{4} << 10,
+                             std::size_t{32} << 10, std::size_t{48} << 10}) {
+      int num = -1;
+      EXPECT_EQ(cudaOccupancyMaxActiveBlocksPerMultiprocessor(&num, scale2,
+                                                              block, smem),
+                cudaSuccess);
+      EXPECT_EQ(num, max_resident_blocks_per_sm(p, block, smem))
+          << "block=" << block << " smem=" << smem;
+    }
+  }
+}
+
+TEST(CudaNames, OccupancyMaxActiveBlocksSharedLimited) {
+  // 48 KiB of dynamic shared on a 96 KiB SM: two resident blocks, even
+  // though the thread budget alone would allow 32 blocks of 64 threads.
+  Runtime runtime(DeviceProfile::v100());
+  CudaContext ctx(runtime);
+  int num = 0;
+  cudaOccupancyMaxActiveBlocksPerMultiprocessor(&num, scale2, 64,
+                                                std::size_t{48} << 10);
+  EXPECT_EQ(num, 2);
+}
+
+TEST(CudaNames, OccupancyMaxPotentialBlockSizeMatchesCalculator) {
+  Runtime runtime(DeviceProfile::v100());
+  CudaContext ctx(runtime);
+  OccupancyCalculator calc(runtime.profile());
+  for (std::size_t smem : {std::size_t{0}, std::size_t{16} << 10,
+                           std::size_t{48} << 10}) {
+    for (int limit : {0, 128, 256}) {
+      int min_grid = -1, block = -1;
+      EXPECT_EQ(cudaOccupancyMaxPotentialBlockSize(&min_grid, &block, scale2,
+                                                   smem, limit),
+                cudaSuccess);
+      OccupancyCalculator::BlockSuggestion sug =
+          calc.max_potential_block_size(smem, limit);
+      EXPECT_EQ(block, sug.block) << "smem=" << smem << " limit=" << limit;
+      EXPECT_EQ(min_grid, sug.min_grid) << "smem=" << smem << " limit=" << limit;
+      EXPECT_GT(block, 0);
+      EXPECT_EQ(block % kWarpSize, 0);
+      if (limit > 0) EXPECT_LE(block, limit);
+    }
+  }
+}
+
+TEST(CudaNames, OccupancyMaxPotentialBlockSizeUnconstrained) {
+  // With no shared pressure the fattest block wins the tie (2048 resident
+  // threads either way on a V100 SM) and min_grid fills the whole device.
+  Runtime runtime(DeviceProfile::v100());
+  CudaContext ctx(runtime);
+  int min_grid = 0, block = 0;
+  cudaOccupancyMaxPotentialBlockSize(&min_grid, &block, scale2);
+  const DeviceProfile& p = runtime.profile();
+  EXPECT_EQ(block, 1024);
+  EXPECT_EQ(min_grid,
+            p.sm_count * max_resident_blocks_per_sm(p, block, 0));
+}
+
+TEST(CudaNames, OccupancyRejectsBadArguments) {
+  Runtime runtime(DeviceProfile::v100());
+  CudaContext ctx(runtime);
+  int out = 0;
+  EXPECT_THROW(
+      cudaOccupancyMaxActiveBlocksPerMultiprocessor(&out, scale2, 0),
+      std::invalid_argument);
+  EXPECT_THROW(cudaOccupancyMaxActiveBlocksPerMultiprocessor(
+                   static_cast<int*>(nullptr), scale2, 256),
+               std::invalid_argument);
+  EXPECT_THROW(cudaOccupancyMaxPotentialBlockSize(
+                   static_cast<int*>(nullptr), &out, scale2),
+               std::invalid_argument);
+}
+
 TEST(CudaNames, ContextRestoresPreviousRuntime) {
   Runtime a(DeviceProfile::test_tiny());
   Runtime b(DeviceProfile::test_tiny());
