@@ -1,0 +1,252 @@
+// Graceful-degradation harness for the vgpu-fault error model.
+//
+// Real CUDA applications survive device trouble with two standard moves, and
+// this binary exercises both against deterministic injected faults:
+//
+//   1. Retry with backoff — a transient launch rejection
+//      (cudaErrorLaunchOutOfResources) retries the same launch after a
+//      simulated backoff; a sticky failure surfaced at the sync point
+//      (cudaErrorLaunchFailure) recovers via device_reset() and re-runs the
+//      pass.
+//   2. OOM fallback — when the requested batch doesn't fit device memory,
+//      halve it until allocation succeeds, then process the workload in that
+//      many smaller passes. Failed probe allocations consume nothing.
+//
+// Every scenario runs TWICE with fresh Runtimes under the same fault spec
+// and asserts the two event logs are byte-identical — injected faults, and
+// therefore the recovery paths they trigger, are reproducible inputs, not
+// flakes. Results are verified after every recovery.
+//
+// The fault spec comes from --fault=SPEC, else VGPU_FAULT, else a default
+// transient-launch storm. Exit status is 0 only if every scenario recovered,
+// verified, and replayed identically; the report on stdout is the CI
+// artifact.
+//
+//   ./fault_degradation                                # default spec
+//   ./fault_degradation --fault=launch:nth=2           # sticky flavor
+//   VGPU_FAULT=oom:after=3 ./fault_degradation
+
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <vgpu.hpp>
+
+namespace {
+
+using vgpu::DeviceProfile;
+using vgpu::DevSpan;
+using vgpu::Dim3;
+using vgpu::ErrorCode;
+using vgpu::LaunchInfo;
+using vgpu::Runtime;
+using vgpu::WarpCtx;
+using vgpu::WarpTask;
+
+constexpr const char* kDefaultSpec = "launch:transient,p=0.25,seed=7";
+constexpr int kMaxRetries = 16;
+
+struct ScenarioLog {
+  std::ostringstream events;  ///< One line per decision, for replay compare.
+  int retries = 0;
+  int resets = 0;
+  bool verified = false;
+};
+
+// --- Scenario 1: retry with backoff ------------------------------------------
+
+// Each pass scales x by 2 in place; `passes` passes multiply by 2^passes.
+ScenarioLog run_retry_scenario(const std::string& spec, int passes) {
+  ScenarioLog log;
+  Runtime rt(DeviceProfile::test_tiny());
+  rt.set_fault_spec(spec);
+  constexpr int kN = 1 << 12;
+  std::vector<int> host(kN, 1);
+  DevSpan<int> d = rt.malloc<int>(kN);
+  rt.memcpy_h2d(d, std::span<const int>(host));
+
+  auto scale2 = [=](WarpCtx& w) -> WarpTask {
+    vgpu::LaneI i = w.global_tid_x();
+    w.branch(i < kN, [&] { w.store(d, i, w.load(d, i) * 2); });
+    co_return;
+  };
+  vgpu::LaunchConfig cfg{Dim3{kN / 256}, Dim3{256}, "scale2"};
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool done = false;
+    for (int attempt = 0; attempt < kMaxRetries && !done; ++attempt) {
+      LaunchInfo r = rt.launch(cfg, scale2);
+      if (r.error == ErrorCode::kLaunchOutOfResources) {
+        // Transient rejection: back off (simulated time) and retry.
+        log.events << "pass " << pass << " attempt " << attempt
+                   << " transient-reject\n";
+        ++log.retries;
+        rt.timeline().host_advance(10.0 * (attempt + 1));
+        (void)rt.get_last_error();  // Acknowledge, like checkCuda would.
+        continue;
+      }
+      ErrorCode sync = rt.synchronize();
+      if (sync != ErrorCode::kSuccess) {
+        // Sticky corruption surfaced at the sync point: only a device reset
+        // recovers. The kernel never ran, so re-running the pass is sound.
+        log.events << "pass " << pass << " attempt " << attempt << " sync "
+                   << vgpu::error_name(sync) << " -> reset\n";
+        ++log.resets;
+        rt.device_reset();
+        continue;
+      }
+      log.events << "pass " << pass << " ok after " << attempt << " retries\n";
+      done = true;
+    }
+    if (!done) {
+      log.events << "pass " << pass << " FAILED after " << kMaxRetries
+                 << " attempts\n";
+      return log;
+    }
+  }
+
+  std::vector<int> back(kN);
+  rt.memcpy_d2h(std::span<int>(back), d);
+  int expect = 1 << passes;
+  log.verified = true;
+  for (int v : back) log.verified = log.verified && v == expect;
+  log.events << "verified " << (log.verified ? 1 : 0) << "\n";
+  return log;
+}
+
+// --- Scenario 2: OOM fallback to a smaller batch -----------------------------
+
+// Sum `total` elements on a device too small for the whole batch: halve the
+// batch until cudaMalloc succeeds, then reuse one buffer across chunks (the
+// bump allocator never recycles, so probing must stop at the first success).
+ScenarioLog run_oom_fallback_scenario(const std::string& spec) {
+  ScenarioLog log;
+  DeviceProfile p = DeviceProfile::test_tiny();
+  p.gmem_bytes = 1 << 20;  // 1 MiB device: the full 1 MiB batch plus the
+                           // accumulator can't fit; half of it can.
+  Runtime rt(p);
+  rt.set_fault_spec(spec);
+
+  constexpr std::size_t kTotal = 1 << 18;  // 1 MiB of int.
+  std::vector<int> host(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i)
+    host[i] = static_cast<int>(i % 100);  // Small values: no int overflow.
+
+  DevSpan<int> sums = rt.malloc<int>(1);  // Single atomic accumulator.
+  std::size_t batch = kTotal;
+  DevSpan<int> buf{};
+  while (batch >= 1024) {
+    buf = rt.malloc<int>(batch);
+    if (buf.addr != 0) break;
+    log.events << "batch " << batch << " -> "
+               << vgpu::error_name(rt.get_last_error()) << ", halving\n";
+    ++log.retries;
+    batch /= 2;
+    buf = DevSpan<int>{};
+  }
+  if (buf.addr == 0 || sums.addr == 0) {
+    log.events << "no batch fits\n";
+    return log;
+  }
+  log.events << "final batch " << batch << "\n";
+
+  long long total = 0;
+  for (std::size_t off = 0; off < kTotal; off += batch) {
+    std::size_t n = std::min(batch, kTotal - off);
+    rt.memcpy_h2d(buf, std::span<const int>(host.data() + off, n));
+    rt.memset(sums, 0);
+    DevSpan<int> chunk{buf.addr, n};
+    auto reduce = [=](WarpCtx& w) -> WarpTask {
+      vgpu::LaneI i = w.global_tid_x();
+      w.branch(i < static_cast<int>(n), [&] {
+        w.atomic_add(sums, vgpu::LaneI(0), w.load(chunk, i));
+      });
+      co_return;
+    };
+    // The fault spec applies here too: survive transient launch rejections
+    // and sticky surfaced failures with the same retry/reset discipline.
+    std::size_t blocks = (n + 255) / 256;
+    bool done = false;
+    for (int attempt = 0; attempt < kMaxRetries && !done; ++attempt) {
+      rt.memset(sums, 0);
+      LaunchInfo r = rt.launch(
+          {Dim3{static_cast<int>(blocks)}, Dim3{256}, "reduce"}, reduce);
+      if (r.error == ErrorCode::kLaunchOutOfResources) {
+        log.events << "chunk " << off << " transient-reject\n";
+        ++log.retries;
+        rt.timeline().host_advance(10.0 * (attempt + 1));
+        (void)rt.get_last_error();
+        continue;
+      }
+      ErrorCode sync = rt.synchronize();
+      if (sync != ErrorCode::kSuccess) {
+        log.events << "chunk " << off << " sync " << vgpu::error_name(sync)
+                   << " -> reset\n";
+        ++log.resets;
+        rt.device_reset();
+        continue;
+      }
+      done = true;
+    }
+    if (!done) {
+      log.events << "chunk at " << off << " failed\n";
+      return log;
+    }
+    int chunk_sum = 0;
+    rt.memcpy_d2h(std::span<int>(&chunk_sum, 1), sums);
+    total += chunk_sum;
+  }
+
+  long long expect = std::accumulate(host.begin(), host.end(), 0ll);
+  log.verified = total == expect;
+  log.events << "sum " << total << " expect " << expect << "\n"
+             << "verified " << (log.verified ? 1 : 0) << "\n";
+  return log;
+}
+
+// --- Driver ------------------------------------------------------------------
+
+/// Run a scenario twice and insist on recovery, verification, and an
+/// identical replay. Returns true on success.
+template <typename Fn>
+bool check_twice(const char* name, Fn scenario) {
+  ScenarioLog a = scenario();
+  ScenarioLog b = scenario();
+  bool replay_identical = a.events.str() == b.events.str();
+  std::printf("## %s\n%s", name, a.events.str().c_str());
+  std::printf("retries=%d resets=%d verified=%d replay_identical=%d\n\n",
+              a.retries, a.resets, a.verified ? 1 : 0, replay_identical ? 1 : 0);
+  if (!replay_identical)
+    std::printf("REPLAY DIVERGED:\n--- first ---\n%s--- second ---\n%s",
+                a.events.str().c_str(), b.events.str().c_str());
+  return a.verified && replay_identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec = kDefaultSpec;
+  if (const char* env = std::getenv("VGPU_FAULT"); env != nullptr && *env != '\0')
+    spec = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fault=", 8) == 0) spec = argv[i] + 8;
+  }
+  // This binary manages its own injectors; keep the Runtimes it constructs
+  // from re-reading VGPU_FAULT and double-injecting.
+  unsetenv("VGPU_FAULT");
+
+  std::printf("# vgpu-fault graceful-degradation harness\n# fault spec: %s\n\n",
+              spec.c_str());
+
+  bool ok = true;
+  ok &= check_twice("retry-with-backoff (injected launch faults)",
+                    [&] { return run_retry_scenario(spec, 6); });
+  ok &= check_twice("oom-fallback (capacity-limited device)",
+                    [&] { return run_oom_fallback_scenario(spec); });
+
+  std::printf("%s\n", ok ? "ALL SCENARIOS RECOVERED" : "DEGRADATION FAILURE");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "fault/error.hpp"
+
+namespace vgpu {
+
+const char* error_name(ErrorCode e) {
+  switch (e) {
+    case ErrorCode::kSuccess: return "cudaSuccess";
+    case ErrorCode::kInvalidValue: return "cudaErrorInvalidValue";
+    case ErrorCode::kMemoryAllocation: return "cudaErrorMemoryAllocation";
+    case ErrorCode::kInvalidDevicePointer: return "cudaErrorInvalidDevicePointer";
+    case ErrorCode::kLaunchOutOfResources: return "cudaErrorLaunchOutOfResources";
+    case ErrorCode::kIllegalAddress: return "cudaErrorIllegalAddress";
+    case ErrorCode::kLaunchFailure: return "cudaErrorLaunchFailure";
+    case ErrorCode::kUnknown: return "cudaErrorUnknown";
+  }
+  return "cudaErrorUnknown";
+}
+
+const char* error_string(ErrorCode e) {
+  switch (e) {
+    case ErrorCode::kSuccess: return "no error";
+    case ErrorCode::kInvalidValue: return "invalid argument";
+    case ErrorCode::kMemoryAllocation: return "out of memory";
+    case ErrorCode::kInvalidDevicePointer: return "invalid device pointer";
+    case ErrorCode::kLaunchOutOfResources: return "too many resources requested for launch";
+    case ErrorCode::kIllegalAddress: return "an illegal memory access was encountered";
+    case ErrorCode::kLaunchFailure: return "unspecified launch failure";
+    case ErrorCode::kUnknown: return "unknown error";
+  }
+  return "unknown error";
+}
+
+}  // namespace vgpu

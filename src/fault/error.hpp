@@ -1,0 +1,105 @@
+#pragma once
+
+// vgpu-fault: the CUDA error model.
+//
+// The runtime's original convention was fail-fast: every misuse threw a C++
+// exception. Real CUDA programs never see exceptions — they see cudaError_t
+// return codes with three distinct lifetimes, and practicing that discipline
+// (checkCuda after every call, error checks at sync points, cudaDeviceReset
+// recovery) is exactly what the paper's audience must learn. This header
+// models those lifetimes faithfully:
+//
+//   per-call     every runtime entry point reports how *that call* went
+//                (the cudaError_t a shim function returns),
+//   last-error   the most recent failure is remembered until
+//                get_last_error() reads-and-clears it (cudaGetLastError),
+//   sticky       context-corrupting failures (illegal address, unspecified
+//                launch failure) poison the device: every subsequent call
+//                returns the same error, nothing executes, and only
+//                device_reset() recovers,
+//   deferred     kernel and async-copy failures do not surface at the
+//                submitting call — they park on the stream (Stream::
+//                pending_error) and become visible at the next sync point
+//                touching that stream, exactly as on hardware.
+//
+// Exceptions remain for host-side programming errors only (bad alignment,
+// waiting on a never-recorded event, out-of-range host spans): bugs in the
+// simulation driver itself, not conditions a CUDA program could handle.
+
+#include <string_view>
+
+namespace vgpu {
+
+/// Subset of cudaError_t the simulator can actually produce. Enumerator
+/// values match the CUDA runtime's so logs read familiarly.
+enum class ErrorCode : int {
+  kSuccess = 0,
+  kInvalidValue = 1,           ///< cudaErrorInvalidValue: bad argument.
+  kMemoryAllocation = 2,       ///< cudaErrorMemoryAllocation: device OOM.
+  kInvalidDevicePointer = 17,  ///< cudaErrorInvalidDevicePointer: bad free.
+  kLaunchOutOfResources = 701, ///< cudaErrorLaunchOutOfResources: transient.
+  kIllegalAddress = 700,       ///< cudaErrorIllegalAddress: STICKY.
+  kLaunchFailure = 719,        ///< cudaErrorLaunchFailure: STICKY.
+  kUnknown = 999,              ///< cudaErrorUnknown: injected transfer fault.
+};
+
+/// cudaGetErrorName equivalent: the CUDA spelling ("cudaErrorIllegalAddress").
+const char* error_name(ErrorCode e);
+/// cudaGetErrorString equivalent: a human-readable description.
+const char* error_string(ErrorCode e);
+
+/// Context-corrupting error classes. On hardware these kill the CUDA context:
+/// every later call fails with the same code until cudaDeviceReset.
+constexpr bool is_sticky(ErrorCode e) {
+  return e == ErrorCode::kIllegalAddress || e == ErrorCode::kLaunchFailure;
+}
+
+/// Per-runtime error state implementing the CUDA lifetimes above. The
+/// Runtime brackets every public entry point with begin_call() and reports
+/// failures through fail(); sync points surface deferred stream errors by
+/// calling fail() with the parked code.
+class ErrorState {
+ public:
+  /// Start a new runtime call. On a healthy context the call provisionally
+  /// succeeds; on a poisoned one it is pre-failed with the sticky code.
+  void begin_call() { call_ = sticky_; }
+
+  /// Record a failure of the current call. Sticky-class codes poison the
+  /// context as a side effect.
+  void fail(ErrorCode e) {
+    if (e == ErrorCode::kSuccess) return;
+    call_ = e;
+    last_ = e;
+    if (is_sticky(e)) sticky_ = e;
+  }
+
+  /// How the most recent runtime call went (what a shim function returns).
+  ErrorCode call() const { return call_; }
+
+  /// Sticky poison code, kSuccess while the context is healthy.
+  ErrorCode poisoned() const { return sticky_; }
+
+  /// cudaGetLastError: returns the latest error and resets it to kSuccess.
+  /// A poisoned context is not cleared — the sticky code is returned again
+  /// by every future call, matching hardware.
+  ErrorCode get_last() {
+    ErrorCode e = sticky_ != ErrorCode::kSuccess ? sticky_ : last_;
+    last_ = ErrorCode::kSuccess;
+    return e;
+  }
+
+  /// cudaPeekAtLastError: same without the reset.
+  ErrorCode peek() const {
+    return sticky_ != ErrorCode::kSuccess ? sticky_ : last_;
+  }
+
+  /// cudaDeviceReset: a fresh context — every lifetime cleared.
+  void reset() { *this = ErrorState{}; }
+
+ private:
+  ErrorCode call_ = ErrorCode::kSuccess;
+  ErrorCode last_ = ErrorCode::kSuccess;
+  ErrorCode sticky_ = ErrorCode::kSuccess;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,166 @@
+#include "fault/inject.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace vgpu {
+
+namespace {
+
+/// splitmix64: a counter-keyed hash good enough for Bernoulli draws. Each
+/// decision hashes (seed, call index) independently, so the sequence is
+/// reproducible and insensitive to what other sites do.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void bad_spec(std::string_view what, std::string_view token) {
+  throw std::invalid_argument("VGPU_FAULT: " + std::string(what) + ": '" +
+                              std::string(token) + "'");
+}
+
+FaultSite parse_site(std::string_view t) {
+  if (t == "oom") return FaultSite::kOom;
+  if (t == "h2d") return FaultSite::kH2D;
+  if (t == "d2h") return FaultSite::kD2H;
+  if (t == "memset") return FaultSite::kMemset;
+  if (t == "launch") return FaultSite::kLaunch;
+  if (t == "um_migrate") return FaultSite::kUmMigrate;
+  bad_spec("unknown site (expected oom|h2d|d2h|memset|launch|um_migrate)", t);
+}
+
+std::uint64_t parse_u64(std::string_view t) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc{} || p != t.data() + t.size()) bad_spec("bad integer", t);
+  return v;
+}
+
+double parse_prob(std::string_view t) {
+  double v = 0;
+  auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc{} || p != t.data() + t.size() || v < 0.0 || v > 1.0)
+    bad_spec("bad probability (expected 0..1)", t);
+  return v;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kOom: return "oom";
+    case FaultSite::kH2D: return "h2d";
+    case FaultSite::kD2H: return "d2h";
+    case FaultSite::kMemset: return "memset";
+    case FaultSite::kLaunch: return "launch";
+    case FaultSite::kUmMigrate: return "um_migrate";
+  }
+  return "?";
+}
+
+bool FaultClause::fire() {
+  std::uint64_t call = ++calls;  // 1-based.
+  switch (trigger) {
+    case Trigger::kAlways: return true;
+    case Trigger::kAfter: return call > n;
+    case Trigger::kNth: return call == n;
+    case Trigger::kProb: {
+      double u = static_cast<double>(mix64(seed * 0x100000001b3ull + call) >> 11) *
+                 (1.0 / 9007199254740992.0);  // [0, 1) from the top 53 bits.
+      return u < p;
+    }
+  }
+  return false;
+}
+
+FaultInjector FaultInjector::parse(std::string_view spec) {
+  FaultInjector inj;
+  while (!spec.empty()) {
+    std::size_t semi = spec.find(';');
+    std::string_view clause = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (clause.empty()) continue;
+
+    std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) bad_spec("missing ':'", clause);
+    FaultSite site = parse_site(clause.substr(0, colon));
+    auto& slot = inj.clauses_[static_cast<std::size_t>(site)];
+    if (slot.has_value()) bad_spec("duplicate clause for site", clause.substr(0, colon));
+
+    FaultClause c;
+    bool have_trigger = false;
+    std::string_view params = clause.substr(colon + 1);
+    while (!params.empty()) {
+      std::size_t comma = params.find(',');
+      std::string_view p = params.substr(0, comma);
+      params = comma == std::string_view::npos ? std::string_view{}
+                                               : params.substr(comma + 1);
+      auto set_trigger = [&](FaultClause::Trigger t) {
+        if (have_trigger) bad_spec("multiple triggers in clause", clause);
+        c.trigger = t;
+        have_trigger = true;
+      };
+      if (p == "fail") {
+        set_trigger(FaultClause::Trigger::kAlways);
+      } else if (p == "transient") {
+        if (site != FaultSite::kLaunch)
+          bad_spec("'transient' only applies to launch", clause);
+        c.transient = true;
+      } else if (p.starts_with("after=")) {
+        set_trigger(FaultClause::Trigger::kAfter);
+        c.n = parse_u64(p.substr(6));
+      } else if (p.starts_with("nth=")) {
+        set_trigger(FaultClause::Trigger::kNth);
+        c.n = parse_u64(p.substr(4));
+        if (c.n == 0) bad_spec("nth is 1-based", p);
+      } else if (p.starts_with("p=")) {
+        set_trigger(FaultClause::Trigger::kProb);
+        c.p = parse_prob(p.substr(2));
+      } else if (p.starts_with("seed=")) {
+        c.seed = parse_u64(p.substr(5));
+      } else {
+        bad_spec("unknown parameter", p);
+      }
+    }
+    slot = c;
+  }
+  return inj;
+}
+
+std::unique_ptr<FaultInjector> FaultInjector::from_env() {
+  const char* v = std::getenv("VGPU_FAULT");
+  if (v == nullptr || *v == '\0') return nullptr;
+  return std::make_unique<FaultInjector>(parse(v));
+}
+
+std::string FaultInjector::to_string() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  bool first = true;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (!clauses_[i].has_value()) continue;
+    const FaultClause& c = *clauses_[i];
+    if (!first) os << ';';
+    first = false;
+    os << fault_site_name(static_cast<FaultSite>(i)) << ':';
+    if (c.transient) os << "transient,";
+    switch (c.trigger) {
+      case FaultClause::Trigger::kAlways: os << "fail"; break;
+      case FaultClause::Trigger::kAfter: os << "after=" << c.n; break;
+      case FaultClause::Trigger::kNth: os << "nth=" << c.n; break;
+      case FaultClause::Trigger::kProb:
+        os << "p=" << c.p << ",seed=" << c.seed;
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vgpu

@@ -1,0 +1,108 @@
+#pragma once
+
+// vgpu-fault: deterministic seeded fault injection.
+//
+// A FaultInjector decides, at each host API call, whether that call fails
+// with a simulated device error. Faults no real GPU lets you reproduce on
+// demand — a transient launch rejection, an OOM on the third allocation, a
+// failed page migration — become deterministic test inputs, so
+// error-handling paths (retry loops, batch fallback, device-reset recovery)
+// can be exercised and asserted bit-for-bit.
+//
+// Configured by the VGPU_FAULT environment variable (or
+// Runtime::set_fault_spec). Grammar — clauses separated by ';', one clause
+// per site:
+//
+//   spec    := clause (';' clause)*
+//   clause  := site ':' param (',' param)*
+//   site    := oom | h2d | d2h | memset | launch | um_migrate
+//   param   := 'fail'            fire on every call (default)
+//            | 'transient'       launch only: immediate non-sticky
+//                                cudaErrorLaunchOutOfResources instead of a
+//                                sticky deferred cudaErrorLaunchFailure
+//            | 'after=' N        fire on every call past the Nth
+//            | 'nth=' N          fire on exactly the Nth call (1-based)
+//            | 'p=' F            fire with probability F per call
+//            | 'seed=' N         seed for 'p' (default 0)
+//
+//   VGPU_FAULT="oom:after=3"                     4th+ cudaMalloc fails
+//   VGPU_FAULT="h2d:nth=2"                       2nd H2D copy fails
+//   VGPU_FAULT="launch:transient,p=0.1,seed=7"   10% of launches rejected
+//   VGPU_FAULT="um_migrate:fail"                 every page migration fails
+//
+// Every decision is a pure function of (site call counter, clause, seed):
+// counters advance on the submitting host thread in program order, so the
+// injected sequence is identical at any VGPU_THREADS setting. The
+// probability trigger uses a counter-keyed splitmix64 hash, not a shared
+// RNG stream, so sites never perturb each other.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vgpu {
+
+/// Host API boundaries where a fault can be injected.
+enum class FaultSite : std::uint8_t {
+  kOom = 0,      ///< Device allocation (cudaMalloc / cudaMallocManaged).
+  kH2D,          ///< Host-to-device copy (sync or async).
+  kD2H,          ///< Device-to-host copy (sync or async).
+  kMemset,       ///< Device-side fill.
+  kLaunch,       ///< Kernel launch.
+  kUmMigrate,    ///< Unified-memory page migration (either direction).
+};
+inline constexpr std::size_t kNumFaultSites = 6;
+
+const char* fault_site_name(FaultSite s);
+
+/// One parsed clause: when calls at a site fail.
+struct FaultClause {
+  enum class Trigger : std::uint8_t { kAlways, kAfter, kNth, kProb };
+  Trigger trigger = Trigger::kAlways;
+  bool transient = false;       ///< launch only (see header comment).
+  std::uint64_t n = 0;          ///< kAfter / kNth threshold.
+  double p = 0.0;               ///< kProb probability.
+  std::uint64_t seed = 0;       ///< kProb seed.
+  std::uint64_t calls = 0;      ///< Calls observed so far (mutable state).
+
+  /// Decide for the next call at this site; advances the call counter.
+  bool fire();
+};
+
+class FaultInjector {
+ public:
+  /// Parse a spec (see grammar above). Throws std::invalid_argument on any
+  /// malformed or duplicate clause — a typo silently injecting nothing
+  /// would defeat the point.
+  static FaultInjector parse(std::string_view spec);
+
+  /// Injector from VGPU_FAULT; nullptr when unset or empty (the moral
+  /// equivalent of "fault injection compiled out": callers skip all hooks).
+  static std::unique_ptr<FaultInjector> from_env();
+
+  /// True if any clause targets `site` (cheap pre-check).
+  bool armed(FaultSite site) const {
+    return clauses_[static_cast<std::size_t>(site)].has_value();
+  }
+  /// Decide for the next call at `site`; advances that site's counter.
+  bool fire(FaultSite site) {
+    auto& c = clauses_[static_cast<std::size_t>(site)];
+    return c.has_value() && c->fire();
+  }
+  /// Whether the clause at `site` carries the 'transient' flavor.
+  bool transient(FaultSite site) const {
+    const auto& c = clauses_[static_cast<std::size_t>(site)];
+    return c.has_value() && c->transient;
+  }
+
+  /// Canonical re-rendering of the spec (round-trips through parse()).
+  std::string to_string() const;
+
+ private:
+  std::array<std::optional<FaultClause>, kNumFaultSites> clauses_;
+};
+
+}  // namespace vgpu

@@ -15,20 +15,25 @@ DevAddr DeviceHeap::alloc_offset(std::size_t bytes, std::size_t offset, std::siz
   std::size_t base = (top_ + align - 1) & ~(align - 1);
   std::size_t addr = base + offset;
   std::size_t end = addr + bytes;
-  if (end > mem_.size()) mem_.resize(std::max(end, mem_.size() * 2), std::byte{0});
+  if (capacity_ != 0 && end > capacity_) return DevAddr{0};  // Device OOM.
+  if (end > mem_.size()) {
+    std::size_t grow = std::max(end, mem_.size() * 2);
+    if (capacity_ != 0) grow = std::min(grow, capacity_);  // Never commit past capacity.
+    mem_.resize(grow, std::byte{0});
+  }
   top_ = end;
   allocs_.push_back(HeapAlloc{addr, bytes, /*live=*/true});
   return DevAddr{addr};
 }
 
-void DeviceHeap::free(std::uint64_t addr) {
+FreeResult DeviceHeap::free(std::uint64_t addr) {
   auto it = std::lower_bound(
       allocs_.begin(), allocs_.end(), addr,
       [](const HeapAlloc& a, std::uint64_t v) { return a.addr < v; });
-  if (it == allocs_.end() || it->addr != addr)
-    throw std::invalid_argument("DeviceHeap::free: not an allocation base");
-  if (!it->live) throw std::invalid_argument("DeviceHeap::free: double free");
+  if (it == allocs_.end() || it->addr != addr) return FreeResult::kNotABase;
+  if (!it->live) return FreeResult::kDoubleFree;
   it->live = false;
+  return FreeResult::kOk;
 }
 
 AddrClass DeviceHeap::classify(std::uint64_t addr, std::size_t bytes,

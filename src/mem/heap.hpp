@@ -57,17 +57,29 @@ struct HeapAlloc {
 /// Classification of a device access against the allocation registry.
 enum class AddrClass : std::uint8_t { kValid, kOutOfBounds, kFreed };
 
+/// How a free() went. The heap reports misuse instead of throwing so the
+/// Runtime can surface it as a recorded cudaError_t, the way cudaFree does.
+enum class FreeResult : std::uint8_t { kOk, kNotABase, kDoubleFree };
+
 /// Growable arena backing all simulated device allocations.
 class DeviceHeap {
  public:
   DeviceHeap() : mem_(kReserved, std::byte{0}) {}
 
-  /// Allocate `bytes` with the given alignment; returns the byte address.
+  /// Allocate `bytes` with the given alignment; returns the byte address,
+  /// or null when the allocation would exceed the device capacity (the
+  /// cudaErrorMemoryAllocation path). A failed allocation consumes nothing.
   DevAddr alloc(std::size_t bytes, std::size_t align = 256);
 
   /// Allocate with a deliberate byte offset past an aligned boundary, for
   /// misalignment experiments. offset must be < align.
   DevAddr alloc_offset(std::size_t bytes, std::size_t offset, std::size_t align = 256);
+
+  /// Device memory size (cudaMalloc failing beyond it). 0 = unlimited.
+  /// Bytes are committed lazily on successful allocation, so a capacity far
+  /// above what a workload touches costs no host RAM.
+  void set_capacity(std::size_t bytes) { capacity_ = bytes; }
+  std::size_t capacity() const { return capacity_; }
 
   template <typename T>
   DevSpan<T> alloc_span(std::size_t n, std::size_t align = 256) {
@@ -79,10 +91,10 @@ class DeviceHeap {
   /// cudaFree equivalent: marks the allocation starting at `addr` dead.
   /// The bump arena never recycles storage, so stale handles stay
   /// memory-safe on the host side — but vgpu-san's memcheck reports any
-  /// device access to the range as a use-after-free. Throws if `addr` is
-  /// not the base of a live allocation (like cudaFree's invalid-pointer
-  /// error).
-  void free(std::uint64_t addr);
+  /// device access to the range as a use-after-free. Reports (instead of
+  /// throwing) when `addr` is not the base of a live allocation, so the
+  /// Runtime can record cudaFree's invalid-pointer error.
+  [[nodiscard]] FreeResult free(std::uint64_t addr);
 
   /// Classify [addr, addr+bytes) against the allocation registry. When the
   /// access is invalid, `alloc_out` (if non-null) receives the nearest
@@ -153,6 +165,7 @@ class DeviceHeap {
 
   std::vector<std::byte> mem_;
   std::size_t top_ = kReserved;
+  std::size_t capacity_ = 0;       // 0 = unlimited (tests poking the raw heap).
   std::vector<HeapAlloc> allocs_;  // Sorted by addr (bump allocation order).
 };
 

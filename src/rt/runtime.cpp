@@ -5,8 +5,10 @@
 namespace vgpu {
 
 Runtime::Runtime(DeviceProfile profile)
-    : profile_(std::move(profile)), gpu_(profile_), tl_(profile_), managed_(profile_) {
+    : profile_(std::move(profile)), gpu_(profile_), tl_(profile_), managed_(profile_),
+      fault_(FaultInjector::from_env()) {
   gpu_.gmem().set_um_hook(&managed_);
+  gpu_.heap().set_capacity(profile_.gmem_bytes);
   streams_.emplace_back(0);  // Default stream.
   set_prof_mode(prof_mode_from_env());
   set_advise_mode(advise_mode_from_env());
@@ -61,15 +63,89 @@ Stream& Runtime::create_stream() {
 }
 
 LaunchInfo Runtime::launch(Stream& s, const LaunchConfig& cfg, KernelFn fn) {
+  LaunchInfo info;
+  if (!begin_op()) {
+    info.error = errors_.call();
+    return info;
+  }
+  if (fault_ != nullptr && fault_->armed(FaultSite::kLaunch) &&
+      fault_->fire(FaultSite::kLaunch)) {
+    if (fault_->transient(FaultSite::kLaunch)) {
+      // Rejected at submission (cudaErrorLaunchOutOfResources): immediate,
+      // non-sticky, and a later retry of the same launch can succeed.
+      errors_.fail(ErrorCode::kLaunchOutOfResources);
+      info.error = errors_.call();
+      return info;
+    }
+    // Fatal flavor: the submission "succeeds" — the host pays the launch
+    // overhead and moves on — but the kernel dies on the device. The sticky
+    // cudaErrorLaunchFailure surfaces at the next sync point touching this
+    // stream; nothing executes functionally.
+    tl_.host_advance(profile_.kernel_launch_us);
+    s.defer_error(ErrorCode::kLaunchFailure);
+    return info;
+  }
+  std::uint64_t um_faults_before = managed_.total_device_faults();
   KernelRun run = gpu_.run_kernel(cfg, fn);
   Timeline::Span span = tl_.kernel(s, run, profile_.kernel_launch_us);
-  return LaunchInfo{span, std::move(run.stats), std::move(run.check)};
+  // An injected um_migrate failure during this kernel's page migrations is a
+  // device-side wild access: sticky illegal-address, deferred to sync.
+  if (fault_ != nullptr && fault_->armed(FaultSite::kUmMigrate) &&
+      managed_.total_device_faults() > um_faults_before &&
+      fault_->fire(FaultSite::kUmMigrate)) {
+    s.defer_error(ErrorCode::kIllegalAddress);
+  }
+  // VGPU_CHECK escalation: vgpu-san findings poison the context instead of
+  // printing reports, surfacing at the next sync point like any async error.
+  if (check_has(gpu_.check_mode(), CheckMode::kEscalate) && !run.check.clean())
+    s.defer_error(ErrorCode::kIllegalAddress);
+  return LaunchInfo{span, std::move(run.stats), std::move(run.check),
+                    ErrorCode::kSuccess};
 }
 
 Event Runtime::record_event(Stream& s) {
   Event e;
+  if (!begin_op()) return e;
   tl_.record_event(s, e);
+  e.src = &s;
   return e;
+}
+
+ErrorCode Runtime::synchronize() {
+  errors_.begin_call();
+  if (errors_.poisoned() == ErrorCode::kSuccess) {
+    for (Stream& s : streams_) surface(s);
+    tl_.device_synchronize();
+  }
+  return errors_.call();
+}
+
+ErrorCode Runtime::stream_synchronize(Stream& s) {
+  errors_.begin_call();
+  if (errors_.poisoned() == ErrorCode::kSuccess) {
+    surface(s);
+    tl_.stream_synchronize(s);
+  }
+  return errors_.call();
+}
+
+ErrorCode Runtime::event_synchronize(const Event& e) {
+  errors_.begin_call();
+  if (errors_.poisoned() == ErrorCode::kSuccess) {
+    if (e.src != nullptr) surface(*e.src);
+    tl_.event_synchronize(e);
+  }
+  return errors_.call();
+}
+
+void Runtime::device_reset() {
+  errors_.reset();
+  for (Stream& s : streams_) (void)s.take_pending_error();
+}
+
+void Runtime::set_fault_spec(std::string_view spec) {
+  fault_ = spec.empty() ? nullptr
+                        : std::make_unique<FaultInjector>(FaultInjector::parse(spec));
 }
 
 }  // namespace vgpu

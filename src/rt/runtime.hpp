@@ -20,6 +20,14 @@
 //
 // Functional semantics are eager and in-order; *time* is modelled by the
 // Timeline, and `rt.now_us()` / spans report simulated microseconds.
+//
+// Failures follow the CUDA error model (fault/error.hpp): device-class
+// errors are *recorded* — per call, via get_last_error(), sticky for
+// context corruption, deferred to sync points for async work — never
+// thrown. Exceptions remain only for host-side programming errors. The
+// VGPU_FAULT environment variable (fault/inject.hpp) deterministically
+// injects such failures for robustness testing; with it unset, stats and
+// simulated times are bit-identical to a fault-free build.
 
 #include <deque>
 #include <memory>
@@ -29,6 +37,8 @@
 #include <vector>
 
 #include "advise/advise.hpp"
+#include "fault/error.hpp"
+#include "fault/inject.hpp"
 #include "mem/constant.hpp"
 #include "prof/prof.hpp"
 #include "mem/texture.hpp"
@@ -46,6 +56,11 @@ struct LaunchInfo {
   Timeline::Span span;
   KernelStats stats;
   CheckReport check;  ///< vgpu-san diagnostics (empty when checking is off).
+  /// How the *submission* went (kLaunchOutOfResources for a transient
+  /// injected rejection, the sticky code on a poisoned context). kSuccess
+  /// for a launch whose kernel fails asynchronously — that error surfaces
+  /// at the next sync point, as on hardware.
+  ErrorCode error = ErrorCode::kSuccess;
   double duration_us() const { return span.duration(); }
 };
 
@@ -111,6 +126,25 @@ class Runtime {
   /// Emit the advice report now instead of at destruction.
   void flush_advise(std::ostream& out);
 
+  // --- vgpu-fault (CUDA error model + fault injection) -----------------------
+  /// cudaGetLastError: latest error, then reset to kSuccess (sticky context
+  /// corruption is NOT cleared — only device_reset() recovers).
+  ErrorCode get_last_error() { return errors_.get_last(); }
+  /// cudaPeekAtLastError: same without the reset.
+  ErrorCode peek_last_error() const { return errors_.peek(); }
+  /// How the most recent runtime call went — what the <vgpu/cuda_names.hpp>
+  /// shim returns from each cudaXxx entry point.
+  ErrorCode last_call_error() const { return errors_.call(); }
+  /// cudaDeviceReset: clears sticky corruption and all deferred stream
+  /// errors. Unlike hardware, the simulator keeps the heap contents —
+  /// existing DevSpans stay functional after a reset (see DESIGN.md §10).
+  void device_reset();
+  /// Replace the fault injector with one parsed from `spec` ("" disables).
+  /// The VGPU_FAULT environment variable seeds it at construction.
+  void set_fault_spec(std::string_view spec);
+  /// The active injector; nullptr when fault injection is off.
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+
   Timeline& timeline() { return tl_; }
   ManagedDirectory& managed() { return managed_; }
 
@@ -119,30 +153,59 @@ class Runtime {
   Stream& create_stream();
 
   // --- Device memory ------------------------------------------------------------
+  /// cudaMalloc: an empty span (addr 0) plus a recorded
+  /// cudaErrorMemoryAllocation when the device is out of memory (capacity
+  /// in DeviceProfile::gmem_bytes, or an injected `oom` fault).
   template <typename T>
   DevSpan<T> malloc(std::size_t n) {
-    return gpu_.heap().alloc_span<T>(n);
+    if (!begin_op()) return {};
+    if (inject_fault(FaultSite::kOom)) {
+      errors_.fail(ErrorCode::kMemoryAllocation);
+      return {};
+    }
+    DevSpan<T> s = gpu_.heap().alloc_span<T>(n);
+    if (s.addr == 0) errors_.fail(ErrorCode::kMemoryAllocation);
+    return s;
   }
   /// Deliberately misaligned allocation (MemAlign benchmark).
   template <typename T>
   DevSpan<T> malloc_offset(std::size_t n, std::size_t byte_offset) {
-    return DevSpan<T>{gpu_.heap().alloc_offset(n * sizeof(T), byte_offset, 256).v, n};
+    if (!begin_op()) return {};
+    DevSpan<T> s{gpu_.heap().alloc_offset(n * sizeof(T), byte_offset, 256).v, n};
+    if (s.addr == 0) errors_.fail(ErrorCode::kMemoryAllocation);
+    return s;
   }
   /// cudaFree: storage is not recycled (bump allocator), but the allocation
   /// is marked dead so vgpu-san memcheck flags later touches as
-  /// use-after-free.
+  /// use-after-free. Freeing a non-base address or double-freeing records
+  /// cudaErrorInvalidDevicePointer.
   template <typename T>
   void free(DevSpan<T> s) {
-    gpu_.heap().free(s.addr);
+    if (!begin_op()) return;
+    if (gpu_.heap().free(s.addr) != FreeResult::kOk)
+      errors_.fail(ErrorCode::kInvalidDevicePointer);
   }
   template <typename T>
   DevSpan<T> malloc_managed(std::size_t n) {
+    if (!begin_op()) return {};
+    if (inject_fault(FaultSite::kOom)) {
+      errors_.fail(ErrorCode::kMemoryAllocation);
+      return {};
+    }
     DevSpan<T> s = gpu_.heap().alloc_span<T>(n, profile_.um_page_bytes);
-    managed_.register_range(s.addr, s.bytes());
+    if (s.addr == 0) {
+      errors_.fail(ErrorCode::kMemoryAllocation);
+      return {};
+    }
+    if (!managed_.register_range(s.addr, s.bytes())) {
+      errors_.fail(ErrorCode::kInvalidValue);
+      return {};
+    }
     return s;
   }
   template <typename T>
   ConstSpan<T> const_upload(std::span<const T> host) {
+    if (!begin_op()) return {};
     ConstSpan<T> c = gpu_.constants().upload(host);
     tl_.copy_h2d(default_stream(), static_cast<double>(host.size_bytes()), /*sync=*/true);
     return c;
@@ -159,9 +222,23 @@ class Runtime {
   }
 
   // --- Copies (functional + timed) --------------------------------------------------
+  // A null device span or a size overrun records cudaErrorInvalidValue and
+  // copies nothing (CUDA validates arguments synchronously, even for async
+  // copies). An injected transfer fault fails a blocking copy immediately
+  // with cudaErrorUnknown; on an async copy it parks on the stream and
+  // surfaces at the next sync point touching it.
   template <typename T>
   Timeline::Span memcpy_h2d(DevSpan<T> dst, std::span<const T> src,
                             HostMem mem = HostMem::kPinned) {
+    if (!begin_op()) return {};
+    if (dst.addr == 0 || src.size() > dst.n) {
+      errors_.fail(ErrorCode::kInvalidValue);
+      return {};
+    }
+    if (inject_fault(FaultSite::kH2D)) {
+      errors_.fail(ErrorCode::kUnknown);
+      return {};
+    }
     gpu_.heap().copy_in(dst, src);
     return tl_.copy_h2d(default_stream(), static_cast<double>(src.size_bytes()),
                         /*sync=*/true, /*charge_submit=*/true, bw_scale(mem));
@@ -169,6 +246,15 @@ class Runtime {
   template <typename T>
   Timeline::Span memcpy_d2h(std::span<T> dst, DevSpan<T> src,
                             HostMem mem = HostMem::kPinned) {
+    if (!begin_op()) return {};
+    if (src.addr == 0 || dst.size() > src.n) {
+      errors_.fail(ErrorCode::kInvalidValue);
+      return {};
+    }
+    if (inject_fault(FaultSite::kD2H)) {
+      errors_.fail(ErrorCode::kUnknown);
+      return {};
+    }
     gpu_.heap().copy_out(dst, src);
     return tl_.copy_d2h(default_stream(), static_cast<double>(dst.size_bytes()),
                         /*sync=*/true, /*charge_submit=*/true, bw_scale(mem));
@@ -176,6 +262,15 @@ class Runtime {
   template <typename T>
   Timeline::Span memcpy_h2d_async(Stream& s, DevSpan<T> dst, std::span<const T> src,
                                   HostMem mem = HostMem::kPinned) {
+    if (!begin_op()) return {};
+    if (dst.addr == 0 || src.size() > dst.n) {
+      errors_.fail(ErrorCode::kInvalidValue);
+      return {};
+    }
+    if (inject_fault(FaultSite::kH2D)) {
+      s.defer_error(ErrorCode::kUnknown);
+      return {};
+    }
     gpu_.heap().copy_in(dst, src);
     // Async copies of pageable memory synchronize, like the CUDA runtime.
     return tl_.copy_h2d(s, static_cast<double>(src.size_bytes()),
@@ -185,6 +280,15 @@ class Runtime {
   template <typename T>
   Timeline::Span memcpy_d2h_async(Stream& s, std::span<T> dst, DevSpan<T> src,
                                   HostMem mem = HostMem::kPinned) {
+    if (!begin_op()) return {};
+    if (src.addr == 0 || dst.size() > src.n) {
+      errors_.fail(ErrorCode::kInvalidValue);
+      return {};
+    }
+    if (inject_fault(FaultSite::kD2H)) {
+      s.defer_error(ErrorCode::kUnknown);
+      return {};
+    }
     gpu_.heap().copy_out(dst, src);
     return tl_.copy_d2h(s, static_cast<double>(dst.size_bytes()),
                         /*sync=*/mem == HostMem::kPageable,
@@ -196,6 +300,15 @@ class Runtime {
   /// timeline row (not the host row) like any other device operation.
   template <typename T>
   Timeline::Span memset(Stream& s, DevSpan<T> dst, T value) {
+    if (!begin_op()) return {};
+    if (dst.addr == 0) {
+      errors_.fail(ErrorCode::kInvalidValue);
+      return {};
+    }
+    if (inject_fault(FaultSite::kMemset)) {  // Device-side op: deferred error.
+      s.defer_error(ErrorCode::kUnknown);
+      return {};
+    }
     std::vector<T> fill(dst.n, value);
     gpu_.heap().copy_in(dst, std::span<const T>(fill));
     double us = static_cast<double>(dst.bytes()) / (profile_.dram_bw_gbps * 1e3);
@@ -207,16 +320,24 @@ class Runtime {
   }
 
   // --- Managed-memory host access ------------------------------------------------------
+  // A host access whose page migration fails (injected `um_migrate` fault)
+  // is a wild access on hardware: it records a sticky
+  // cudaErrorIllegalAddress immediately and the functional bytes don't move.
   /// Host writes into a managed allocation; device-resident pages fault back.
   template <typename T>
   void managed_write(DevSpan<T> dst, std::span<const T> src) {
-    charge_host_touch(managed_.on_host_access(dst.addr, src.size_bytes(), true));
+    if (!begin_op()) return;
+    HostTouch t = managed_.on_host_access(dst.addr, src.size_bytes(), true);
+    if (inject_um_fault(t.faulted_pages)) return;
+    charge_host_touch(t);
     gpu_.heap().copy_in(dst, src);
   }
   template <typename T>
   void managed_read(std::span<T> dst, DevSpan<T> src) {
-    charge_host_touch(
-        managed_.on_host_access(src.addr, dst.size() * sizeof(T), false));
+    if (!begin_op()) return;
+    HostTouch t = managed_.on_host_access(src.addr, dst.size() * sizeof(T), false);
+    if (inject_um_fault(t.faulted_pages)) return;
+    charge_host_touch(t);
     gpu_.heap().copy_out(dst, src);
   }
   /// Simulate the host consuming `count` elements at `stride` from a managed
@@ -224,9 +345,12 @@ class Runtime {
   /// are read separately with peek().
   template <typename T>
   void managed_host_touch(DevSpan<T> span, std::size_t stride, std::size_t count) {
-    for (std::size_t i = 0; i < count; ++i)
-      charge_host_touch(
-          managed_.on_host_access(span.addr_of(i * stride), sizeof(T), false));
+    if (!begin_op()) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      HostTouch t = managed_.on_host_access(span.addr_of(i * stride), sizeof(T), false);
+      if (inject_um_fault(t.faulted_pages)) return;
+      charge_host_touch(t);
+    }
   }
   /// Untimed functional read, for verification/debugging only.
   template <typename T>
@@ -235,7 +359,9 @@ class Runtime {
   }
   template <typename T>
   void prefetch_to_device(Stream& s, DevSpan<T> span) {
+    if (!begin_op()) return;
     std::uint64_t moved = managed_.prefetch_to_device(span.addr, span.bytes());
+    if (inject_um_fault(moved)) return;
     if (moved > 0) tl_.copy_h2d(s, static_cast<double>(moved), /*sync=*/false);
   }
   template <typename T>
@@ -250,23 +376,60 @@ class Runtime {
   }
 
   // --- Events & sync ---------------------------------------------------------------------
+  // Synchronization calls are the sync points of the error model: deferred
+  // (asynchronous) kernel/copy errors parked on a stream surface here — and
+  // nowhere else — exactly as on hardware. Each returns the surfaced error
+  // (or the sticky code on a poisoned context), and records it for
+  // get_last_error().
   Event record_event(Stream& s);
-  void stream_wait_event(Stream& s, const Event& e) { tl_.stream_wait_event(s, e); }
+  void stream_wait_event(Stream& s, const Event& e) {
+    if (!begin_op()) return;
+    tl_.stream_wait_event(s, e);
+  }
   double elapsed_ms(const Event& start, const Event& stop) const {
     return (stop.time - start.time) * 1e-3;
   }
-  void synchronize() { tl_.device_synchronize(); }
-  void stream_synchronize(Stream& s) { tl_.stream_synchronize(s); }
+  ErrorCode synchronize();
+  ErrorCode stream_synchronize(Stream& s);
+  /// cudaEventSynchronize: also a sync point for the recording stream.
+  ErrorCode event_synchronize(const Event& e);
   /// Simulated host clock, microseconds.
   double now_us() const { return tl_.host_now(); }
 
   // --- Graphs -------------------------------------------------------------------------------
-  Timeline::Span launch_graph(ExecGraph& g, Stream& s) { return g.launch(gpu_, tl_, s); }
+  /// Fault injection does not reach inside instantiated graphs (their nodes
+  /// bypass the per-call runtime boundary); a poisoned context still refuses
+  /// the whole launch.
+  Timeline::Span launch_graph(ExecGraph& g, Stream& s) {
+    if (!begin_op()) return {};
+    return g.launch(gpu_, tl_, s);
+  }
 
  private:
   double bw_scale(HostMem mem) const {
     return mem == HostMem::kPinned ? 1.0 : profile_.pageable_bw_factor;
   }
+
+  /// Bracket a runtime call: pre-fails it with the sticky code (and skips
+  /// all work) while the context is poisoned.
+  bool begin_op() {
+    errors_.begin_call();
+    return errors_.poisoned() == ErrorCode::kSuccess;
+  }
+  bool inject_fault(FaultSite site) {
+    return fault_ != nullptr && fault_->fire(site);
+  }
+  /// Decide an injected `um_migrate` failure for an access that actually
+  /// migrated something; records the sticky illegal-address on fire.
+  bool inject_um_fault(std::uint64_t moved) {
+    if (moved == 0 || fault_ == nullptr || !fault_->armed(FaultSite::kUmMigrate))
+      return false;
+    if (!fault_->fire(FaultSite::kUmMigrate)) return false;
+    errors_.fail(ErrorCode::kIllegalAddress);
+    return true;
+  }
+  /// Surface a stream's deferred error into the error state (sync points).
+  void surface(Stream& s) { errors_.fail(s.take_pending_error()); }
 
   void charge_host_touch(const HostTouch& t) {
     if (t.faulted_pages == 0) return;
@@ -292,6 +455,8 @@ class Runtime {
   GpuExec gpu_;
   Timeline tl_;
   ManagedDirectory managed_;
+  ErrorState errors_;
+  std::unique_ptr<FaultInjector> fault_;  // Present only when VGPU_FAULT set.
   std::unique_ptr<Profiler> prof_;  // Present only while profiling is on.
   std::unique_ptr<Advisor> advise_;  // Present only while advising is on.
   std::deque<Stream> streams_;  // Deque keeps references stable.

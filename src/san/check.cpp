@@ -14,9 +14,11 @@ CheckMode parse_token(std::string_view t) {
   if (t == "memcheck") return CheckMode::kMemcheck;
   if (t == "racecheck") return CheckMode::kRacecheck;
   if (t == "synccheck") return CheckMode::kSynccheck;
+  if (t == "escalate") return CheckMode::kEscalate;
   if (t == "full" || t == "all" || t == "on" || t == "1") return CheckMode::kFull;
-  throw std::invalid_argument("unknown VGPU_CHECK token: '" + std::string(t) +
-                              "' (expected off|memcheck|racecheck|synccheck|full)");
+  throw std::invalid_argument(
+      "unknown VGPU_CHECK token: '" + std::string(t) +
+      "' (expected off|memcheck|racecheck|synccheck|full|escalate)");
 }
 
 }  // namespace

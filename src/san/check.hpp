@@ -29,12 +29,18 @@
 
 namespace vgpu {
 
-/// Which checkers run. Bits compose; kFull is all of them.
+/// Which checkers run. Bits compose; kFull is all of the checkers.
+/// kEscalate is an orthogonal flag (not part of kFull): instead of printing
+/// reports, findings poison the context with a sticky
+/// cudaErrorIllegalAddress — the vgpu-fault error model's escalation mode,
+/// for programs that practice error-checking discipline rather than reading
+/// sanitizer logs. Spell it VGPU_CHECK=full,escalate.
 enum class CheckMode : unsigned {
   kOff = 0,
   kMemcheck = 1u << 0,
   kRacecheck = 1u << 1,
   kSynccheck = 1u << 2,
+  kEscalate = 1u << 3,
   kFull = kMemcheck | kRacecheck | kSynccheck,
 };
 

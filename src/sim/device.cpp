@@ -16,6 +16,7 @@ DeviceProfile DeviceProfile::v100() {
   p.tex_cache_size = 0;      // Texture cache unified with L1 on Volta.
   p.tex_bw_factor = 1.0;
   p.dram_bw_gbps = 900.0;
+  p.gmem_bytes = 16ull << 30;
   p.supports_memcpy_async = false;
   return p;
 }
@@ -37,6 +38,7 @@ DeviceProfile DeviceProfile::k80() {
   p.l2_latency = 230;
   p.dram_latency = 520;
   p.pcie_bw_gbps = 10.0;
+  p.gmem_bytes = 12ull << 30;
   p.supports_memcpy_async = false;
   return p;
 }
@@ -56,6 +58,7 @@ DeviceProfile DeviceProfile::rtx3080() {
   p.tex_bw_factor = 1.0;
   p.dram_bw_gbps = 760.0;
   p.pcie_bw_gbps = 20.0;            // PCIe 4.0 host link.
+  p.gmem_bytes = 10ull << 30;
   p.supports_memcpy_async = true;   // Ampere hardware global->shared async copy.
   return p;
 }
@@ -76,6 +79,7 @@ DeviceProfile DeviceProfile::a100() {
   p.tex_bw_factor = 1.0;
   p.dram_bw_gbps = 1555.0;
   p.pcie_bw_gbps = 20.0;
+  p.gmem_bytes = 40ull << 30;
   p.supports_memcpy_async = true;  // Ampere hardware async copy.
   return p;
 }

@@ -54,6 +54,11 @@ struct DeviceProfile {
   double const_latency = 8;
   double barrier_latency = 15;       ///< __syncthreads pipeline-drain cost per warp.
   double dram_bw_gbps = 900.0;       ///< Device-memory bandwidth, GB/s.
+  /// Device-memory capacity: allocations past it fail with
+  /// cudaErrorMemoryAllocation (the real OOM path of the error model).
+  /// Backing bytes are committed lazily, so datasheet-sized capacities are
+  /// free until actually allocated.
+  std::size_t gmem_bytes = 16ull << 30;
 
   // --- Host link ------------------------------------------------------------
   double pcie_bw_gbps = 12.0;        ///< Host<->device bandwidth with pinned memory.

@@ -304,7 +304,10 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
 
   if (!run.check.clean()) {
     check_accum_ += run.check;
-    std::cerr << run.check.to_string();
+    // Under escalation the findings become a sticky cudaErrorIllegalAddress
+    // (Runtime::launch converts them); the text report would be redundant.
+    if (!check_has(check_, CheckMode::kEscalate))
+      std::cerr << run.check.to_string();
   }
   return run;
 }

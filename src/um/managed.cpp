@@ -5,8 +5,8 @@
 
 namespace vgpu {
 
-void ManagedDirectory::register_range(std::uint64_t addr, std::size_t bytes) {
-  if (bytes == 0) throw std::invalid_argument("empty managed range");
+bool ManagedDirectory::register_range(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return false;  // Empty range: cudaErrorInvalidValue.
   Range r;
   r.start = addr;
   r.end = addr + bytes;
@@ -14,11 +14,11 @@ void ManagedDirectory::register_range(std::uint64_t addr, std::size_t bytes) {
   r.pages.assign(pages, PageHome::kHost);
   auto it = std::lower_bound(ranges_.begin(), ranges_.end(), r.start,
                              [](const Range& a, std::uint64_t s) { return a.start < s; });
-  if (it != ranges_.end() && it->start < r.end)
-    throw std::invalid_argument("overlapping managed range");
-  if (it != ranges_.begin() && std::prev(it)->end > r.start)
-    throw std::invalid_argument("overlapping managed range");
+  // Overlap with a neighbor: cudaErrorInvalidValue, recorded by the caller.
+  if (it != ranges_.end() && it->start < r.end) return false;
+  if (it != ranges_.begin() && std::prev(it)->end > r.start) return false;
   ranges_.insert(it, std::move(r));
+  return true;
 }
 
 void ManagedDirectory::set_advise(std::uint64_t addr, MemAdvise advise) {

@@ -44,8 +44,10 @@ class ManagedDirectory final : public UmHook {
  public:
   explicit ManagedDirectory(const DeviceProfile& profile) : profile_(&profile) {}
 
-  /// Register a managed allocation; pages start host-resident.
-  void register_range(std::uint64_t addr, std::size_t bytes);
+  /// Register a managed allocation; pages start host-resident. Returns
+  /// false (instead of throwing) for an empty or overlapping range so the
+  /// Runtime can record cudaErrorInvalidValue, CUDA-style.
+  [[nodiscard]] bool register_range(std::uint64_t addr, std::size_t bytes);
   void set_advise(std::uint64_t addr, MemAdvise advise);
 
   // --- UmHook (device side) -------------------------------------------------

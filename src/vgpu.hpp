@@ -15,6 +15,8 @@
 // For host code ported verbatim from CUDA, see <vgpu/cuda_names.hpp>.
 
 #include "advise/advise.hpp" // vgpu-advise: AdviseMode, Advisor, Advice.
+#include "fault/error.hpp"   // vgpu-fault: ErrorCode, ErrorState.
+#include "fault/inject.hpp"  // vgpu-fault: FaultInjector, FaultSite.
 #include "prof/prof.hpp"     // vgpu-prof: ProfMode, Profiler, ActivityRecord.
 #include "rt/runtime.hpp"    // Runtime, LaunchInfo, streams, events, graphs.
 #include "san/check.hpp"     // vgpu-san: CheckMode, CheckReport.

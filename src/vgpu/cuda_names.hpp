@@ -20,17 +20,23 @@
 //
 // Device pointers stay typed DevSpan<T> handles (the simulator's currency);
 // everything else — byte counts, memcpy kinds, stream/event handles, error
-// returns — keeps CUDA's shapes. bench/fig09_comem.cpp is the worked
-// example. All calls abort with cudaErrorInvalidValue-style failure only by
-// throwing, matching the simulator's fail-fast convention; the cudaError_t
-// return is always cudaSuccess and exists so ported `checkCuda(...)`
-// call sites keep compiling.
+// returns — keeps CUDA's shapes, and the error returns are *real*: every
+// entry point reports how the underlying runtime call went (cudaMalloc
+// returns cudaErrorMemoryAllocation on device OOM, cudaMemcpy returns
+// cudaErrorInvalidValue on bad arguments, sync calls surface deferred
+// kernel errors, and a sticky error is returned by everything until
+// cudaDeviceReset). Ported `checkCuda(...)` call sites therefore exercise
+// the same error-handling discipline they would on hardware — see the
+// error-model section of README.md. bench/fig09_comem.cpp is the worked
+// example. Exceptions remain only for host-side programming errors (e.g.
+// calling the shim with no current CudaContext).
 
 #include <cstddef>
 #include <span>
 #include <stdexcept>
 
 #include "advise/advise.hpp"
+#include "fault/error.hpp"
 #include "rt/runtime.hpp"
 
 namespace vgpu::cuda {
@@ -38,7 +44,20 @@ namespace vgpu::cuda {
 using cudaStream_t = Stream*;    ///< 0 / nullptr means the default stream.
 using cudaEvent_t = Event;
 
-enum cudaError_t { cudaSuccess = 0 };
+/// The real error model's codes, under the CUDA spelling. Scoped-enum
+/// constants compare and switch exactly like the unscoped CUDA originals.
+using cudaError_t = ErrorCode;
+inline constexpr cudaError_t cudaSuccess = ErrorCode::kSuccess;
+inline constexpr cudaError_t cudaErrorInvalidValue = ErrorCode::kInvalidValue;
+inline constexpr cudaError_t cudaErrorMemoryAllocation = ErrorCode::kMemoryAllocation;
+inline constexpr cudaError_t cudaErrorInvalidDevicePointer =
+    ErrorCode::kInvalidDevicePointer;
+inline constexpr cudaError_t cudaErrorLaunchOutOfResources =
+    ErrorCode::kLaunchOutOfResources;
+inline constexpr cudaError_t cudaErrorIllegalAddress = ErrorCode::kIllegalAddress;
+inline constexpr cudaError_t cudaErrorLaunchFailure = ErrorCode::kLaunchFailure;
+inline constexpr cudaError_t cudaErrorUnknown = ErrorCode::kUnknown;
+
 enum cudaMemcpyKind {
   cudaMemcpyHostToDevice = 1,
   cudaMemcpyDeviceToHost = 2,
@@ -75,29 +94,42 @@ inline Stream& stream_of(cudaStream_t s) {
   return s == nullptr ? rt().default_stream() : *s;
 }
 
+// --- Errors ------------------------------------------------------------------
+inline cudaError_t cudaGetLastError() { return rt().get_last_error(); }
+inline cudaError_t cudaPeekAtLastError() { return rt().peek_last_error(); }
+inline const char* cudaGetErrorName(cudaError_t e) { return error_name(e); }
+inline const char* cudaGetErrorString(cudaError_t e) { return error_string(e); }
+/// Clears sticky context corruption and deferred stream errors. The
+/// simulator keeps heap contents across a reset (unlike hardware, which
+/// invalidates all allocations) — see DESIGN.md §10.
+inline cudaError_t cudaDeviceReset() {
+  rt().device_reset();
+  return cudaSuccess;
+}
+
 // --- Memory ------------------------------------------------------------------
 template <typename T>
 cudaError_t cudaMalloc(DevSpan<T>* devPtr, std::size_t bytes) {
   *devPtr = rt().malloc<T>(bytes / sizeof(T));
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
 cudaError_t cudaMallocManaged(DevSpan<T>* devPtr, std::size_t bytes) {
   *devPtr = rt().malloc_managed<T>(bytes / sizeof(T));
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
 cudaError_t cudaFree(DevSpan<T> devPtr) {
   rt().free(devPtr);
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
 cudaError_t cudaMemset(DevSpan<T> devPtr, T value, std::size_t bytes) {
   rt().memset(DevSpan<T>{devPtr.addr, bytes / sizeof(T)}, value);
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 // --- Copies ------------------------------------------------------------------
@@ -107,7 +139,7 @@ cudaError_t cudaMemcpy(DevSpan<T> dst, const T* src, std::size_t bytes,
   (void)kind;  // Direction is implied by the argument types.
   rt().memcpy_h2d(DevSpan<T>{dst.addr, bytes / sizeof(T)},
                   std::span<const T>(src, bytes / sizeof(T)));
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
@@ -116,7 +148,7 @@ cudaError_t cudaMemcpy(T* dst, DevSpan<T> src, std::size_t bytes,
   (void)kind;
   rt().memcpy_d2h(std::span<T>(dst, bytes / sizeof(T)),
                   DevSpan<T>{src.addr, bytes / sizeof(T)});
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
@@ -126,7 +158,7 @@ cudaError_t cudaMemcpyAsync(DevSpan<T> dst, const T* src, std::size_t bytes,
   (void)kind;
   rt().memcpy_h2d_async(stream_of(stream), DevSpan<T>{dst.addr, bytes / sizeof(T)},
                         std::span<const T>(src, bytes / sizeof(T)), mem);
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
@@ -136,7 +168,7 @@ cudaError_t cudaMemcpyAsync(T* dst, DevSpan<T> src, std::size_t bytes,
   (void)kind;
   rt().memcpy_d2h_async(stream_of(stream), std::span<T>(dst, bytes / sizeof(T)),
                         DevSpan<T>{src.addr, bytes / sizeof(T)}, mem);
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 template <typename T>
@@ -144,7 +176,7 @@ cudaError_t cudaMemPrefetchAsync(DevSpan<T> devPtr, std::size_t bytes,
                                  cudaStream_t stream = nullptr) {
   rt().prefetch_to_device(stream_of(stream),
                           DevSpan<T>{devPtr.addr, bytes / sizeof(T)});
-  return cudaSuccess;
+  return rt().last_call_error();
 }
 
 // --- Streams & synchronization ----------------------------------------------
@@ -156,14 +188,10 @@ inline cudaError_t cudaStreamCreate(cudaStream_t* stream) {
 inline cudaError_t cudaStreamDestroy(cudaStream_t) { return cudaSuccess; }
 
 inline cudaError_t cudaStreamSynchronize(cudaStream_t stream) {
-  rt().stream_synchronize(stream_of(stream));
-  return cudaSuccess;
+  return rt().stream_synchronize(stream_of(stream));
 }
 
-inline cudaError_t cudaDeviceSynchronize() {
-  rt().synchronize();
-  return cudaSuccess;
-}
+inline cudaError_t cudaDeviceSynchronize() { return rt().synchronize(); }
 
 // --- Events ------------------------------------------------------------------
 inline cudaError_t cudaEventCreate(cudaEvent_t* event) {
@@ -180,8 +208,7 @@ inline cudaError_t cudaEventRecord(cudaEvent_t& event,
 }
 
 inline cudaError_t cudaEventSynchronize(const cudaEvent_t& event) {
-  rt().timeline().event_synchronize(event);
-  return cudaSuccess;
+  return rt().event_synchronize(event);
 }
 
 inline cudaError_t cudaEventElapsedTime(float* ms, const cudaEvent_t& start,

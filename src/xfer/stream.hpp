@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "fault/error.hpp"
+
 namespace vgpu {
 
 class Stream {
@@ -24,15 +26,37 @@ class Stream {
     if (t > last_end_) last_end_ = t;
   }
 
+  // --- Deferred (asynchronous) errors ---------------------------------------
+  /// A kernel or async-copy failure does not surface at the submitting call:
+  /// it parks here and becomes visible at the next sync point that touches
+  /// this stream (stream/device/event synchronize) — the CUDA async-error
+  /// model. The first pending error wins; later ones on the same stream are
+  /// dropped, like hardware reporting the first fault of a broken stream.
+  void defer_error(ErrorCode e) {
+    if (pending_error_ == ErrorCode::kSuccess) pending_error_ = e;
+  }
+  ErrorCode pending_error() const { return pending_error_; }
+  /// Consume the pending error (a sync point surfacing it).
+  ErrorCode take_pending_error() {
+    ErrorCode e = pending_error_;
+    pending_error_ = ErrorCode::kSuccess;
+    return e;
+  }
+
  private:
   int id_;
   double last_end_ = 0;
+  ErrorCode pending_error_ = ErrorCode::kSuccess;
 };
 
 /// A recorded timestamp on a stream.
 struct Event {
   double time = 0;
   bool recorded = false;
+  /// The stream the event was recorded on: event_synchronize() is a sync
+  /// point for that stream's deferred errors. Streams live in the Runtime's
+  /// stable deque, so the pointer stays valid for the Runtime's lifetime.
+  Stream* src = nullptr;
 };
 
 }  // namespace vgpu

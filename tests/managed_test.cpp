@@ -20,7 +20,7 @@ TEST(Managed, UnregisteredAddressIsNotManaged) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
   EXPECT_FALSE(d.is_managed(0x1000));
-  d.register_range(0x10000, 8192);
+  ASSERT_TRUE(d.register_range(0x10000, 8192));
   EXPECT_TRUE(d.is_managed(0x10000));
   EXPECT_TRUE(d.is_managed(0x10000 + 8191));
   EXPECT_FALSE(d.is_managed(0x10000 + 8192));
@@ -30,7 +30,7 @@ TEST(Managed, UnregisteredAddressIsNotManaged) {
 TEST(Managed, FirstDeviceTouchFaultsWholePage) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 16384);  // 4 pages.
+  ASSERT_TRUE(d.register_range(0x10000, 16384));  // 4 pages.
   UmTouch t = d.on_device_access(0x10000 + 100, 4, false);
   EXPECT_EQ(t.faulted_pages, 1u);
   EXPECT_EQ(t.migrated_bytes, 4096u);
@@ -42,7 +42,7 @@ TEST(Managed, FirstDeviceTouchFaultsWholePage) {
 TEST(Managed, AccessSpanningPageBoundaryFaultsBoth) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 16384);
+  ASSERT_TRUE(d.register_range(0x10000, 16384));
   UmTouch t = d.on_device_access(0x10000 + 4090, 16, false);
   EXPECT_EQ(t.faulted_pages, 2u);
 }
@@ -50,7 +50,7 @@ TEST(Managed, AccessSpanningPageBoundaryFaultsBoth) {
 TEST(Managed, HostAccessMigratesBack) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 8192);
+  ASSERT_TRUE(d.register_range(0x10000, 8192));
   d.on_device_access(0x10000, 4, true);  // Page 0 -> device.
   HostTouch h = d.on_host_access(0x10000, 4, false);
   EXPECT_EQ(h.faulted_pages, 1u);
@@ -62,7 +62,7 @@ TEST(Managed, HostAccessMigratesBack) {
 TEST(Managed, PingPongFaultsEveryTransition) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 4096);
+  ASSERT_TRUE(d.register_range(0x10000, 4096));
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(d.on_device_access(0x10000, 4, true).faulted_pages, 1u);
     EXPECT_EQ(d.on_host_access(0x10000, 4, true).faulted_pages, 1u);
@@ -74,7 +74,7 @@ TEST(Managed, PingPongFaultsEveryTransition) {
 TEST(Managed, ReadMostlyDuplicatesInsteadOfBouncing) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 4096);
+  ASSERT_TRUE(d.register_range(0x10000, 4096));
   d.set_advise(0x10000, MemAdvise::kReadMostly);
   // Device read duplicates the page...
   EXPECT_EQ(d.on_device_access(0x10000, 4, false).faulted_pages, 1u);
@@ -87,7 +87,7 @@ TEST(Managed, ReadMostlyDuplicatesInsteadOfBouncing) {
 TEST(Managed, WriteInvalidatesReadMostlyCopy) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 4096);
+  ASSERT_TRUE(d.register_range(0x10000, 4096));
   d.set_advise(0x10000, MemAdvise::kReadMostly);
   d.on_device_access(0x10000, 4, false);   // Duplicated.
   d.on_device_access(0x10000, 4, true);    // Device write invalidates host copy.
@@ -97,7 +97,7 @@ TEST(Managed, WriteInvalidatesReadMostlyCopy) {
 TEST(Managed, PrefetchMovesOnlyNonResidentPages) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 16384);  // 4 pages.
+  ASSERT_TRUE(d.register_range(0x10000, 16384));  // 4 pages.
   d.on_device_access(0x10000, 4, false);  // Page 0 resident already.
   std::uint64_t moved = d.prefetch_to_device(0x10000, 16384);
   EXPECT_EQ(moved, 3u * 4096u);
@@ -110,7 +110,7 @@ TEST(Managed, PrefetchMovesOnlyNonResidentPages) {
 TEST(Managed, PartialRangePrefetch) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 16384);
+  ASSERT_TRUE(d.register_range(0x10000, 16384));
   EXPECT_EQ(d.prefetch_to_device(0x10000 + 4096, 4096), 4096u);
   EXPECT_EQ(d.device_resident_bytes(0x10000), 4096u);
 }
@@ -118,10 +118,10 @@ TEST(Managed, PartialRangePrefetch) {
 TEST(Managed, OverlappingRegistrationRejected) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 8192);
-  EXPECT_THROW(d.register_range(0x10000 + 4096, 4096), std::invalid_argument);
-  EXPECT_THROW(d.register_range(0x10000 - 100, 4096), std::invalid_argument);
-  d.register_range(0x10000 + 8192, 4096);  // Adjacent is fine.
+  ASSERT_TRUE(d.register_range(0x10000, 8192));
+  EXPECT_FALSE(d.register_range(0x10000 + 4096, 4096));
+  EXPECT_FALSE(d.register_range(0x10000 - 100, 4096));
+  EXPECT_TRUE(d.register_range(0x10000 + 8192, 4096));  // Adjacent is fine.
 }
 
 TEST(Managed, AdviseOnUnmanagedAddressThrows) {
@@ -134,7 +134,7 @@ TEST(Managed, AdviseOnUnmanagedAddressThrows) {
 TEST(Managed, UnmanagedAccessIsFree) {
   DeviceProfile p = profile();
   ManagedDirectory d(p);
-  d.register_range(0x10000, 4096);
+  ASSERT_TRUE(d.register_range(0x10000, 4096));
   UmTouch t = d.on_device_access(0x100, 4, false);
   EXPECT_EQ(t.faulted_pages, 0u);
   EXPECT_EQ(t.migrated_bytes, 0u);

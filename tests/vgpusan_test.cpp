@@ -85,11 +85,15 @@ TEST(VgpuSanMemcheck, UseAfterFree) {
   EXPECT_NE(r.check.diags[0].detail.find("freed"), std::string::npos);
 }
 
-TEST(VgpuSanMemcheck, DoubleFreeThrows) {
+TEST(VgpuSanMemcheck, DoubleFreeRecordsInvalidDevicePointer) {
   Runtime rt(DeviceProfile::test_tiny());
   auto x = rt.malloc<int>(8);
   rt.free(x);
-  EXPECT_THROW(rt.free(x), std::invalid_argument);
+  EXPECT_EQ(rt.last_call_error(), vgpu::ErrorCode::kSuccess);
+  rt.free(x);  // Double free: recorded, not thrown (CUDA error model).
+  EXPECT_EQ(rt.last_call_error(), vgpu::ErrorCode::kInvalidDevicePointer);
+  EXPECT_EQ(rt.get_last_error(), vgpu::ErrorCode::kInvalidDevicePointer);
+  EXPECT_EQ(rt.get_last_error(), vgpu::ErrorCode::kSuccess);  // Non-sticky.
 }
 
 TEST(VgpuSanSynccheck, DivergentBarrier) {
