@@ -1,18 +1,28 @@
 // Self-performance of the simulator itself: wall-clock simulated-blocks-per-
 // second of the parallel grid engine at 1..N host threads (DESIGN.md,
-// "Host-side parallelization"). Unlike every fig*_ benchmark, the numbers
-// here are *host* wall-clock — the simulator is the system under test, the
-// simulated timing model is just the workload.
+// "Host-side parallelization" and section 11). Unlike every fig*_ benchmark,
+// the numbers here are *host* wall-clock — the simulator is the system under
+// test, the simulated timing model is just the workload.
 //
 // Three workloads exercise the paths the engine parallelizes: a tiled matmul
 // grid (shared memory + barriers, fig_shmem_matmul's kernel), Mariani-Silver
 // Mandelbrot (dynamic-parallelism child levels, fig05's kernel) and a
-// global-atomics histogram (host-atomic integer adds). Results are printed
-// and written to BENCH_selfperf.json in the working directory.
+// global-atomics histogram (host-atomic integer adds). Each sample also
+// reports the engine's phase split (block execution vs deterministic merge),
+// the coalesce-memo hit rate, and a VGPU_FIDELITY=fast vs exact comparison
+// at one thread. Results are printed and written to BENCH_selfperf.json in
+// the working directory.
+//
+//   selfperf_sim_throughput [--threads=1,2,4]
+//
+// Without --threads the sweep is 1..clamp(hardware_concurrency, 4, 8).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,29 +41,49 @@ struct Sample {
   std::uint64_t blocks = 0;
   double wall_ms = 0;
   double blocks_per_s = 0;
+  double execute_ms = 0;     ///< Engine phase: running blocks (pool fan-out).
+  double merge_ms = 0;       ///< Engine phase: deterministic result merge.
+  double co_hit_rate = 0;    ///< Coalesce-memo hits / (hits + misses).
+};
+
+struct FidelitySample {
+  double exact_ms = 0;
+  double fast_ms = 0;
+  double speedup = 0;  ///< exact_ms / fast_ms at one thread.
 };
 
 struct WorkloadReport {
   const char* name;
   std::vector<Sample> samples;
+  FidelitySample fast;
 };
 
 /// Run `reps` kernels through a fresh Runtime at `threads` sim threads and
 /// measure host wall-clock around the run_kernel calls only.
 template <typename Launch>
-Sample measure(const char* /*name*/, int threads, int reps, Launch&& launch) {
+Sample measure(int threads, int reps, Fidelity fid, Launch&& launch) {
   Runtime rt;
   rt.set_sim_threads(threads);
+  rt.set_fidelity(fid);
   Sample s;
   s.threads = threads;
   // One untimed warm-up builds the worker pool and arenas.
   s.blocks = 0;
   (void)launch(rt);
+  rt.gpu().clear_phase_times();
+  const std::uint64_t h0 = rt.gpu().coalesce_cache_hits();
+  const std::uint64_t m0 = rt.gpu().coalesce_cache_misses();
   auto t0 = Clock::now();
   for (int r = 0; r < reps; ++r) s.blocks += launch(rt);
   auto t1 = Clock::now();
   s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   s.blocks_per_s = s.wall_ms > 0 ? 1e3 * static_cast<double>(s.blocks) / s.wall_ms : 0;
+  GpuExec::SimPhaseTimes ph = rt.gpu().phase_times();
+  s.execute_ms = ph.execute_ms;
+  s.merge_ms = ph.merge_ms;
+  const double hits = static_cast<double>(rt.gpu().coalesce_cache_hits() - h0);
+  const double misses = static_cast<double>(rt.gpu().coalesce_cache_misses() - m0);
+  s.co_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0;
   return s;
 }
 
@@ -111,7 +141,8 @@ std::uint64_t run_histogram(Runtime& rt) {
   return run.stats.blocks;
 }
 
-void emit_json(const std::vector<WorkloadReport>& reports, int max_threads) {
+void emit_json(const std::vector<WorkloadReport>& reports,
+               const std::vector<int>& threads) {
   std::FILE* f = std::fopen("BENCH_selfperf.json", "w");
   if (f == nullptr) {
     std::perror("BENCH_selfperf.json");
@@ -121,18 +152,26 @@ void emit_json(const std::vector<WorkloadReport>& reports, int max_threads) {
   std::fprintf(f, "  \"unit\": \"simulated blocks per wall-clock second\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"max_threads\": %d,\n  \"workloads\": [\n", max_threads);
+  std::fprintf(f, "  \"max_threads\": %d,\n  \"workloads\": [\n", threads.back());
   for (std::size_t w = 0; w < reports.size(); ++w) {
     const WorkloadReport& r = reports[w];
-    std::fprintf(f, "    {\"name\": \"%s\", \"results\": [\n", r.name);
+    std::fprintf(f, "    {\"name\": \"%s\",\n", r.name);
+    std::fprintf(f,
+                 "     \"fidelity_fast\": {\"exact_ms\": %.3f, \"fast_ms\": %.3f, "
+                 "\"speedup_vs_exact\": %.3f},\n",
+                 r.fast.exact_ms, r.fast.fast_ms, r.fast.speedup);
+    std::fprintf(f, "     \"results\": [\n");
     double base = r.samples.empty() ? 0 : r.samples.front().blocks_per_s;
     for (std::size_t i = 0; i < r.samples.size(); ++i) {
       const Sample& s = r.samples[i];
       std::fprintf(f,
                    "      {\"threads\": %d, \"blocks\": %llu, \"wall_ms\": %.3f, "
-                   "\"blocks_per_s\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+                   "\"blocks_per_s\": %.1f, \"speedup_vs_1\": %.3f, "
+                   "\"execute_ms\": %.3f, \"merge_ms\": %.3f, "
+                   "\"coalesce_hit_rate\": %.3f}%s\n",
                    s.threads, static_cast<unsigned long long>(s.blocks), s.wall_ms,
                    s.blocks_per_s, base > 0 ? s.blocks_per_s / base : 0.0,
+                   s.execute_ms, s.merge_ms, s.co_hit_rate,
                    i + 1 < r.samples.size() ? "," : "");
     }
     std::fprintf(f, "    ]}%s\n", w + 1 < reports.size() ? "," : "");
@@ -141,30 +180,82 @@ void emit_json(const std::vector<WorkloadReport>& reports, int max_threads) {
   std::fclose(f);
 }
 
+/// Parse "--threads=1,2,4" into an ascending positive list; empty on error.
+std::vector<int> parse_threads_arg(const char* arg) {
+  std::vector<int> out;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    int v = std::atoi(s.substr(pos, comma - pos).c_str());
+    if (v <= 0 || v > 256) return {};
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int hw = std::max(1u, std::thread::hardware_concurrency());
-  const int max_threads = std::clamp(hw, 4, 8);  // Always show the 4-thread target.
+  std::vector<int> threads;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = parse_threads_arg(argv[i] + 10);
+  }
+  if (threads.empty()) {
+    const int max_threads = std::clamp(hw, 4, 8);  // Always show the 4-thread target.
+    for (int t = 1; t <= max_threads; ++t) threads.push_back(t);
+  }
   std::printf("# selfperf_sim_throughput: simulator wall-clock throughput\n");
-  std::printf("# host concurrency=%d, sweeping 1..%d sim threads\n", hw, max_threads);
+  std::printf("# host concurrency=%d, sim threads:", hw);
+  for (int t : threads) std::printf(" %d", t);
+  std::printf("\n");
 
   std::vector<WorkloadReport> reports = {
-      {"shmem_matmul", {}}, {"dynparallel_mandel", {}}, {"histogram_atomics", {}}};
-  for (int t = 1; t <= max_threads; ++t) {
-    reports[0].samples.push_back(measure("shmem_matmul", t, 6, run_matmul));
-    reports[1].samples.push_back(measure("dynparallel_mandel", t, 2, run_dynparallel));
-    reports[2].samples.push_back(measure("histogram_atomics", t, 6, run_histogram));
+      {"shmem_matmul", {}, {}},
+      {"dynparallel_mandel", {}, {}},
+      {"histogram_atomics", {}, {}}};
+  for (int t : threads) {
+    reports[0].samples.push_back(measure(t, 6, Fidelity::kExact, run_matmul));
+    reports[1].samples.push_back(measure(t, 2, Fidelity::kExact, run_dynparallel));
+    reports[2].samples.push_back(measure(t, 6, Fidelity::kExact, run_histogram));
   }
+  // Fast-fidelity comparison at one thread: the sampled replay is a
+  // single-thread win, independent of pool scaling.
+  auto fast_of = [](double exact_ms, double fast_ms) {
+    FidelitySample fs;
+    fs.exact_ms = exact_ms;
+    fs.fast_ms = fast_ms;
+    fs.speedup = fast_ms > 0 ? exact_ms / fast_ms : 0;
+    return fs;
+  };
+  reports[0].fast = fast_of(measure(1, 6, Fidelity::kExact, run_matmul).wall_ms,
+                            measure(1, 6, Fidelity::kFast, run_matmul).wall_ms);
+  reports[1].fast =
+      fast_of(measure(1, 2, Fidelity::kExact, run_dynparallel).wall_ms,
+              measure(1, 2, Fidelity::kFast, run_dynparallel).wall_ms);
+  reports[2].fast = fast_of(measure(1, 6, Fidelity::kExact, run_histogram).wall_ms,
+                            measure(1, 6, Fidelity::kFast, run_histogram).wall_ms);
+
   for (const WorkloadReport& r : reports) {
-    std::printf("\n%-20s %8s %10s %14s %12s\n", r.name, "threads", "wall_ms",
-                "blocks_per_s", "speedup");
+    std::printf("\n%-20s %8s %10s %14s %12s %11s %9s %8s\n", r.name, "threads",
+                "wall_ms", "blocks_per_s", "speedup", "execute_ms", "merge_ms",
+                "co_hit");
     double base = r.samples.front().blocks_per_s;
     for (const Sample& s : r.samples)
-      std::printf("%-20s %8d %10.2f %14.1f %11.2fx\n", "", s.threads, s.wall_ms,
-                  s.blocks_per_s, base > 0 ? s.blocks_per_s / base : 0.0);
+      std::printf("%-20s %8d %10.2f %14.1f %11.2fx %11.2f %9.2f %7.1f%%\n", "",
+                  s.threads, s.wall_ms, s.blocks_per_s,
+                  base > 0 ? s.blocks_per_s / base : 0.0, s.execute_ms, s.merge_ms,
+                  100.0 * s.co_hit_rate);
+    std::printf("%-20s fast-fidelity @1t: exact %.2fms, fast %.2fms (%.2fx)\n", "",
+                r.fast.exact_ms, r.fast.fast_ms, r.fast.speedup);
   }
-  emit_json(reports, max_threads);
+  emit_json(reports, threads);
   std::printf("\nwrote BENCH_selfperf.json\n");
   return 0;
 }

@@ -9,6 +9,32 @@ CoalesceResult coalesce(const LaneVec<std::uint64_t>& addrs, Mask active,
   CoalesceResult r;
   if (elem_bytes == 0) return r;
 
+  // Collect the touched sector ids in fixed stack scratch (this runs on
+  // every non-memoized global access, so no per-call heap traffic). Each
+  // lane spans at most elem/32+1 sectors; elements larger than the scratch
+  // bound take the unbounded slow path below.
+  constexpr std::size_t kScratch = 8 * kWarpSize;
+  const std::size_t span_per_lane = elem_bytes / kSectorBytes + 2;
+  if (span_per_lane * kWarpSize <= kScratch) {
+    std::array<std::uint64_t, kScratch> sectors;
+    std::size_t n = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_in(active, lane)) continue;
+      std::uint64_t first = addrs[lane] / kSectorBytes;
+      std::uint64_t last = (addrs[lane] + elem_bytes - 1) / kSectorBytes;
+      for (std::uint64_t s = first; s <= last; ++s) sectors[n++] = s;
+    }
+    std::sort(sectors.begin(), sectors.begin() + n);
+    const auto end = std::unique(sectors.begin(), sectors.begin() + n);
+    r.sectors = static_cast<int>(end - sectors.begin());
+    r.lines.reserve(static_cast<std::size_t>(r.sectors));
+    for (auto it = sectors.begin(); it != end; ++it) {
+      std::uint64_t line = *it / (kLineBytes / kSectorBytes);
+      if (r.lines.empty() || r.lines.back() != line) r.lines.push_back(line);
+    }
+    return r;
+  }
+
   std::vector<std::uint64_t> sectors;
   sectors.reserve(kWarpSize);
   r.lines.reserve(kWarpSize);
@@ -28,6 +54,104 @@ CoalesceResult coalesce(const LaneVec<std::uint64_t>& addrs, Mask active,
   std::sort(r.lines.begin(), r.lines.end());
   r.lines.erase(std::unique(r.lines.begin(), r.lines.end()), r.lines.end());
   return r;
+}
+
+AccessShape access_shape(const LaneVec<std::uint64_t>& addrs, Mask active) {
+  AccessShape s;
+  s.affine = true;
+  std::uint64_t prev = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!lane_in(active, lane)) continue;
+    std::uint64_t a = addrs[lane];
+    if (s.active_lanes == 0) {
+      s.base = a;
+    } else if (s.active_lanes == 1) {
+      // Two's-complement wrap gives the signed delta exactly.
+      s.stride = static_cast<std::int64_t>(a - prev);
+    } else if (static_cast<std::int64_t>(a - prev) != s.stride) {
+      s.affine = false;
+    }
+    prev = a;
+    ++s.active_lanes;
+  }
+  return s;
+}
+
+namespace {
+
+// Memoization safety bounds: the cached relative line offsets are only a
+// valid reconstruction when base + k*stride + d never wraps around 0 or
+// 2^64 (the uncached path divides the *wrapped* uint64 addresses, so a wrap
+// would change the answer). Bounding |stride| and elem also keeps every
+// relative offset comfortably inside int32.
+constexpr std::int64_t kMaxStride = std::int64_t{1} << 24;
+constexpr std::uint64_t kMaxElem = std::uint64_t{1} << 16;
+
+bool cacheable(const AccessShape& shape, std::size_t elem_bytes) {
+  if (!shape.affine || shape.active_lanes == 0) return false;
+  if (elem_bytes == 0 || elem_bytes > kMaxElem) return false;
+  if (shape.stride > kMaxStride || shape.stride < -kMaxStride) return false;
+  std::uint64_t reach =
+      static_cast<std::uint64_t>(shape.stride < 0 ? -shape.stride : shape.stride) *
+      static_cast<std::uint64_t>(kWarpSize);
+  if (shape.stride < 0 && shape.base < reach) return false;  // Would underflow.
+  if (shape.base > ~std::uint64_t{0} - reach - kMaxElem) return false;  // Overflow.
+  return true;
+}
+
+std::size_t slot_of(std::uint32_t base_mod, std::int64_t stride, Mask active,
+                    std::uint32_t elem) {
+  std::uint64_t h = base_mod;
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(stride);
+  h = h * 0x9E3779B97F4A7C15ull + active;
+  h = h * 0x9E3779B97F4A7C15ull + elem;
+  return static_cast<std::size_t>((h ^ (h >> 32)) &
+                                  (CoalesceCache::kSlots - 1));
+}
+
+}  // namespace
+
+int CoalesceCache::lines(const LaneVec<std::uint64_t>& addrs, Mask active,
+                         std::size_t elem_bytes, const AccessShape& shape,
+                         std::vector<std::uint64_t>& lines_out) {
+  if (cacheable(shape, elem_bytes)) {
+    const auto base_mod = static_cast<std::uint32_t>(shape.base % kLineBytes);
+    const auto elem = static_cast<std::uint32_t>(elem_bytes);
+    Entry& e = slots_[slot_of(base_mod, shape.stride, active, elem)];
+    const std::uint64_t base_line = shape.base / kLineBytes;
+    if (e.epoch == epoch_ && e.base_mod == base_mod && e.stride == shape.stride &&
+        e.active == active && e.elem == elem) {
+      ++hits_;
+      for (int i = 0; i < e.count; ++i)
+        lines_out.push_back(
+            (base_line + static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(e.rel[i]))) *
+            kLineBytes);
+      return e.count;
+    }
+    CoalesceResult co = coalesce(addrs, active, elem_bytes);
+    ++misses_;
+    for (std::uint64_t ln : co.lines) lines_out.push_back(ln * kLineBytes);
+    if (co.lines.size() <= kMaxCachedLines) {
+      e.epoch = epoch_;
+      e.base_mod = base_mod;
+      e.stride = shape.stride;
+      e.active = active;
+      e.elem = elem;
+      e.count = static_cast<std::uint16_t>(co.lines.size());
+      for (std::size_t i = 0; i < co.lines.size(); ++i)
+        e.rel[i] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(co.lines[i]) -
+            static_cast<std::int64_t>(base_line));
+    }
+    return co.transactions();
+  }
+
+  // Non-affine (or wrap-prone) pattern: derive directly, never cached.
+  CoalesceResult co = coalesce(addrs, active, elem_bytes);
+  ++misses_;
+  for (std::uint64_t ln : co.lines) lines_out.push_back(ln * kLineBytes);
+  return co.transactions();
 }
 
 }  // namespace vgpu

@@ -10,7 +10,18 @@
 // 1 transaction; (b) 128-byte-strided = 8 transactions moving 8*128 bytes
 // for 128 useful bytes; (c) random = 5. Finer 32-byte sectors are also
 // reported for diagnostics.
+//
+// Coalescing is the hottest analysis in the simulator: every global load,
+// store and atomic of every warp runs it. Real kernels overwhelmingly issue
+// *affine* accesses (a constant stride between consecutive active lanes —
+// unit-stride streams, row accesses, broadcasts), and for those the touched
+// line set relative to the base line depends only on (base alignment within
+// a line, stride, active mask, element size). CoalesceCache memoizes on that
+// key: a hit replays the cached relative line offsets against the new base
+// instead of re-deriving and sorting the per-lane sector set (DESIGN.md
+// section 11).
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -32,7 +43,78 @@ struct CoalesceResult {
 
 /// Analyze one warp memory instruction: each active lane accesses
 /// [addr[i], addr[i] + elem_bytes). Accesses may straddle line boundaries.
+/// This is the uncached reference path; the hot path goes through
+/// CoalesceCache below.
 CoalesceResult coalesce(const LaneVec<std::uint64_t>& addrs, Mask active,
                         std::size_t elem_bytes);
+
+/// One-pass classification of a warp access's address pattern. `affine`
+/// means every pair of *consecutive active* lanes differs by the same
+/// stride, so the k-th active lane's address is base + k*stride — this is
+/// simultaneously the memoization key (below) and the advisor's evidence:
+/// uniform (broadcast) == affine with stride 0, unit-stride == affine with
+/// stride == elem_bytes.
+struct AccessShape {
+  int active_lanes = 0;
+  bool affine = false;          ///< True when <2 active lanes as well.
+  std::uint64_t base = 0;       ///< First active lane's address.
+  std::int64_t stride = 0;      ///< Consecutive-active-lane delta (0 if <2).
+};
+
+AccessShape access_shape(const LaneVec<std::uint64_t>& addrs, Mask active);
+
+/// Memoized coalescing front-end. One cache lives per warp slot (WarpCtx)
+/// and is invalidated at each block rebind, so hit/miss counts are a pure
+/// function of the (block, warp) access sequence — deterministic at any
+/// VGPU_THREADS. Entries are keyed by (base % 128, stride, active mask,
+/// element size) and store the touched lines as offsets from base/128;
+/// non-affine patterns and patterns whose address arithmetic could wrap
+/// bypass the cache and fall back to coalesce().
+class CoalesceCache {
+ public:
+  /// Appends the access's distinct 128-byte line *byte addresses*
+  /// (ascending) to `lines_out` and returns the transaction count. Produces
+  /// exactly coalesce(addrs, active, elem_bytes).lines * kLineBytes.
+  int lines(const LaneVec<std::uint64_t>& addrs, Mask active,
+            std::size_t elem_bytes, const AccessShape& shape,
+            std::vector<std::uint64_t>& lines_out);
+
+  /// Invalidate every entry (O(1): entries are epoch-tagged). Called when
+  /// the owning warp context is rebound to a new block.
+  void clear() {
+    if (++epoch_ == 0) {  // Epoch wrap: hard-invalidate before reusing tags.
+      slots_ = {};
+      epoch_ = 1;
+    }
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// Read and zero both counters (per-block delta collection).
+  void take_counters(std::uint64_t& hits, std::uint64_t& misses) {
+    hits = hits_;
+    misses = misses_;
+    hits_ = misses_ = 0;
+  }
+
+  static constexpr int kSlots = 64;         ///< Direct-mapped, power of two.
+  static constexpr int kMaxCachedLines = 48;
+
+ private:
+  struct Entry {
+    std::uint32_t epoch = 0;      ///< Valid iff == cache epoch_ (and epoch_ > 0).
+    std::uint32_t base_mod = 0;   ///< base % kLineBytes.
+    std::int64_t stride = 0;
+    Mask active = 0;
+    std::uint32_t elem = 0;
+    std::uint16_t count = 0;      ///< Distinct lines (== transactions).
+    std::array<std::int32_t, kMaxCachedLines> rel{};  ///< Line offsets vs base/128.
+  };
+
+  std::array<Entry, kSlots> slots_{};
+  std::uint32_t epoch_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 }  // namespace vgpu

@@ -1,53 +1,65 @@
 #include "mem/global.hpp"
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 namespace vgpu {
 
+namespace {
+
+/// Coalesce through the memo cache when one is supplied, else re-derive.
+/// Appends the touched 128-byte line byte-addresses (ascending) to `out`
+/// and returns the transaction count — identical either way.
+int coalesce_into(const LaneVec<std::uint64_t>& addrs, Mask active,
+                  std::size_t elem_bytes, const AccessShape& shape,
+                  CoalesceCache* memo, std::vector<std::uint64_t>& out) {
+  if (memo != nullptr) return memo->lines(addrs, active, elem_bytes, shape, out);
+  CoalesceResult co = coalesce(addrs, active, elem_bytes);
+  out.reserve(out.size() + co.lines.size());
+  for (std::uint64_t ln : co.lines) out.push_back(ln * kLineBytes);
+  return co.transactions();
+}
+
+}  // namespace
+
 IssueCost GlobalMemory::begin_access(const LaneVec<std::uint64_t>& addrs, Mask active,
                                      std::size_t elem_bytes, bool write,
                                      KernelStats& stats,
-                                     std::vector<std::uint64_t>& sectors_out) {
+                                     std::vector<std::uint64_t>& sectors_out,
+                                     CoalesceCache* memo) {
   IssueCost cost;
   if (active == 0) return cost;
   const DeviceProfile& p = *profile_;
 
-  CoalesceResult co = coalesce(addrs, active, elem_bytes);
+  // One pass over the lanes classifies the pattern; the result doubles as
+  // the memoization key and the vgpu-advise evidence: a broadcast (every
+  // active lane reading one address) is affine with stride 0 and a
+  // constant-memory candidate; a unit-stride run (affine, stride ==
+  // elem_bytes) that starts off a 128-byte line wastes transactions the
+  // MemAlign way.
+  AccessShape shape = access_shape(addrs, active);
+  const std::size_t lines_begin = sectors_out.size();
+  int transactions =
+      coalesce_into(addrs, active, elem_bytes, shape, memo, sectors_out);
   if (write) {
     ++stats.gst_requests;
-    stats.gst_transactions += static_cast<std::uint64_t>(co.transactions());
+    stats.gst_transactions += static_cast<std::uint64_t>(transactions);
   } else {
     ++stats.gld_requests;
-    stats.gld_transactions += static_cast<std::uint64_t>(co.transactions());
+    stats.gld_transactions += static_cast<std::uint64_t>(transactions);
   }
 
-  // vgpu-advise evidence. Walk the active lanes once in lane order to
-  // classify the request shape: a broadcast (every active lane reading one
-  // address) is a constant-memory candidate, and a unit-stride run that
-  // starts off a 128-byte line wastes transactions the MemAlign way.
-  int active_lanes = 0;
-  bool uniform = true;
-  bool unit_stride = true;
-  std::uint64_t first = 0, prev = 0;
-  for (int lane = 0; lane < kWarpSize; ++lane) {
-    if (!lane_in(active, lane)) continue;
-    std::uint64_t a = addrs[lane];
-    if (active_lanes == 0) {
-      first = a;
-    } else {
-      if (a != first) uniform = false;
-      if (a != prev + elem_bytes) unit_stride = false;
-    }
-    prev = a;
-    ++active_lanes;
-  }
-  if (active_lanes >= 2) {
+  if (shape.active_lanes >= 2) {
+    const bool uniform = shape.affine && shape.stride == 0;
+    const bool unit_stride =
+        shape.affine && shape.stride == static_cast<std::int64_t>(elem_bytes);
     if (!write && uniform) ++stats.gld_uniform_requests;
-    if (unit_stride && first % kLineBytes != 0) {
-      std::uint64_t span = static_cast<std::uint64_t>(active_lanes) * elem_bytes;
+    if (unit_stride && shape.base % kLineBytes != 0) {
+      std::uint64_t span =
+          static_cast<std::uint64_t>(shape.active_lanes) * elem_bytes;
       std::uint64_t ideal = (span + kLineBytes - 1) / kLineBytes;
-      std::uint64_t got = static_cast<std::uint64_t>(co.transactions());
+      std::uint64_t got = static_cast<std::uint64_t>(transactions);
       if (got > ideal) stats.gmem_misaligned_extra += got - ideal;
     }
   }
@@ -55,8 +67,8 @@ IssueCost GlobalMemory::begin_access(const LaneVec<std::uint64_t>& addrs, Mask a
   // Unified-memory page residency, resolved at access time (first toucher
   // pays the fault).
   if (um_ != nullptr) {
-    for (std::uint64_t ln : co.lines) {
-      std::uint64_t byte = ln * kLineBytes;
+    for (std::size_t i = lines_begin; i < sectors_out.size(); ++i) {
+      std::uint64_t byte = sectors_out[i];
       if (um_->is_managed(byte)) {
         UmTouch t = um_->on_device_access(byte, kLineBytes, write);
         stats.um_page_faults += t.faulted_pages;
@@ -67,21 +79,20 @@ IssueCost GlobalMemory::begin_access(const LaneVec<std::uint64_t>& addrs, Mask a
     }
   }
 
-  cost.issue = static_cast<double>(co.transactions());
-  sectors_out.reserve(sectors_out.size() + co.lines.size());
-  for (std::uint64_t ln : co.lines) sectors_out.push_back(ln * kLineBytes);
+  cost.issue = static_cast<double>(transactions);
   return cost;
 }
 
 IssueCost GlobalMemory::begin_tex(const LaneVec<std::uint64_t>& keys, Mask active,
                                   std::size_t elem_bytes, KernelStats& stats,
-                                  std::vector<std::uint64_t>& sectors_out) {
+                                  std::vector<std::uint64_t>& sectors_out,
+                                  CoalesceCache* memo) {
   IssueCost cost;
   if (active == 0) return cost;
   ++stats.tex_requests;
-  CoalesceResult co = coalesce(keys, active, elem_bytes);
-  cost.issue = static_cast<double>(co.transactions());
-  for (std::uint64_t ln : co.lines) sectors_out.push_back(ln * kLineBytes);
+  AccessShape shape = access_shape(keys, active);
+  cost.issue = static_cast<double>(
+      coalesce_into(keys, active, elem_bytes, shape, memo, sectors_out));
   return cost;
 }
 
@@ -93,20 +104,22 @@ IssueCost GlobalMemory::begin_const(const LaneVec<std::uint64_t>& addrs, Mask ac
   ++stats.const_requests;
 
   // The constant cache broadcasts one address per cycle: distinct addresses
-  // among the active lanes serialize the instruction.
-  std::vector<std::uint64_t> distinct;
-  distinct.reserve(kWarpSize);
+  // among the active lanes serialize the instruction. At most 32 candidates,
+  // so sort/unique on a stack buffer (no heap traffic on this hot path).
+  std::array<std::uint64_t, kWarpSize> buf;
+  std::size_t n = 0;
   for (int lane = 0; lane < kWarpSize; ++lane)
-    if (lane_in(active, lane)) distinct.push_back(addrs[lane]);
-  std::sort(distinct.begin(), distinct.end());
-  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    if (lane_in(active, lane)) buf[n++] = addrs[lane];
+  std::sort(buf.begin(), buf.begin() + n);
+  n = static_cast<std::size_t>(std::unique(buf.begin(), buf.begin() + n) -
+                               buf.begin());
 
-  stats.const_serializations += distinct.size() - 1;
-  cost.issue = static_cast<double>(distinct.size());
+  stats.const_serializations += n - 1;
+  cost.issue = static_cast<double>(n);
 
   std::uint64_t prev = ~std::uint64_t{0};
-  for (std::uint64_t a : distinct) {
-    std::uint64_t line = (a / kLineBytes) * kLineBytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t line = (buf[i] / kLineBytes) * kLineBytes;
     if (line != prev) sectors_out.push_back(line);
     prev = line;
   }

@@ -105,7 +105,8 @@ class GlobalMemory {
 
   /// Phase 1 of a global access: coalesce, resolve managed pages, count
   /// transactions. `sectors_out` receives the sector byte-addresses the
-  /// replay phase must probe.
+  /// replay phase must probe. `memo` is the caller's per-warp coalescing
+  /// memo cache (nullptr re-derives every access — same results, slower).
   ///
   /// Addresses are used only as coalescing/cache keys — never dereferenced.
   /// vgpu-san relies on this: cost accounting runs *before* memcheck vets
@@ -113,12 +114,14 @@ class GlobalMemory {
   /// off), which is only safe because a wild address cannot fault here.
   IssueCost begin_access(const LaneVec<std::uint64_t>& addrs, Mask active,
                          std::size_t elem_bytes, bool write, KernelStats& stats,
-                         std::vector<std::uint64_t>& sectors_out);
+                         std::vector<std::uint64_t>& sectors_out,
+                         CoalesceCache* memo = nullptr);
 
   /// Phase 1 for texture fetches (keys are swizzled cache addresses).
   IssueCost begin_tex(const LaneVec<std::uint64_t>& keys, Mask active,
                       std::size_t elem_bytes, KernelStats& stats,
-                      std::vector<std::uint64_t>& sectors_out);
+                      std::vector<std::uint64_t>& sectors_out,
+                      CoalesceCache* memo = nullptr);
 
   /// Phase 1 for constant loads: distinct addresses serialize.
   IssueCost begin_const(const LaneVec<std::uint64_t>& addrs, Mask active,

@@ -8,21 +8,56 @@ namespace vgpu {
 int bank_conflict_degree(const LaneVec<std::uint64_t>& addrs, Mask active,
                          std::size_t elem_bytes) {
   if (active == 0) return 0;
-  // Distinct words per bank; same-word accesses broadcast.
-  std::array<std::vector<std::uint64_t>, kSharedBanks> words;
+  // Distinct words per bank; same-word accesses broadcast. This runs for
+  // every shared access of every warp — the hottest loop in shared-memory
+  // kernels — so the per-bank word sets live in fixed stack scratch (a
+  // linear-probe list per bank) instead of 32 heap vectors. A lane
+  // contributes at most ceil(elem/kBankWordBytes)+1 words, so with elements
+  // up to 128 bytes no bank can see more than 2 entries per lane.
+  constexpr int kPerBank = 2 * kWarpSize;
+  if (elem_bytes > kBankWordBytes * kSharedBanks) {  // Degenerate: general path.
+    std::array<std::vector<std::uint64_t>, kSharedBanks> words;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_in(active, lane)) continue;
+      std::uint64_t first = addrs[lane] / kBankWordBytes;
+      std::uint64_t last = (addrs[lane] + elem_bytes - 1) / kBankWordBytes;
+      for (std::uint64_t w = first; w <= last; ++w)
+        words[w % kSharedBanks].push_back(w);
+    }
+    int degree = 1;
+    for (auto& v : words) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      degree = std::max(degree, static_cast<int>(v.size()));
+    }
+    return degree;
+  }
+
+  std::array<std::uint64_t, kSharedBanks * kPerBank> seen;
+  std::array<std::uint8_t, kSharedBanks> count{};
+  int degree = 1;
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!lane_in(active, lane)) continue;
     // A >4-byte element (e.g. double) touches multiple consecutive words.
     std::uint64_t first = addrs[lane] / kBankWordBytes;
     std::uint64_t last = (addrs[lane] + elem_bytes - 1) / kBankWordBytes;
-    for (std::uint64_t w = first; w <= last; ++w)
-      words[w % kSharedBanks].push_back(w);
-  }
-  int degree = 1;
-  for (auto& v : words) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-    degree = std::max(degree, static_cast<int>(v.size()));
+    for (std::uint64_t w = first; w <= last; ++w) {
+      auto bank = static_cast<std::size_t>(w % kSharedBanks);
+      std::uint64_t* bucket = seen.data() + bank * kPerBank;
+      int n = count[bank];
+      bool dup = false;
+      for (int i = 0; i < n; ++i) {
+        if (bucket[i] == w) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        bucket[n] = w;
+        count[bank] = static_cast<std::uint8_t>(n + 1);
+        degree = std::max(degree, n + 1);
+      }
+    }
   }
   return degree;
 }

@@ -182,6 +182,11 @@ std::vector<Metric> derived_metrics(const ActivityRecord& k) {
                "%"});
   m.push_back({"l2_hit_rate", 100.0 * ratio(s.l2_hits, s.l2_hits + s.l2_misses),
                "%"});
+  // Simulator self-metric (no nvprof analogue): how often the coalescing
+  // analysis was served from the per-warp memo instead of recomputed.
+  m.push_back({"coalesce_cache_hit_rate",
+               100.0 * ratio(k.coalesce_hits, k.coalesce_hits + k.coalesce_misses),
+               "%"});
   double dur = k.duration_us();
   m.push_back({"dram_read_throughput",
                dur > 0 ? static_cast<double>(s.dram_read_bytes) / dur * 1e-3 : 0,
@@ -284,6 +289,8 @@ std::string Profiler::metrics_report() const {
       occ_weight[r.name] = 0;
     } else {
       agg[it->second].stats += r.stats;
+      agg[it->second].coalesce_hits += r.coalesce_hits;
+      agg[it->second].coalesce_misses += r.coalesce_misses;
     }
     ActivityRecord& a = agg[it->second];
     a.end_us += r.duration_us();

@@ -96,6 +96,8 @@ struct ActivityRecord {
   double launch_overhead_us = 0;  ///< Host launch cost charged (0 inside graphs).
   double sm_slack = 0;       ///< Idle fraction of granted SM-time (imbalance).
   std::size_t shared_bytes = 0;   ///< Largest per-block shared allocation.
+  std::uint64_t coalesce_hits = 0;    ///< Coalesce-memo cache hits (simulator).
+  std::uint64_t coalesce_misses = 0;  ///< Coalesce-memo cache misses.
 
   double duration_us() const { return end_us - start_us; }
   bool operator==(const ActivityRecord&) const = default;

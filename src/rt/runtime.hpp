@@ -83,6 +83,10 @@ class Runtime {
   /// Host worker threads simulating the block loop (VGPU_THREADS knob).
   int sim_threads() const { return gpu_.sim_threads(); }
   void set_sim_threads(int threads) { gpu_.set_sim_threads(threads); }
+  /// Simulation fidelity (VGPU_FIDELITY knob): kExact is bit-identical to
+  /// the goldens, kFast samples replay timing for speed (sim/fidelity.hpp).
+  Fidelity fidelity() const { return gpu_.fidelity(); }
+  void set_fidelity(Fidelity f) { gpu_.set_fidelity(f); }
 
   // --- vgpu-san (cuda-memcheck equivalent) -----------------------------------
   /// Dynamic checkers for subsequent launches (VGPU_CHECK env var by

@@ -18,6 +18,7 @@ void BlockRunner::prepare_grid(const GridPlan& plan, bool defer_fp_atomics) {
   plan_ = &plan;
   plan_id_ = plan.id;
   defer_fp_ = defer_fp_atomics;
+  fast_ = plan.fast;
   num_warps_ = plan.num_warps;
   // Cache geometry depends only on the grid's occupancy clamps, so it is
   // rebuilt once per grid (and merely reset() per block).
@@ -178,6 +179,10 @@ BlockOutcome BlockRunner::run(Dim3 block_idx, KernelStats& stats) {
     WarpCtx& c = *ctxs_[static_cast<std::size_t>(wi)];
     out.warps.push_back(WarpCost{c.issue_cycles(), c.stall_cycles(),
                                  c.sync_stall_cycles(), c.um_microseconds()});
+    std::uint64_t h = 0, m = 0;
+    c.coalesce_memo().take_counters(h, m);
+    out.coalesce_hits += h;
+    out.coalesce_misses += m;
   }
   return out;
 }

@@ -45,6 +45,10 @@ struct WarpCost {
 struct BlockOutcome {
   std::vector<WarpCost> warps;
   std::size_t shared_bytes = 0;
+  /// Coalesce-memo cache behaviour of this block's warps (vgpu-prof export;
+  /// deliberately outside KernelStats so goldens stay byte-stable).
+  std::uint64_t coalesce_hits = 0;
+  std::uint64_t coalesce_misses = 0;
 };
 
 /// A device-side kernel launch recorded while a block ran (dynamic
@@ -78,6 +82,7 @@ struct GridPlan {
   int cache_co_residency = 1;           ///< Blocks sharing one SM's L1/tex.
   long long cache_blocks_on_device = 1; ///< Blocks sharing the device L2.
   CheckMode check = CheckMode::kOff;    ///< vgpu-san checkers for this grid.
+  bool fast = false;                    ///< VGPU_FIDELITY=fast sampled replay.
 };
 
 class BlockRunner {
@@ -100,10 +105,12 @@ class BlockRunner {
   /// (callers pass a per-worker delta in parallel mode).
   BlockOutcome run(Dim3 block_idx, KernelStats& stats);
 
-  /// Child launches recorded by the last run() (moved out).
-  std::vector<ChildLaunch> take_children() { return std::move(children_); }
-  /// Deferred FP atomic commits recorded by the last run() (moved out).
-  std::vector<FpCommit> take_fp_commits() { return std::move(fp_commits_); }
+  /// Child launches recorded by the last run(). The grid engine moves the
+  /// *elements* out and the vector's capacity is recycled by the next run()
+  /// — no per-block vector churn.
+  std::vector<ChildLaunch>& children() { return children_; }
+  /// Deferred FP atomic commits recorded by the last run() (same recycling).
+  std::vector<FpCommit>& fp_commits() { return fp_commits_; }
   /// vgpu-san diagnostics accumulated by the last run() (moved out).
   CheckReport take_check_report() { return checker_.take_report(); }
 
@@ -113,6 +120,8 @@ class BlockRunner {
   KernelStats& stats() { return *stats_; }
   GpuExec& gpu() { return *gpu_; }
   BlockChecker& checker() { return checker_; }
+  /// True while the bound grid runs under VGPU_FIDELITY=fast.
+  bool fast_timing() const { return fast_; }
 
   /// Deduplicated shared allocation: the n-th allocation of every warp in
   /// the block aliases the same storage (matching __shared__ semantics).
@@ -155,6 +164,7 @@ class BlockRunner {
   const GridPlan* plan_ = nullptr;
   std::uint64_t plan_id_ = 0;
   bool defer_fp_ = false;
+  bool fast_ = false;
   Dim3 block_idx_;
   KernelStats* stats_ = nullptr;
 
@@ -172,5 +182,25 @@ class BlockRunner {
   std::vector<ChildLaunch> children_;
   std::vector<FpCommit> fp_commits_;
 };
+
+// --- WarpCtx members that need a complete BlockRunner -----------------------
+// Defined here (not warp.cpp) so they inline into kernel inner loops: stats()
+// sits under every counter bump and charge_instr() under every instruction.
+inline KernelStats& WarpCtx::stats() { return block_->stats(); }
+
+inline SharedSegment& WarpCtx::shared_mem() { return block_->shared(); }
+
+inline void WarpCtx::charge_instr(int n) {
+  KernelStats& s = stats();
+  s.instructions += static_cast<std::uint64_t>(n);
+  s.useful_lane_ops +=
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(popcount(active()));
+  issue_ += n;
+}
+
+inline void WarpCtx::charge_shuffle() {
+  ++stats().shuffles;
+  charge_instr(1);
+}
 
 }  // namespace vgpu

@@ -1,0 +1,33 @@
+#include "sim/fidelity.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace vgpu {
+
+Fidelity fidelity_from_string(const char* s) {
+  if (s != nullptr) {
+    if (std::strcmp(s, "exact") == 0) return Fidelity::kExact;
+    if (std::strcmp(s, "fast") == 0) return Fidelity::kFast;
+  }
+  throw std::invalid_argument(std::string("unknown fidelity: ") +
+                              (s != nullptr ? s : "(null)"));
+}
+
+Fidelity fidelity_from_env() {
+  const char* s = std::getenv("VGPU_FIDELITY");
+  if (s == nullptr || *s == '\0') return Fidelity::kExact;
+  try {
+    return fidelity_from_string(s);
+  } catch (const std::invalid_argument&) {
+    return Fidelity::kExact;
+  }
+}
+
+const char* fidelity_name(Fidelity f) {
+  return f == Fidelity::kFast ? "fast" : "exact";
+}
+
+}  // namespace vgpu

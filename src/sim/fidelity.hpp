@@ -1,0 +1,40 @@
+#pragma once
+
+// Simulation fidelity levels (DESIGN.md section 11).
+//
+// kExact (the default) is the contract every golden test pins down: stats,
+// simulated times and memory contents are bit-identical across thread counts
+// and across releases. kFast trades timing-model resolution for host speed:
+// the per-barrier cache replay samples one in every kFastSampleEvery queued
+// memory instructions per warp (scaling the sampled instruction's stall by
+// the same factor), so cache hit/miss counters and stall cycles become
+// estimates. Functional results — memory contents, error codes, vgpu-san
+// findings, instruction/request/transaction counters (all computed at issue
+// time, before sampling) — remain identical to exact mode.
+
+#include <cstdint>
+
+namespace vgpu {
+
+enum class Fidelity : std::uint8_t {
+  kExact = 0,  ///< Full two-phase cache replay; bit-identical goldens.
+  kFast,       ///< Sampled cache replay; issue-side semantics unchanged.
+};
+
+/// Every kFastSampleEvery-th queued access is replayed in fast mode; the
+/// survivor's stall is scaled by the same factor so expected stall cycles
+/// stay calibrated.
+inline constexpr int kFastSampleEvery = 4;
+
+/// Parse "exact" / "fast" (case-sensitive, like the other VGPU_* knobs).
+/// Throws std::invalid_argument on anything else.
+Fidelity fidelity_from_string(const char* s);
+
+/// VGPU_FIDELITY environment variable, defaulting to kExact when unset.
+/// An unparseable value falls back to kExact (env knobs never throw at
+/// static-init time).
+Fidelity fidelity_from_env();
+
+const char* fidelity_name(Fidelity f);
+
+}  // namespace vgpu

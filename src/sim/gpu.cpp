@@ -1,9 +1,12 @@
 #include "sim/gpu.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <iostream>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace vgpu {
 
@@ -139,6 +142,7 @@ GridPlan GpuExec::plan_grid(const LaunchConfig& cfg, const KernelFn& fn) const {
       plan.grid_blocks,
       static_cast<long long>(occ) * profile_.sm_count);
   plan.check = check_;
+  plan.fast = fidelity_ == Fidelity::kFast;
   return plan;
 }
 
@@ -147,7 +151,8 @@ int GpuExec::effective_threads(long long total_blocks) const {
   // Managed-memory page residency mutates on first touch: which block pays a
   // fault is order-dependent, so UM kernels keep the serial block order.
   if (gmem_.um_hook() != nullptr && gmem_.um_hook()->any_managed()) return 1;
-  return threads_;
+  // More workers than blocks would only mean idle arenas and wasted wakes.
+  return static_cast<int>(std::min<long long>(threads_, total_blocks));
 }
 
 void GpuExec::ensure_arenas(int count) {
@@ -165,6 +170,9 @@ void GpuExec::set_sim_threads(int threads) {
 std::vector<std::vector<double>> GpuExec::run_grids(
     const std::vector<GridRef>& grids, KernelStats& stats,
     std::size_t* shared_bytes_out, CheckReport* check_out) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t_begin = Clock::now();
+
   std::vector<GridPlan> plans;
   plans.reserve(grids.size());
   std::vector<long long> first_job;
@@ -180,20 +188,20 @@ std::vector<std::vector<double>> GpuExec::run_grids(
   const int threads = effective_threads(total);
   const bool parallel = threads > 1;
   ensure_arenas(threads);
-
-  // Per-job output slots: writing by block index makes every merge below a
-  // deterministic, order-independent gather.
-  std::vector<double> cycles(static_cast<std::size_t>(total), 0.0);
-  std::vector<std::size_t> shared(static_cast<std::size_t>(total), 0);
-  std::vector<std::vector<ChildLaunch>> children(static_cast<std::size_t>(total));
-  std::vector<std::vector<FpCommit>> fp_commits(
-      parallel ? static_cast<std::size_t>(total) : 0);
-  std::vector<KernelStats> worker_stats(static_cast<std::size_t>(threads));
   const bool checking = check_out != nullptr && check_ != CheckMode::kOff;
-  std::vector<CheckReport> checks(checking ? static_cast<std::size_t>(total) : 0);
+
+  // The only per-job array left is the cycle vector (it is the result).
+  // Everything else lands in per-worker lanes: block-ordered outputs are
+  // job-tagged and k-way merged below, so memory scales with workers and
+  // actual output volume, not with grid size.
+  cycles_scratch_.assign(static_cast<std::size_t>(total), 0.0);
+  if (static_cast<int>(lanes_.size()) < threads)
+    lanes_.resize(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) lanes_[static_cast<std::size_t>(w)].clear();
 
   auto run_job = [&](int worker, long long job) {
     BlockRunner& arena = *arenas_[static_cast<std::size_t>(worker)];
+    WorkerLane& lane = lanes_[static_cast<std::size_t>(worker)];
     auto gi = static_cast<std::size_t>(
         std::upper_bound(first_job.begin(), first_job.end(), job) -
         first_job.begin() - 1);
@@ -201,19 +209,31 @@ std::vector<std::vector<double>> GpuExec::run_grids(
     if (arena.plan_id() != plan.id) arena.prepare_grid(plan, parallel);
 
     Dim3 bidx = unflatten_block(job - first_job[gi], plan.cfg->grid);
-    BlockOutcome out = arena.run(bidx, worker_stats[static_cast<std::size_t>(worker)]);
+    BlockOutcome out = arena.run(bidx, lane.stats);
 
-    auto slot = static_cast<std::size_t>(job);
-    cycles[slot] = block_time_cycles(out, plan.threads_per_block, plan.grid_blocks);
-    shared[slot] = out.shared_bytes;
-    children[slot] = arena.take_children();
-    if (parallel) fp_commits[slot] = arena.take_fp_commits();
-    if (checking) checks[slot] = arena.take_check_report();
+    cycles_scratch_[static_cast<std::size_t>(job)] =
+        block_time_cycles(out, plan.threads_per_block, plan.grid_blocks);
+    lane.shared_max = std::max(lane.shared_max, out.shared_bytes);
+    lane.co_hits += out.coalesce_hits;
+    lane.co_misses += out.coalesce_misses;
+    // Move the elements, keep the arena vectors' capacity for the next block.
+    for (ChildLaunch& ch : arena.children())
+      lane.children.emplace_back(job, std::move(ch));
+    if (parallel)
+      for (const FpCommit& c : arena.fp_commits())
+        lane.fp_commits.emplace_back(job, c);
+    if (checking) {
+      CheckReport rep = arena.take_check_report();
+      if (!rep.clean()) lane.checks.emplace_back(job, std::move(rep));
+    }
   };
 
   if (parallel) {
-    if (!pool_ || pool_->size() != threads)
-      pool_ = std::make_unique<WorkerPool>(threads);
+    // The pool is sized once for the configured thread count and reused;
+    // small levels engage fewer workers inside WorkerPool::run, so no
+    // rebuild happens when effective_threads dips for a tiny grid.
+    if (!pool_ || pool_->size() != threads_)
+      pool_ = std::make_unique<WorkerPool>(threads_);
     // Chunks keep workers on runs of consecutive blocks (fewer grid
     // switches) while still load-balancing ~8 handouts per worker.
     long long chunk = std::max<long long>(1, total / (8LL * threads));
@@ -222,32 +242,72 @@ std::vector<std::vector<double>> GpuExec::run_grids(
     for (long long j = 0; j < total; ++j) run_job(0, j);
   }
 
-  // Deterministic merges. Counter deltas are unsigned sums, so worker order
-  // is immaterial; children and FP commits are replayed in block order, the
-  // exact sequence the serial run produces.
-  for (const KernelStats& ws : worker_stats) stats += ws;
-  for (auto& q : fp_commits) {
-    for (const FpCommit& c : q) {
-      if (c.is_double) {
-        heap().store<double>(c.addr, heap().load<double>(c.addr) + c.value);
-      } else {
-        heap().store<float>(c.addr, heap().load<float>(c.addr) +
-                                        static_cast<float>(c.value));
-      }
-    }
-  }
-  for (auto& cv : children)
-    for (ChildLaunch& ch : cv) pending_children_.push_back(std::move(ch));
-  if (checking)
-    for (CheckReport& c : checks) *check_out += c;  // Block-index order.
+  const Clock::time_point t_executed = Clock::now();
 
-  if (shared_bytes_out != nullptr)
-    *shared_bytes_out = total == 0 ? 0 : *std::max_element(shared.begin(), shared.end());
+  // Deterministic merges. Counter deltas are unsigned sums, so worker order
+  // is immaterial. Ordered outputs are replayed in ascending job (= block)
+  // index: each lane's log is already job-ascending and a job ran on exactly
+  // one worker, so a k-way front-merge reproduces the serial sequence.
+  std::size_t shared_max = 0;
+  for (int w = 0; w < threads; ++w) {
+    WorkerLane& lane = lanes_[static_cast<std::size_t>(w)];
+    stats += lane.stats;
+    shared_max = std::max(shared_max, lane.shared_max);
+    co_hits_total_ += lane.co_hits;
+    co_misses_total_ += lane.co_misses;
+  }
+
+  auto merge_in_block_order = [&](auto&& log_of, auto&& apply) {
+    std::array<std::size_t, 256> cur{};  // threads_ is clamped to [1, 256].
+    for (;;) {
+      int best = -1;
+      long long best_job = 0;
+      for (int w = 0; w < threads; ++w) {
+        auto& log = log_of(lanes_[static_cast<std::size_t>(w)]);
+        auto c = cur[static_cast<std::size_t>(w)];
+        if (c >= log.size()) continue;
+        if (best < 0 || log[c].first < best_job) {
+          best = w;
+          best_job = log[c].first;
+        }
+      }
+      if (best < 0) break;
+      auto& log = log_of(lanes_[static_cast<std::size_t>(best)]);
+      apply(log[cur[static_cast<std::size_t>(best)]++].second);
+    }
+  };
+
+  if (parallel) {
+    merge_in_block_order(
+        [](WorkerLane& l) -> auto& { return l.fp_commits; },
+        [&](FpCommit& c) {
+          if (c.is_double) {
+            heap().store<double>(c.addr, heap().load<double>(c.addr) + c.value);
+          } else {
+            heap().store<float>(c.addr, heap().load<float>(c.addr) +
+                                            static_cast<float>(c.value));
+          }
+        });
+  }
+  merge_in_block_order(
+      [](WorkerLane& l) -> auto& { return l.children; },
+      [&](ChildLaunch& ch) { pending_children_.push_back(std::move(ch)); });
+  if (checking)
+    merge_in_block_order([](WorkerLane& l) -> auto& { return l.checks; },
+                         [&](CheckReport& c) { *check_out += c; });
+
+  if (shared_bytes_out != nullptr) *shared_bytes_out = shared_max;
 
   std::vector<std::vector<double>> per_grid(grids.size());
   for (std::size_t gi = 0; gi < grids.size(); ++gi)
-    per_grid[gi].assign(cycles.begin() + first_job[gi],
-                        cycles.begin() + first_job[gi + 1]);
+    per_grid[gi].assign(cycles_scratch_.begin() + first_job[gi],
+                        cycles_scratch_.begin() + first_job[gi + 1]);
+
+  const Clock::time_point t_merged = Clock::now();
+  execute_ms_ +=
+      std::chrono::duration<double, std::milli>(t_executed - t_begin).count();
+  merge_ms_ +=
+      std::chrono::duration<double, std::milli>(t_merged - t_executed).count();
   return per_grid;
 }
 
@@ -260,6 +320,8 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
   run.threads_per_block = static_cast<int>(cfg.block.count());
 
   std::uint64_t dram_before = 0;  // stats start at zero for this run
+  const std::uint64_t co_hits_before = co_hits_total_;
+  const std::uint64_t co_misses_before = co_misses_total_;
 
   std::size_t shared_bytes = 0;
   run.level_block_cycles.push_back(std::move(
@@ -293,6 +355,16 @@ KernelRun GpuExec::run_kernel(const LaunchConfig& cfg, const KernelFn& fn) {
                                        run.stats.dram_write_bytes) -
                    static_cast<double>(dram_before);
   run.tex_bytes = static_cast<double>(run.stats.tex_dram_bytes);
+  run.coalesce_hits = co_hits_total_ - co_hits_before;
+  run.coalesce_misses = co_misses_total_ - co_misses_before;
+  if (fidelity_ == Fidelity::kFast) {
+    // Fast mode replays every kFastSampleEvery-th queued access, so the
+    // replay-derived DRAM traffic is an unbiased 1/N sample. Rescale the
+    // roofline inputs (not the stats counters — those report what actually
+    // ran) so durations stay comparable to exact mode.
+    run.dram_bytes *= kFastSampleEvery;
+    run.tex_bytes *= kFastSampleEvery;
+  }
 
   long long total_blocks = 0;
   for (const auto& l : run.level_block_cycles)

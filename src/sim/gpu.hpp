@@ -28,6 +28,7 @@
 #include "san/check.hpp"
 #include "sim/block.hpp"
 #include "sim/device.hpp"
+#include "sim/fidelity.hpp"
 #include "sim/kernel.hpp"
 #include "sim/pool.hpp"
 #include "sim/stats.hpp"
@@ -48,6 +49,10 @@ struct KernelRun {
   int blocks_per_sm = 1;     ///< Occupancy of the level-0 grid.
   int preferred_sms = 1;     ///< SMs the grid can usefully occupy.
   std::size_t shared_bytes = 0;  ///< Largest per-block shared allocation.
+  /// Coalesce-memo cache behaviour across the whole run (all DP levels).
+  /// Outside KernelStats on purpose: goldens pin KernelStats byte-for-byte.
+  std::uint64_t coalesce_hits = 0;
+  std::uint64_t coalesce_misses = 0;
 
   /// Kernel execution time given `granted_sms` SMs (excludes launch overhead).
   double duration_us(const DeviceProfile& p, int granted_sms) const;
@@ -81,6 +86,27 @@ class GpuExec {
   int sim_threads() const { return threads_; }
   void set_sim_threads(int threads);
 
+  // --- Fidelity ---------------------------------------------------------------
+  /// Simulation fidelity for subsequent launches (default: VGPU_FIDELITY env
+  /// var, kExact when unset). kExact is bit-identical to the goldens; kFast
+  /// samples the cache replay (see sim/fidelity.hpp).
+  Fidelity fidelity() const { return fidelity_; }
+  void set_fidelity(Fidelity f) { fidelity_ = f; }
+
+  // --- Self-performance introspection ----------------------------------------
+  /// Host wall-clock spent in the two phases of run_grids since the last
+  /// clear: executing blocks (pool fan-out included) and merging per-worker
+  /// results. For the selfperf bench's phase attribution.
+  struct SimPhaseTimes {
+    double execute_ms = 0;
+    double merge_ms = 0;
+  };
+  SimPhaseTimes phase_times() const { return {execute_ms_, merge_ms_}; }
+  void clear_phase_times() { execute_ms_ = merge_ms_ = 0; }
+  /// Lifetime coalesce-memo counters (every launch since construction).
+  std::uint64_t coalesce_cache_hits() const { return co_hits_total_; }
+  std::uint64_t coalesce_cache_misses() const { return co_misses_total_; }
+
   // --- vgpu-san ---------------------------------------------------------------
   /// Dynamic checkers applied to subsequent launches (default: VGPU_CHECK
   /// env var, off when unset).
@@ -103,6 +129,32 @@ class GpuExec {
     const KernelFn* fn;
   };
 
+  /// Per-worker merge log: everything a worker accumulates while running
+  /// blocks, merged deterministically after the pool drains. Counters are
+  /// commutative sums; ordered outputs (children, FP commits, check
+  /// reports) are tagged with their block-job index — each worker's log is
+  /// already job-ascending, so a k-way merge replays them in exact
+  /// block-index order without any per-job slot vectors or global lock.
+  /// Cache-line aligned so workers never false-share.
+  struct alignas(64) WorkerLane {
+    KernelStats stats;
+    std::size_t shared_max = 0;
+    std::uint64_t co_hits = 0;
+    std::uint64_t co_misses = 0;
+    std::vector<std::pair<long long, ChildLaunch>> children;
+    std::vector<std::pair<long long, FpCommit>> fp_commits;
+    std::vector<std::pair<long long, CheckReport>> checks;  ///< Non-clean only.
+
+    void clear() {
+      stats = KernelStats{};
+      shared_max = 0;
+      co_hits = co_misses = 0;
+      children.clear();
+      fp_commits.clear();
+      checks.clear();
+    }
+  };
+
   /// Validate a launch and compute its loop-invariant per-block state once.
   GridPlan plan_grid(const LaunchConfig& cfg, const KernelFn& fn) const;
 
@@ -119,8 +171,9 @@ class GpuExec {
   double block_time_cycles(const BlockOutcome& b, int threads_per_block,
                            long long grid_blocks) const;
 
-  /// Threads to actually use for a level of `total_blocks` jobs: 1 while
-  /// managed memory is live (page residency is order-dependent state).
+  /// Threads to actually use for a level of `total_blocks` jobs: clamped to
+  /// the job count (tiny grids engage few workers), and 1 while managed
+  /// memory is live (page residency is order-dependent state).
   int effective_threads(long long total_blocks) const;
   void ensure_arenas(int count);
 
@@ -134,8 +187,20 @@ class GpuExec {
   CheckReport check_accum_;
 
   int threads_ = WorkerPool::env_thread_count();
+  Fidelity fidelity_ = fidelity_from_env();
   std::unique_ptr<WorkerPool> pool_;                 // Lazy, recreated on resize.
   std::vector<std::unique_ptr<BlockRunner>> arenas_; // One per worker, reused.
+  std::vector<WorkerLane> lanes_;                    // One per worker, reused.
+  std::vector<double> cycles_scratch_;               // Per-job cycles, reused.
+
+  double execute_ms_ = 0;
+  double merge_ms_ = 0;
+  std::uint64_t co_hits_total_ = 0;
+  std::uint64_t co_misses_total_ = 0;
 };
+
+// Needs a complete GpuExec; inline so every load/store template reaches the
+// heap without an out-of-line hop (see the matching block in block.hpp).
+inline DeviceHeap& WarpCtx::heap() { return gpu_->heap(); }
 
 }  // namespace vgpu

@@ -7,6 +7,12 @@
 // lock-step SIMT execution the paper's section II-A describes. Comparison
 // operators produce a Mask (bit i set = lane i true), which is the currency
 // of predication, divergence handling and warp-vote intrinsics.
+//
+// The storage is a flat SoA-style array and every lane loop is written
+// branch-free (mask bits are folded in arithmetically, comparisons
+// accumulate `bool << i` instead of branching per lane) so the 32-lane
+// inner loops autovectorize under -O2/-O3 — see DESIGN.md section 11 and
+// the VGPU_VEC_REPORT CMake option for the -fopt-info-vec spot check.
 
 #include <array>
 #include <bit>
@@ -47,6 +53,10 @@ class LaneVec {
   T& operator[](int lane) { return v_[static_cast<std::size_t>(lane)]; }
   const T& operator[](int lane) const { return v_[static_cast<std::size_t>(lane)]; }
 
+  /// Contiguous lane storage (SoA view for vectorized consumers).
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+
   /// Elementwise transform.
   template <typename F>
   auto map(F&& f) const -> LaneVec<std::invoke_result_t<F, T>> {
@@ -60,21 +70,21 @@ class LaneVec {
     return map([](T x) { return static_cast<U>(x); });
   }
 
-#define VGPU_LANEVEC_BINOP(op)                                      \
-  friend LaneVec operator op(const LaneVec& a, const LaneVec& b) {  \
-    LaneVec r;                                                      \
-    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b[i];        \
-    return r;                                                       \
-  }                                                                 \
-  friend LaneVec operator op(const LaneVec& a, T b) {               \
-    LaneVec r;                                                      \
-    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b;           \
-    return r;                                                       \
-  }                                                                 \
-  friend LaneVec operator op(T a, const LaneVec& b) {               \
-    LaneVec r;                                                      \
-    for (int i = 0; i < kWarpSize; ++i) r[i] = a op b[i];           \
-    return r;                                                       \
+#define VGPU_LANEVEC_BINOP(op)                                          \
+  friend LaneVec operator op(const LaneVec& a, const LaneVec& b) {      \
+    LaneVec r;                                                          \
+    for (int i = 0; i < kWarpSize; ++i) r.v_[i] = a.v_[i] op b.v_[i];   \
+    return r;                                                           \
+  }                                                                     \
+  friend LaneVec operator op(const LaneVec& a, T b) {                   \
+    LaneVec r;                                                          \
+    for (int i = 0; i < kWarpSize; ++i) r.v_[i] = a.v_[i] op b;         \
+    return r;                                                           \
+  }                                                                     \
+  friend LaneVec operator op(T a, const LaneVec& b) {                   \
+    LaneVec r;                                                          \
+    for (int i = 0; i < kWarpSize; ++i) r.v_[i] = a op b.v_[i];         \
+    return r;                                                           \
   }
 
   VGPU_LANEVEC_BINOP(+)
@@ -93,17 +103,20 @@ class LaneVec {
   LaneVec& operator-=(const LaneVec& o) { return *this = *this - o; }
   LaneVec& operator*=(const LaneVec& o) { return *this = *this * o; }
 
+  // Branch-free: accumulate `bool << lane` so the compiler sees a pure
+  // data-parallel reduction (vectorizable compare + movemask) instead of 32
+  // unpredictable branches.
 #define VGPU_LANEVEC_CMP(op)                                        \
   friend Mask operator op(const LaneVec& a, const LaneVec& b) {     \
     Mask m = 0;                                                     \
     for (int i = 0; i < kWarpSize; ++i)                             \
-      if (a[i] op b[i]) m |= lane_bit(i);                           \
+      m |= static_cast<Mask>(a.v_[i] op b.v_[i]) << i;              \
     return m;                                                       \
   }                                                                 \
   friend Mask operator op(const LaneVec& a, T b) {                  \
     Mask m = 0;                                                     \
     for (int i = 0; i < kWarpSize; ++i)                             \
-      if (a[i] op b) m |= lane_bit(i);                              \
+      m |= static_cast<Mask>(a.v_[i] op b) << i;                    \
     return m;                                                       \
   }
 
@@ -116,9 +129,11 @@ class LaneVec {
 #undef VGPU_LANEVEC_CMP
 
   /// Lane-conditional select: lane i gets (m bit i ? a[i] : b[i]).
+  /// Written on the mask bit directly so it lowers to cmov/blend.
   friend LaneVec select(Mask m, const LaneVec& a, const LaneVec& b) {
     LaneVec r;
-    for (int i = 0; i < kWarpSize; ++i) r[i] = lane_in(m, i) ? a[i] : b[i];
+    for (int i = 0; i < kWarpSize; ++i)
+      r.v_[i] = ((m >> i) & 1u) != 0 ? a.v_[i] : b.v_[i];
     return r;
   }
 

@@ -18,64 +18,68 @@ int WorkerPool::env_thread_count() {
 }
 
 WorkerPool::WorkerPool(int threads) : threads_(std::max(1, threads)) {
+  slots_.reserve(static_cast<std::size_t>(threads_ - 1));
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
-  for (int i = 1; i < threads_; ++i)
+  for (int i = 1; i < threads_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
     workers_.emplace_back([this, i] { work(i); });
+  }
 }
 
 WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  start_cv_.notify_all();
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& s : slots_) s->go.release();
   // jthread joins on destruction.
 }
 
 void WorkerPool::run(long long count, long long chunk, const Body& body) {
   if (count <= 0) return;
   chunk_ = std::max<long long>(1, chunk);
-  if (workers_.empty()) {
-    // Serial pool: run inline, exceptions propagate directly.
+  long long handouts = (count + chunk_ - 1) / chunk_;
+  // The caller takes a handout itself, so a run with H handouts needs at
+  // most H-1 sleeping workers: tiny grids no longer pay a wake + sleep for
+  // workers that would find the cursor already exhausted.
+  int engaged = static_cast<int>(
+      std::min<long long>(static_cast<long long>(workers_.size()),
+                          std::max<long long>(0, handouts - 1)));
+  if (engaged == 0) {
+    // Caller-only: run inline, exceptions propagate directly.
     for (long long j = 0; j < count; ++j) body(0, j);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    body_ = &body;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    abort_.store(false, std::memory_order_relaxed);
-    err_job_ = -1;
-    err_ = nullptr;
-    pending_ = static_cast<int>(workers_.size());
-    ++generation_;
-  }
-  start_cv_.notify_all();
+
+  body_ = &body;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+  err_job_ = -1;
+  err_ = nullptr;
+  // The release store (and the semaphore release below) publishes the run
+  // state to the woken workers.
+  pending_.store(engaged, std::memory_order_release);
+  for (int i = 0; i < engaged; ++i) slots_[static_cast<std::size_t>(i)]->go.release();
+
   drain(0);
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [this] { return pending_ == 0; });
-    body_ = nullptr;
+
+  for (;;) {
+    int p = pending_.load(std::memory_order_acquire);
+    if (p == 0) break;
+    pending_.wait(p, std::memory_order_acquire);
   }
+  body_ = nullptr;
   if (err_) std::rethrow_exception(err_);
 }
 
 void WorkerPool::work(int worker) {
-  std::uint64_t seen = 0;
+  Slot& slot = *slots_[static_cast<std::size_t>(worker - 1)];
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      start_cv_.wait(lk, [this, seen] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-    }
+    slot.go.acquire();
+    if (stop_.load(std::memory_order_relaxed)) return;
     drain(worker);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      --pending_;
-    }
-    done_cv_.notify_one();
+    // acq_rel: publishes this worker's job effects to the caller's acquire
+    // load before the caller can observe the run as finished.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      pending_.notify_one();
   }
 }
 

@@ -5,9 +5,17 @@
 // CUDA guarantees thread blocks of one grid are independent (no ordering, no
 // communication except atomics), which the simulator exploits: the block loop
 // in GpuExec fans out across host threads. The pool is created once and
-// reused across grids so the per-grid cost is one generation handshake, not
+// reused across grids so the per-grid cost is one wake/sleep handshake, not
 // thread creation. Worker 0 is the calling thread — a pool of size N spawns
 // N-1 std::jthreads and the caller drains jobs alongside them.
+//
+// Dispatch is deliberately lock-free on the hot path (DESIGN.md section 11):
+// each spawned worker sleeps on its own binary semaphore, a run wakes only
+// as many workers as it has chunk handouts (a 2-block grid on a 16-thread
+// pool wakes one worker, not fifteen), jobs are claimed in contiguous chunks
+// off a single fetch_add cursor, and completion is a lone atomic counter the
+// caller waits on with C++20 atomic wait/notify. The only mutex left guards
+// the error slot on the (cold) exception path.
 //
 // Determinism is the caller's job (per-worker accumulators merged in a fixed
 // order); the pool only promises that every job index in [0, count) runs
@@ -15,11 +23,12 @@
 // rethrown on the caller after all workers have stopped.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <semaphore>
 #include <thread>
 #include <vector>
 
@@ -44,31 +53,35 @@ class WorkerPool {
   using Body = std::function<void(int, long long)>;
 
   /// Run jobs [0, count) to completion, handing out contiguous chunks of
-  /// `chunk` jobs. Blocks until every job ran (or the run aborted). If any
-  /// job throws, the remaining jobs are abandoned and the exception of the
-  /// lowest-indexed job that threw before the abort is rethrown.
+  /// `chunk` jobs. Only ceil(count/chunk) - 1 sleeping workers are woken
+  /// (the caller takes a handout itself); with nothing to hand out the jobs
+  /// run inline on the caller. Blocks until every job ran (or the run
+  /// aborted). If any job throws, the remaining jobs are abandoned and the
+  /// exception of the lowest-indexed job that threw before the abort is
+  /// rethrown.
   void run(long long count, long long chunk, const Body& body);
 
  private:
+  /// One per spawned worker; unique_ptr because semaphores are immovable.
+  struct Slot {
+    std::binary_semaphore go{0};
+  };
+
   void work(int worker);
   void drain(int worker);
   void record_error(long long job);
 
   int threads_;
+  std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<std::jthread> workers_;
-
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;  ///< Spawned workers still draining this generation.
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
 
   const Body* body_ = nullptr;
   long long count_ = 0;
   long long chunk_ = 1;
   std::atomic<long long> next_{0};
   std::atomic<bool> abort_{false};
+  std::atomic<int> pending_{0};  ///< Woken workers still draining this run.
 
   std::mutex err_mu_;
   long long err_job_ = -1;

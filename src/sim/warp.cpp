@@ -1,10 +1,12 @@
 #include "sim/warp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/block.hpp"
+#include "sim/fidelity.hpp"
 #include "sim/gpu.hpp"
 
 namespace vgpu {
@@ -24,6 +26,7 @@ WarpCtx::WarpCtx(GpuExec& gpu, BlockRunner& block, Dim3 grid_dim, Dim3 block_dim
       valid_(valid) {
   mask_stack_.reserve(8);
   mask_stack_.push_back(valid_);
+  fast_timing_ = block.fast_timing();
 }
 
 void WarpCtx::reset(Dim3 grid_dim, Dim3 block_dim, Dim3 block_idx,
@@ -39,9 +42,13 @@ void WarpCtx::reset(Dim3 grid_dim, Dim3 block_dim, Dim3 block_idx,
   pending_.clear();
   sector_buf_.clear();
   scratch_sectors_.clear();
+  // Fresh memo cache and sampling phase per block: both become pure
+  // functions of the (block, warp) access sequence, independent of which
+  // worker thread ran the block.
+  co_memo_.clear();
+  fast_timing_ = block_->fast_timing();
+  fast_tick_ = 0;
 }
-
-KernelStats& WarpCtx::stats() { return block_->stats(); }
 
 float WarpCtx::fp_atomic_add(std::uint64_t addr, float v) {
   return block_->fp_atomic_add(addr, v);
@@ -67,8 +74,7 @@ LaneI WarpCtx::global_tid_x() const {
   return thread_x() + block_idx_.x * block_dim_.x;
 }
 
-void WarpCtx::branch(Mask pred, const std::function<void()>& then_f,
-                     const std::function<void()>& else_f) {
+Mask WarpCtx::branch_masks(Mask pred, bool has_else) {
   KernelStats& s = stats();
   ++s.branches;
   charge_instr(1);  // The branch instruction itself.
@@ -78,35 +84,17 @@ void WarpCtx::branch(Mask pred, const std::function<void()>& then_f,
     ++s.divergent_branches;
     // Both arms executing with a split warp is the WarpDivRedux anti-pattern;
     // a guard with no else-arm (the `if (i < n)` idiom) is not.
-    if (else_f) ++s.divergent_both_arms;
+    if (has_else) ++s.divergent_both_arms;
   }
-  if (taken != 0) {
-    push_mask(taken);
-    then_f();
-    pop_mask();
-  }
-  if (fallthrough != 0 && else_f) {
-    push_mask(fallthrough);
-    else_f();
-    pop_mask();
-  }
+  return taken;
 }
 
-void WarpCtx::loop_while(const std::function<Mask()>& cond,
-                         const std::function<void()>& body) {
-  KernelStats& s = stats();
-  Mask live = active();
-  while (true) {
-    ++s.branches;
-    charge_instr(1);
-    live &= cond();
-    if (live == 0) break;
-    if (live != active()) ++s.divergent_branches;
-    push_mask(live);
-    body();
-    pop_mask();
-  }
+void WarpCtx::note_loop_head() {
+  ++stats().branches;
+  charge_instr(1);
 }
+
+void WarpCtx::note_loop_divergence() { ++stats().divergent_branches; }
 
 void WarpCtx::launch_device(Dim3 grid, Dim3 block, KernelFn fn, std::string name) {
   if (!gpu_->profile().supports_dynamic_parallelism)
@@ -127,9 +115,6 @@ void WarpCtx::pipeline_commit() { charge_instr(1); }
 
 void WarpCtx::pipeline_wait() { charge_instr(1); }
 
-DeviceHeap& WarpCtx::heap() { return gpu_->heap(); }
-SharedSegment& WarpCtx::shared_mem() { return block_->shared(); }
-
 std::uint32_t WarpCtx::shared_alloc_raw(std::size_t bytes, std::size_t align) {
   return block_->shared_alloc(warp_in_block_, bytes, align);
 }
@@ -137,6 +122,14 @@ std::uint32_t WarpCtx::shared_alloc_raw(std::size_t bytes, std::size_t align) {
 void WarpCtx::queue_access(MemPath path, bool write, float stall_scale,
                            const std::vector<std::uint64_t>& sectors) {
   if (sectors.empty()) return;
+  if (fast_timing_) {
+    // Sampled replay: keep one access in kFastSampleEvery and scale its
+    // stall up by the same factor, so expected stall cycles stay calibrated
+    // while the replay (the simulator's hottest phase) shrinks ~4x.
+    if (++fast_tick_ % static_cast<std::uint32_t>(kFastSampleEvery) != 0)
+      return;
+    stall_scale *= static_cast<float>(kFastSampleEvery);
+  }
   PendingAccess pa;
   pa.path = path;
   pa.write = write;
@@ -152,7 +145,7 @@ void WarpCtx::global_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem,
   charge_instr(1);
   scratch_sectors_.clear();
   IssueCost c = gpu_->gmem().begin_access(addrs, active(), elem, write, stats(),
-                                          scratch_sectors_);
+                                          scratch_sectors_, &co_memo_);
   issue_ += c.issue;
   um_us_ += c.um_us;
   queue_access(MemPath::kGlobal, write, 1.0f, scratch_sectors_);
@@ -182,16 +175,16 @@ namespace {
 /// Maximum number of active lanes hitting any single address: the
 /// serialization depth of an atomic warp instruction.
 int max_address_multiplicity(const LaneVec<std::uint64_t>& addrs, Mask active) {
-  std::vector<std::uint64_t> v;
-  v.reserve(kWarpSize);
+  std::array<std::uint64_t, kWarpSize> v;
+  std::size_t n = 0;
   for (int l = 0; l < kWarpSize; ++l)
-    if (lane_in(active, l)) v.push_back(addrs[l]);
-  std::sort(v.begin(), v.end());
+    if (lane_in(active, l)) v[n++] = addrs[l];
+  std::sort(v.begin(), v.begin() + n);
   int best = 0, run = 0;
   std::uint64_t prev = ~std::uint64_t{0};
-  for (std::uint64_t a : v) {
-    run = a == prev ? run + 1 : 1;
-    prev = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    run = v[i] == prev ? run + 1 : 1;
+    prev = v[i];
     best = std::max(best, run);
   }
   return best;
@@ -208,7 +201,7 @@ void WarpCtx::atomic_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem)
   // The read-modify-write resolves at the L2: the lines move like a load...
   scratch_sectors_.clear();
   IssueCost c = gpu_->gmem().begin_access(addrs, active(), elem, /*write=*/true,
-                                          s, scratch_sectors_);
+                                          s, scratch_sectors_, &co_memo_);
   // (begin_access counted it as a store request; that is close enough to
   // nvprof's accounting of atom transactions.)
   issue_ += c.issue;
@@ -248,7 +241,8 @@ void WarpCtx::const_cost(const LaneVec<std::uint64_t>& addrs, std::size_t elem) 
 void WarpCtx::tex_cost(const LaneVec<std::uint64_t>& keys, std::size_t elem) {
   charge_instr(1);
   scratch_sectors_.clear();
-  IssueCost c = gpu_->gmem().begin_tex(keys, active(), elem, stats(), scratch_sectors_);
+  IssueCost c = gpu_->gmem().begin_tex(keys, active(), elem, stats(),
+                                       scratch_sectors_, &co_memo_);
   issue_ += c.issue;
   queue_access(MemPath::kTexture, false, 1.0f, scratch_sectors_);
 }
@@ -267,7 +261,7 @@ void WarpCtx::async_copy_cost(const LaneVec<std::uint64_t>& gaddrs,
     charge_instr(1);
     scratch_sectors_.clear();
     IssueCost c = gpu_->gmem().begin_access(gaddrs, active(), elem, /*write=*/false,
-                                            s, scratch_sectors_);
+                                            s, scratch_sectors_, &co_memo_);
     issue_ += c.issue;
     um_us_ += c.um_us;
     queue_access(MemPath::kGlobal, false, 0.25f, scratch_sectors_);
@@ -291,19 +285,6 @@ void WarpCtx::note_shared_access(const LaneVec<std::uint64_t>& addrs,
   BlockChecker& ck = block_->checker();
   if (ck.racecheck_on())
     ck.on_shared_access(addrs, active(), elem, write, warp_in_block_);
-}
-
-void WarpCtx::charge_instr(int n) {
-  KernelStats& s = stats();
-  s.instructions += static_cast<std::uint64_t>(n);
-  s.useful_lane_ops +=
-      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(popcount(active()));
-  issue_ += n;
-}
-
-void WarpCtx::charge_shuffle() {
-  ++stats().shuffles;
-  charge_instr(1);
 }
 
 }  // namespace vgpu

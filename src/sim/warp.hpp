@@ -79,14 +79,49 @@ class WarpCtx {
 
   /// SIMT branch. Executes `then_f` with the active lanes where pred holds,
   /// then `else_f` with the rest; if both sides are non-empty the warp has
-  /// diverged and pays for both paths, exactly like hardware.
-  void branch(Mask pred, const std::function<void()>& then_f,
-              const std::function<void()>& else_f = nullptr);
+  /// diverged and pays for both paths, exactly like hardware. Templated on
+  /// the callables (no std::function erasure): branches sit inside every
+  /// kernel's inner loop, and the closures must inline into the caller.
+  template <typename ThenF>
+  void branch(Mask pred, ThenF&& then_f) {
+    Mask taken = branch_masks(pred, /*has_else=*/false);
+    if (taken != 0) {
+      push_mask(taken);
+      then_f();
+      pop_mask();
+    }
+  }
+  template <typename ThenF, typename ElseF>
+  void branch(Mask pred, ThenF&& then_f, ElseF&& else_f) {
+    Mask fallthrough = ~pred & active();
+    Mask taken = branch_masks(pred, /*has_else=*/true);
+    if (taken != 0) {
+      push_mask(taken);
+      then_f();
+      pop_mask();
+    }
+    if (fallthrough != 0) {
+      push_mask(fallthrough);
+      else_f();
+      pop_mask();
+    }
+  }
 
   /// SIMT loop: iterate while any lane's `cond` holds; lanes drop out as
   /// their condition fails (the Mandelbrot escape loop pattern).
-  void loop_while(const std::function<Mask()>& cond,
-                  const std::function<void()>& body);
+  template <typename CondF, typename BodyF>
+  void loop_while(CondF&& cond, BodyF&& body) {
+    Mask live = active();
+    while (true) {
+      note_loop_head();
+      live &= cond();
+      if (live == 0) break;
+      if (live != active()) note_loop_divergence();
+      push_mask(live);
+      body();
+      pop_mask();
+    }
+  }
 
   /// Charge `n` ALU instructions (FMA-class) to the active lanes.
   void alu(int n = 1) { charge_instr(n); }
@@ -190,8 +225,13 @@ class WarpCtx {
   template <typename T>
   LaneVec<T> cload(const ConstSpan<T>& a, const LaneI& idx) {
     LaneVec<std::uint64_t> addrs;
-    for (int l = 0; l < kWarpSize; ++l)
-      addrs[l] = lane_in(active(), l) ? a.addr_of(static_cast<std::size_t>(idx[l])) : a.addr;
+    const Mask cm = active();
+    for (int l = 0; l < kWarpSize; ++l) {
+      auto on = static_cast<std::uint64_t>((cm >> l) & 1u);
+      addrs[l] = a.addr + on * (static_cast<std::uint64_t>(
+                                    static_cast<std::size_t>(idx[l])) *
+                                sizeof(T));
+    }
     const_cost(addrs, sizeof(T));
     Mask ok = vet_global_lanes(addrs, sizeof(T), /*write=*/false, MemSpace::kConstant);
     LaneVec<T> out;
@@ -286,28 +326,41 @@ class WarpCtx {
   /// scheduler, unlike memory stalls.
   void add_sync_stall(double c) { sync_stall_ += c; }
 
-  KernelStats& stats();
+  KernelStats& stats();  ///< Defined inline in block.hpp (needs BlockRunner).
   BlockRunner& block() { return *block_; }
+  /// Per-warp coalescing memo cache (cleared at each block rebind; hit/miss
+  /// counters drained per block by BlockRunner).
+  CoalesceCache& coalesce_memo() { return co_memo_; }
 
  private:
   friend struct BarrierAwaiter;
 
+  // Address generation is branch-free: inactive lanes multiply their offset
+  // by 0, which reproduces the old `lane_in ? addr_of(idx) : base` values
+  // bit for bit (addr_of(i) == base + i*sizeof(T)) while letting the 32-lane
+  // loop autovectorize.
   template <typename T>
   LaneVec<std::uint64_t> element_addrs(const DevSpan<T>& a, const LaneI& idx) const {
     LaneVec<std::uint64_t> addrs;
-    for (int l = 0; l < kWarpSize; ++l)
-      addrs[l] = lane_in(active(), l)
-                     ? a.addr_of(static_cast<std::size_t>(idx[l]))
-                     : a.addr;
+    const Mask m = active();
+    for (int l = 0; l < kWarpSize; ++l) {
+      auto on = static_cast<std::uint64_t>((m >> l) & 1u);
+      addrs[l] = a.addr + on * (static_cast<std::uint64_t>(
+                                    static_cast<std::size_t>(idx[l])) *
+                                sizeof(T));
+    }
     return addrs;
   }
   template <typename T>
   LaneVec<std::uint64_t> shared_addrs(const SharedArray<T>& a, const LaneI& idx) const {
     LaneVec<std::uint64_t> addrs;
-    for (int l = 0; l < kWarpSize; ++l)
-      addrs[l] = lane_in(active(), l)
-                     ? a.addr_of(static_cast<std::size_t>(idx[l]))
-                     : a.offset;
+    const Mask m = active();
+    for (int l = 0; l < kWarpSize; ++l) {
+      auto on = static_cast<std::uint64_t>((m >> l) & 1u);
+      addrs[l] = a.offset + on * (static_cast<std::uint64_t>(
+                                      static_cast<std::size_t>(idx[l])) *
+                                  sizeof(T));
+    }
     return addrs;
   }
 
@@ -340,7 +393,9 @@ class WarpCtx {
     std::uint32_t sector_count;
   };
 
-  // Non-template helpers implemented in warp.cpp (they need BlockRunner/GpuExec).
+  // Helpers needing a complete BlockRunner/GpuExec. The hot one-liners
+  // (heap, shared_mem, charge_instr, charge_shuffle) are defined inline at
+  // the bottom of gpu.hpp / block.hpp; the rest live in warp.cpp.
   DeviceHeap& heap();
   SharedSegment& shared_mem();
   float fp_atomic_add(std::uint64_t addr, float v);
@@ -367,6 +422,11 @@ class WarpCtx {
   void charge_shuffle();
   void push_mask(Mask m) { mask_stack_.push_back(m); }
   void pop_mask() { mask_stack_.pop_back(); }
+  /// Branch bookkeeping (counters + divergence classification); returns the
+  /// taken mask. Out of line so the templated branch() stays lean.
+  Mask branch_masks(Mask pred, bool has_else);
+  void note_loop_head();        ///< Per-iteration branch charge of loop_while.
+  void note_loop_divergence();  ///< A loop iteration ran with a split warp.
 
   GpuExec* gpu_;
   BlockRunner* block_;
@@ -384,6 +444,14 @@ class WarpCtx {
   std::vector<PendingAccess> pending_;
   std::vector<std::uint64_t> sector_buf_;
   std::vector<std::uint64_t> scratch_sectors_;
+
+  CoalesceCache co_memo_;
+  // VGPU_FIDELITY=fast: queue only every kFastSampleEvery-th access for the
+  // cache replay, scaling the survivor's stall by the same factor. The
+  // counter restarts per block so sampling is deterministic per (block,
+  // warp) at any thread count.
+  bool fast_timing_ = false;
+  std::uint32_t fast_tick_ = 0;
 };
 
 }  // namespace vgpu

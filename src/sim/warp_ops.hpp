@@ -10,7 +10,7 @@
 // regions, like __shfl_sync with a full mask); inactive-lane handling is the
 // caller's job via select() with a neutral element.
 
-#include "sim/warp.hpp"
+#include "sim/block.hpp"  // Completes WarpCtx's inline charge helpers.
 
 namespace vgpu {
 

@@ -82,6 +82,8 @@ Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
     r.launch_overhead_us = launch_overhead_us;
     r.sm_slack = run.sm_slack(*profile_, want);
     r.shared_bytes = run.shared_bytes;
+    r.coalesce_hits = run.coalesce_hits;
+    r.coalesce_misses = run.coalesce_misses;
     if (advisor_ != nullptr) advisor_->record(r);
     if (prof_ != nullptr) prof_->record(std::move(r));
   }
