@@ -548,9 +548,8 @@ void Advisor::analyze_phase(const Phase& ph, std::vector<Advice>& out) const {
   }
 }
 
-std::vector<Advice> Advisor::analyze() const {
-  std::vector<Advice> out;
-  for (const Phase& ph : phases_) analyze_phase(ph, out);
+namespace {
+void rank_advice(std::vector<Advice>& out) {
   std::stable_sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
     if (a.severity != b.severity)
       return static_cast<int>(a.severity) > static_cast<int>(b.severity);
@@ -558,6 +557,21 @@ std::vector<Advice> Advisor::analyze() const {
     if (a.rule != b.rule) return a.rule < b.rule;
     return a.target < b.target;
   });
+}
+}  // namespace
+
+std::vector<Advice> Advisor::analyze() const {
+  std::vector<Advice> out;
+  for (const Phase& ph : phases_) analyze_phase(ph, out);
+  rank_advice(out);
+  return out;
+}
+
+std::vector<Advice> Advisor::analyze(std::string_view phase) const {
+  std::vector<Advice> out;
+  for (const Phase& ph : phases_)
+    if (ph.name == phase) analyze_phase(ph, out);
+  rank_advice(out);
   return out;
 }
 

@@ -126,6 +126,10 @@ class Advisor {
   /// est_speedup desc, rule, target. Deterministic for a given record stream.
   std::vector<Advice> analyze() const;
 
+  /// Same, restricted to phases named `phase` (vgpu-grade scopes rules to
+  /// the submission stage this way).
+  std::vector<Advice> analyze(std::string_view phase) const;
+
   /// Human-readable report of analyze(), filtered by mode (kWarn drops
   /// notes).
   std::string report() const;

@@ -1,0 +1,93 @@
+#pragma once
+
+// vgpu-grade kernel-plugin API.
+//
+// A KernelPlugin is an externally-authored submission against one TaskSpec,
+// written against the <vgpu.hpp> facade (or the <vgpu/cuda_names.hpp> shim —
+// bind a CudaContext to ctx.rt inside the hooks and port CUDA host code
+// verbatim). The grade engine drives the three hooks in order, each in its
+// own vgpu-advise phase:
+//
+//   setup()  - allocate device memory and stage inputs. Untimed for the perf
+//              bar; copies here are "free" staging.
+//   launch() - the graded region: everything between two synchronize() calls
+//              is measured (kernel cycles, DRAM/link bytes, simulated time)
+//              and analyzed by vgpu-san / vgpu-advise. Transfer-pattern
+//              tasks put their copies here; compute tasks just launch.
+//   verify() - read back the outputs as doubles, in the element order the
+//              task's reference defines.
+//
+// Hooks may throw; the engine converts exceptions and recorded CUDA errors
+// into a structured error verdict instead of crashing (DESIGN.md §12).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grade/task.hpp"
+#include "rt/runtime.hpp"
+
+namespace vgpu::grade {
+
+/// Everything a hook may touch: the task's Runtime (already configured with
+/// vgpu-san/prof/advise), the spec being graded against, and its inputs.
+struct GradeContext {
+  Runtime& rt;
+  const TaskSpec& task;
+  const TaskData& data;
+};
+
+class KernelPlugin {
+ public:
+  virtual ~KernelPlugin() = default;
+  /// Submission name, unique in the registry ("comem.naive").
+  virtual std::string_view name() const = 0;
+  /// Task this submission targets; must match the graded task's id.
+  virtual std::string_view task() const = 0;
+  virtual void setup(GradeContext& ctx) = 0;
+  virtual void launch(GradeContext& ctx) = 0;
+  virtual std::vector<double> verify(GradeContext& ctx) = 0;
+};
+
+/// What the closed-loop suite (vgpu-grade --check) asserts about a shipped
+/// submission: the naive half of each Table-I pair must fail, the optimized
+/// half must pass. External submissions register with kNone.
+enum class Expectation : unsigned char { kNone = 0, kMustPass, kMustFail };
+
+struct PluginEntry {
+  std::string name;
+  std::string task;
+  Expectation expect = Expectation::kNone;
+  /// Fresh plugin per graded run, so state never leaks between runs.
+  std::function<std::unique_ptr<KernelPlugin>()> make;
+};
+
+class PluginRegistry {
+ public:
+  void add(std::string task, std::string name, Expectation expect,
+           std::function<std::unique_ptr<KernelPlugin>()> make) {
+    if (name.empty()) throw std::invalid_argument("submission name must be non-empty");
+    PluginEntry e{name, std::move(task), expect, std::move(make)};
+    auto [it, fresh] = entries_.emplace(std::move(name), std::move(e));
+    if (!fresh)
+      throw std::invalid_argument("duplicate submission name: " + it->first);
+  }
+  const PluginEntry* find(std::string_view name) const {
+    auto it = entries_.find(std::string(name));
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    for (const auto& [name, e] : entries_) out.push_back(name);
+    return out;  // std::map: already sorted.
+  }
+
+ private:
+  std::map<std::string, PluginEntry> entries_;
+};
+
+}  // namespace vgpu::grade

@@ -1,0 +1,112 @@
+#pragma once
+
+// vgpu-grade task specifications.
+//
+// A TaskSpec is the contract a submission is graded against (DESIGN.md §12):
+// deterministic inputs, a host reference the submission's outputs must match
+// within `tolerance`, the vgpu-advise rules whose firing fails the
+// submission, and the margins applied to the task's committed performance
+// baseline (tasks/baselines.txt). Specs are registered in a TaskRegistry at
+// startup; the shipped suite derives one task per Table-I benchmark pair
+// (tasks/*.cpp).
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace vgpu::grade {
+
+/// Named deterministic inputs a task hands to every submission. Generators
+/// must be pure (fixed seeds) so the reference, the baseline and every graded
+/// run see identical bytes.
+struct TaskData {
+  std::map<std::string, std::vector<float>> f32;
+  std::map<std::string, std::vector<int>> i32;
+  std::map<std::string, double> num;
+
+  const std::vector<float>& f(const std::string& k) const {
+    auto it = f32.find(k);
+    if (it == f32.end()) throw std::out_of_range("task input (f32) missing: " + k);
+    return it->second;
+  }
+  const std::vector<int>& i(const std::string& k) const {
+    auto it = i32.find(k);
+    if (it == i32.end()) throw std::out_of_range("task input (i32) missing: " + k);
+    return it->second;
+  }
+  double scalar(const std::string& k) const {
+    auto it = num.find(k);
+    if (it == num.end()) throw std::out_of_range("task scalar missing: " + k);
+    return it->second;
+  }
+  int dim(const std::string& k) const { return static_cast<int>(scalar(k)); }
+};
+
+/// Committed performance baseline of one task: what its reference-optimized
+/// submission measured under VGPU_FIDELITY=exact. All four components are
+/// bit-deterministic, so the baseline submission re-measures *equal* values
+/// at any VGPU_THREADS and passes at any margin >= 1.
+struct PerfBaseline {
+  double kernel_cycles = 0;  ///< Sum of kernel durations x SM clock.
+  double dram_bytes = 0;     ///< Kernel DRAM traffic (incl. texture + UM migration).
+  double xfer_bytes = 0;     ///< Host-link bytes (copies, memsets, UM host faults).
+  double sim_time_us = 0;    ///< Simulated wall time of the submission stage.
+};
+
+/// Multipliers applied to the baseline to form the perf bar.
+struct PerfMargins {
+  double cycles = 1.15;
+  double bytes = 1.25;  ///< Applied to dram_bytes and xfer_bytes separately.
+  double time = 1.25;
+};
+
+/// One gradable task.
+struct TaskSpec {
+  std::string id;            ///< Stable task id ("comem").
+  std::string title;         ///< One-line human description.
+  std::string profile_name;  ///< Device the task runs on ("v100", "k80", ...).
+  std::function<DeviceProfile()> profile;
+  std::function<TaskData()> make_inputs;
+  /// Host reference outputs (doubles, so integer outputs widen exactly).
+  std::function<std::vector<double>(const TaskData&)> reference;
+  /// Absolute per-element tolerance on |output - reference| (0 = bitwise).
+  double tolerance = 0;
+  /// vgpu-advise rules that fail the submission when fired by its kernels /
+  /// timeline during the submission stage. Task-scoped on purpose: a rule
+  /// that is this task's whole lesson gates it, incidental notes from other
+  /// rules do not.
+  std::vector<std::string> gating_rules;
+  PerfMargins margins;
+  /// Registered submission whose measurements define the committed baseline
+  /// (vgpu-grade --update-baselines).
+  std::string baseline_submission;
+};
+
+class TaskRegistry {
+ public:
+  void add(TaskSpec spec) {
+    if (spec.id.empty()) throw std::invalid_argument("task id must be non-empty");
+    auto [it, fresh] = tasks_.emplace(spec.id, std::move(spec));
+    if (!fresh) throw std::invalid_argument("duplicate task id: " + it->first);
+  }
+  const TaskSpec* find(std::string_view id) const {
+    auto it = tasks_.find(std::string(id));
+    return it == tasks_.end() ? nullptr : &it->second;
+  }
+  std::vector<std::string> ids() const {
+    std::vector<std::string> out;
+    for (const auto& [id, spec] : tasks_) out.push_back(id);
+    return out;  // std::map: already sorted.
+  }
+
+ private:
+  std::map<std::string, TaskSpec> tasks_;
+};
+
+}  // namespace vgpu::grade

@@ -1,0 +1,150 @@
+#include "grade/verdict.hpp"
+
+#include "grade/json.hpp"
+
+namespace vgpu::grade {
+
+const char* check_kind_slug(CheckKind k) {
+  switch (k) {
+    case CheckKind::kOutOfBounds: return "out_of_bounds";
+    case CheckKind::kUseAfterFree: return "use_after_free";
+    case CheckKind::kRaceRaw: return "race_raw";
+    case CheckKind::kRaceWar: return "race_war";
+    case CheckKind::kRaceWaw: return "race_waw";
+    case CheckKind::kDivergentBarrier: return "divergent_barrier";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* severity_slug(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "note";
+}
+
+void write_baseline(JsonWriter& w, const PerfBaseline& b) {
+  w.begin_object();
+  w.kv("kernel_cycles", b.kernel_cycles);
+  w.kv("dram_bytes", b.dram_bytes);
+  w.kv("xfer_bytes", b.xfer_bytes);
+  w.kv("sim_time_us", b.sim_time_us);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const Verdict& v) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kVerdictSchemaId);
+  w.kv("task", v.task);
+  w.kv("submission", v.submission);
+  w.kv("device", v.device);
+  w.kv("fidelity", v.fidelity);
+  w.kv("status", v.status);
+  w.kv("pass", v.pass);
+
+  if (v.status != "graded") {
+    w.key("error").begin_object();
+    w.kv("stage", v.error_stage);
+    if (v.error_code.empty())
+      w.key("code").null();
+    else
+      w.kv("code", v.error_code);
+    w.kv("message", v.error_message);
+    w.end_object();
+    w.end_object();
+    return w.str() + "\n";
+  }
+
+  w.key("functional").begin_object();
+  w.kv("pass", v.functional_pass);
+  w.kv("expected_values", v.expected_values);
+  w.kv("returned_values", v.returned_values);
+  w.kv("max_error", v.max_error);
+  w.kv("tolerance", v.tolerance);
+  w.end_object();
+
+  w.key("errors").begin_object();
+  w.kv("pass", v.errors_pass);
+  w.kv("sync_error", v.sync_error);
+  w.kv("last_error", v.last_error);
+  w.end_object();
+
+  w.key("san").begin_object();
+  w.kv("pass", v.san_pass);
+  w.kv("errors", v.san.errors());
+  w.key("counts").begin_object();
+  for (std::size_t k = 0; k < kNumCheckKinds; ++k)
+    w.kv(check_kind_slug(static_cast<CheckKind>(k)), v.san.counts[k]);
+  w.end_object();
+  w.key("diags").begin_array();
+  for (const CheckDiag& d : v.san.diags) {
+    w.begin_object();
+    w.kv("kind", check_kind_slug(d.kind));
+    w.kv("detail", d.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("advise").begin_object();
+  w.kv("pass", v.advise_pass);
+  w.key("gating_rules").begin_array();
+  for (const std::string& r : v.gating_rules) w.value(r);
+  w.end_array();
+  w.key("fired").begin_array();
+  for (const FiredRule& f : v.fired) {
+    w.begin_object();
+    w.kv("rule", f.advice.rule);
+    w.kv("target", f.advice.target);
+    w.kv("severity", severity_slug(f.advice.severity));
+    w.kv("est_speedup", f.advice.est_speedup);
+    w.kv("gating", f.gating);
+    w.kv("remediation", f.advice.remediation);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("perf").begin_object();
+  w.kv("pass", v.perf_pass);
+  w.kv("gated", v.perf_gated);
+  w.kv("have_baseline", v.have_baseline);
+  w.key("measured");
+  write_baseline(w, v.measured);
+  if (v.have_baseline) {
+    w.key("baseline");
+    write_baseline(w, v.baseline);
+  } else {
+    w.key("baseline").null();
+  }
+  w.key("margins").begin_object();
+  w.kv("cycles", v.margins.cycles);
+  w.kv("bytes", v.margins.bytes);
+  w.kv("time", v.margins.time);
+  w.end_object();
+  w.end_object();
+
+  w.key("metrics").begin_array();
+  for (const KernelMetricsEntry& e : v.metrics) {
+    w.begin_object();
+    w.kv("kernel", e.kernel);
+    w.kv("invocations", e.invocations);
+    w.key("values").begin_object();
+    for (const Metric& m : e.metrics) w.kv(m.name, m.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace vgpu::grade

@@ -1,0 +1,98 @@
+#pragma once
+
+// vgpu-grade verdict: the JSON document a graded run produces.
+//
+// One verdict carries every gate the harness applies to a submission:
+// functional pass/fail against the task reference, CUDA-error discipline,
+// vgpu-san findings, vgpu-advise rules fired during the submission stage,
+// and the perf bar versus the task's committed baseline — plus the
+// nvprof-style per-kernel metrics as evidence. to_json() renders it under
+// schema id "vgpu-grade-verdict/v1" (tasks/verdict.schema.json) with a
+// fixed field order and deterministic number formatting, so the same
+// simulated run yields byte-identical JSON at any VGPU_THREADS.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "advise/advise.hpp"
+#include "grade/task.hpp"
+#include "prof/prof.hpp"
+#include "san/check.hpp"
+
+namespace vgpu::grade {
+
+inline constexpr const char* kVerdictSchemaId = "vgpu-grade-verdict/v1";
+
+/// One vgpu-advise finding from the submission stage, tagged with whether
+/// it is in the task's gating set (and thus fails the advise gate).
+struct FiredRule {
+  Advice advice;
+  bool gating = false;
+};
+
+/// Aggregated nvprof-style metrics of one kernel name (evidence section).
+struct KernelMetricsEntry {
+  std::string kernel;
+  int invocations = 0;
+  std::vector<Metric> metrics;
+};
+
+struct Verdict {
+  std::string task;
+  std::string submission;
+  std::string device;    ///< Task's device profile name.
+  std::string fidelity;  ///< "exact" or "fast".
+
+  /// "graded": every gate was evaluated. "error": the run aborted in some
+  /// stage (spec lookup, input generation, a hook throwing, a CUDA error in
+  /// setup); only the error section below is meaningful then.
+  std::string status = "graded";
+  bool pass = false;
+
+  // Error section (status == "error").
+  std::string error_stage;    ///< "spec", "inputs", "reference", "setup", "launch", "verify".
+  std::string error_code;     ///< cudaError_t name when CUDA-reported, else "".
+  std::string error_message;
+
+  // Functional gate: outputs vs the host reference.
+  bool functional_pass = false;
+  std::size_t expected_values = 0;  ///< Reference output count.
+  std::size_t returned_values = 0;  ///< Submission output count.
+  double max_error = 0;             ///< Max |out - ref| (NaN renders null).
+  double tolerance = 0;
+
+  // Error-discipline gate: the submission stage must end cudaSuccess.
+  bool errors_pass = false;
+  std::string sync_error;  ///< synchronize() after launch().
+  std::string last_error;  ///< get_last_error() after the sync.
+
+  // vgpu-san gate: accumulated checker report must be clean.
+  bool san_pass = false;
+  CheckReport san;
+
+  // vgpu-advise gate: no gating rule fired during the submission stage.
+  bool advise_pass = false;
+  std::vector<std::string> gating_rules;
+  std::vector<FiredRule> fired;
+
+  // Perf gate: measured vs margins * committed baseline.
+  bool perf_pass = false;
+  bool perf_gated = true;      ///< false: gate skipped (baseline refresh runs).
+  bool have_baseline = false;  ///< false + gated: missing baseline fails the gate.
+  PerfBaseline measured;
+  PerfBaseline baseline;
+  PerfMargins margins;
+
+  // Evidence: per-kernel metrics of the submission stage.
+  std::vector<KernelMetricsEntry> metrics;
+};
+
+/// Stable snake_case slug for a sanitizer hazard kind (JSON count keys).
+const char* check_kind_slug(CheckKind k);
+
+/// Render the verdict. Deterministic: fixed field order, shortest
+/// round-trip doubles, trailing newline.
+std::string to_json(const Verdict& v);
+
+}  // namespace vgpu::grade

@@ -273,41 +273,47 @@ std::string Profiler::summary() const {
   return os.str();
 }
 
-std::string Profiler::metrics_report() const {
+std::vector<KernelAggregate> aggregate_kernel_records(
+    const std::vector<ActivityRecord>& records) {
   // One aggregate record per kernel name, in first-launch order: summed
   // stats and spans, duration-weighted achieved occupancy.
-  std::vector<ActivityRecord> agg;
+  std::vector<KernelAggregate> agg;
   std::map<std::string, std::size_t> index;
   std::map<std::string, double> occ_weight;
-  for (const ActivityRecord& r : records_) {
+  for (const ActivityRecord& r : records) {
     if (r.kind != ActivityRecord::Kind::kKernel) continue;
     auto [it, fresh] = index.try_emplace(r.name, agg.size());
     if (fresh) {
-      agg.push_back(r);
-      agg.back().achieved_occupancy = 0;
-      agg.back().end_us = r.start_us;  // Accumulates summed duration below.
+      agg.push_back(KernelAggregate{r, 0});
+      agg.back().record.achieved_occupancy = 0;
+      agg.back().record.end_us = r.start_us;  // Accumulates summed duration below.
       occ_weight[r.name] = 0;
     } else {
-      agg[it->second].stats += r.stats;
-      agg[it->second].coalesce_hits += r.coalesce_hits;
-      agg[it->second].coalesce_misses += r.coalesce_misses;
+      ActivityRecord& a = agg[it->second].record;
+      a.stats += r.stats;
+      a.coalesce_hits += r.coalesce_hits;
+      a.coalesce_misses += r.coalesce_misses;
     }
-    ActivityRecord& a = agg[it->second];
-    a.end_us += r.duration_us();
-    a.achieved_occupancy += r.achieved_occupancy * r.duration_us();
+    KernelAggregate& ka = agg[it->second];
+    ka.record.end_us += r.duration_us();
+    ka.record.achieved_occupancy += r.achieved_occupancy * r.duration_us();
     occ_weight[r.name] += r.duration_us();
+    ++ka.calls;
   }
-  std::map<std::string, int> calls;
-  for (const ActivityRecord& r : records_)
-    if (r.kind == ActivityRecord::Kind::kKernel) ++calls[r.name];
+  for (KernelAggregate& ka : agg) {
+    double w = occ_weight[ka.record.name];
+    ka.record.achieved_occupancy = w > 0 ? ka.record.achieved_occupancy / w : 0;
+  }
+  return agg;
+}
 
+std::string Profiler::metrics_report() const {
   std::ostringstream os;
   os << "==vgpu-prof== Metric results:\n";
-  for (ActivityRecord& a : agg) {
-    double w = occ_weight[a.name];
-    a.achieved_occupancy = w > 0 ? a.achieved_occupancy / w : 0;
-    os << "Kernel: " << a.name << " (" << calls[a.name] << " invocation"
-       << (calls[a.name] == 1 ? "" : "s") << ")\n";
+  for (const KernelAggregate& ka : aggregate_kernel_records(records_)) {
+    const ActivityRecord& a = ka.record;
+    os << "Kernel: " << a.name << " (" << ka.calls << " invocation"
+       << (ka.calls == 1 ? "" : "s") << ")\n";
     char line[160];
     for (const Metric& m : derived_metrics(a)) {
       std::snprintf(line, sizeof line, "    %-34s  %12.4f%s\n", m.name.c_str(),

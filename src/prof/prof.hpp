@@ -125,6 +125,20 @@ struct Metric {
 /// at schedule time), exactly the way nvprof defines it.
 std::vector<Metric> derived_metrics(const ActivityRecord& kernel);
 
+/// One kernel name's launches folded into a single record the way nvprof
+/// aggregates metrics: summed stats and coalesce counters, end_us - start_us
+/// holding the summed duration, duration-weighted achieved occupancy.
+struct KernelAggregate {
+  ActivityRecord record;
+  int calls = 0;
+};
+
+/// Fold kernel records by name, in first-launch order. Shared by
+/// Profiler::metrics_report() and vgpu-grade, so a verdict's per-kernel
+/// metrics are the same numbers nvprof-style reports print.
+std::vector<KernelAggregate> aggregate_kernel_records(
+    const std::vector<ActivityRecord>& records);
+
 /// Collects the activity stream of one Runtime and renders the three
 /// profiler views. Records arrive from the Timeline (device ops) and the
 /// Runtime (UM host faults) on the submitting thread, in program order.

@@ -13,6 +13,10 @@
 // this one.
 //
 // For host code ported verbatim from CUDA, see <vgpu/cuda_names.hpp>.
+// To grade an externally-authored kernel against a task spec (functional +
+// san + advise + perf verdict as JSON), see the vgpu-grade harness:
+// <grade/grade.hpp> for the KernelPlugin API and tasks/ for the shipped
+// task suite and the `vgpu-grade` driver.
 
 #include "advise/advise.hpp" // vgpu-advise: AdviseMode, Advisor, Advice.
 #include "fault/error.hpp"   // vgpu-fault: ErrorCode, ErrorState.

@@ -1,0 +1,32 @@
+#include "tasks/suite.hpp"
+
+namespace cumb::gradetasks {
+
+void register_all(TaskRegistry& tasks, PluginRegistry& plugins) {
+  register_comem(tasks, plugins);
+  register_warpdiv(tasks, plugins);
+  register_memalign(tasks, plugins);
+  register_shmem(tasks, plugins);
+  register_conkernels(tasks, plugins);
+  register_taskgraph(tasks, plugins);
+  register_hdoverlap(tasks, plugins);
+  register_gsoverlap(tasks, plugins);
+  register_bankredux(tasks, plugins);
+  register_shuffle(tasks, plugins);
+  register_readonly(tasks, plugins);
+  register_constpoly(tasks, plugins);
+  register_unimem(tasks, plugins);
+  register_minitransfer(tasks, plugins);
+  register_dynparallel(tasks, plugins);
+}
+
+}  // namespace cumb::gradetasks
+
+namespace vgpu::grade {
+
+/// Registration hook the vgpu-grade driver binary links against.
+void register_suite(TaskRegistry& tasks, PluginRegistry& plugins) {
+  cumb::gradetasks::register_all(tasks, plugins);
+}
+
+}  // namespace vgpu::grade

@@ -1,0 +1,34 @@
+#pragma once
+
+// The shipped vgpu-grade task suite: one task per Table-I microbenchmark
+// pair (plus the ConstPoly companion of ReadOnlyMem), each with a must-fail
+// naive submission and a must-pass optimized submission.
+
+#include "grade/plugin.hpp"
+#include "grade/task.hpp"
+
+namespace cumb::gradetasks {
+
+using vgpu::grade::PluginRegistry;
+using vgpu::grade::TaskRegistry;
+
+void register_comem(TaskRegistry&, PluginRegistry&);
+void register_warpdiv(TaskRegistry&, PluginRegistry&);
+void register_memalign(TaskRegistry&, PluginRegistry&);
+void register_shmem(TaskRegistry&, PluginRegistry&);
+void register_conkernels(TaskRegistry&, PluginRegistry&);
+void register_taskgraph(TaskRegistry&, PluginRegistry&);
+void register_hdoverlap(TaskRegistry&, PluginRegistry&);
+void register_gsoverlap(TaskRegistry&, PluginRegistry&);
+void register_bankredux(TaskRegistry&, PluginRegistry&);
+void register_shuffle(TaskRegistry&, PluginRegistry&);
+void register_readonly(TaskRegistry&, PluginRegistry&);
+void register_constpoly(TaskRegistry&, PluginRegistry&);
+void register_unimem(TaskRegistry&, PluginRegistry&);
+void register_minitransfer(TaskRegistry&, PluginRegistry&);
+void register_dynparallel(TaskRegistry&, PluginRegistry&);
+
+/// Register every built-in task + submission.
+void register_all(TaskRegistry& tasks, PluginRegistry& plugins);
+
+}  // namespace cumb::gradetasks

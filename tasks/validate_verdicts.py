@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate vgpu-grade verdict JSONs against tasks/verdict.schema.json.
+
+Stdlib-only mini validator for the draft-07 subset the schema actually uses
+(type/const/enum/required/properties/additionalProperties/items/minimum/
+exclusiveMinimum/minLength/pattern/anyOf/allOf/not/if-then/$ref into
+#/definitions). CI runners don't ship the jsonschema package, and verdicts
+must stay verifiable with a bare python3.
+
+Usage: validate_verdicts.py SCHEMA VERDICT.json [VERDICT.json ...]
+"""
+
+import json
+import re
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def is_type(value, name):
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return (isinstance(value, int) and not isinstance(value, bool)) or (
+            isinstance(value, float) and value.is_integer())
+    return isinstance(value, TYPES[name])
+
+
+def validate(value, schema, root, path, errors):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        assert ref.startswith("#/"), ref
+        target = root
+        for part in ref[2:].split("/"):
+            target = target[part]
+        validate(value, target, root, path, errors)
+        return
+
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(is_type(value, n) for n in names):
+            errors.append(f"{path}: expected type {t}, got {type(value).__name__}")
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+
+    if isinstance(value, str):
+        if len(value) < schema.get("minLength", 0):
+            errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+        if "pattern" in schema and not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match /{schema['pattern']}/")
+
+    if is_type(value, "number") and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "exclusiveMinimum" in schema and value <= schema["exclusiveMinimum"]:
+            errors.append(f"{path}: {value} <= exclusiveMinimum {schema['exclusiveMinimum']}")
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], root, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                validate(sub, extra, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+    for sub in schema.get("allOf", []):
+        validate(value, sub, root, path, errors)
+    if "anyOf" in schema:
+        for sub in schema["anyOf"]:
+            branch = []
+            validate(value, sub, root, path, branch)
+            if not branch:
+                break
+        else:
+            errors.append(f"{path}: no anyOf branch matched")
+    if "not" in schema:
+        inverse = []
+        validate(value, schema["not"], root, path, inverse)
+        if not inverse:
+            errors.append(f"{path}: matches forbidden 'not' schema")
+    if "if" in schema:
+        cond = []
+        validate(value, schema["if"], root, path, cond)
+        if not cond and "then" in schema:
+            validate(value, schema["then"], root, path, errors)
+        if cond and "else" in schema:
+            validate(value, schema["else"], root, path, errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    bad = 0
+    for path in argv[2:]:
+        with open(path) as f:
+            doc = json.load(f)
+        errors = []
+        validate(doc, schema, schema, "$", errors)
+        if errors:
+            bad += 1
+            print(f"INVALID {path}")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"ok {path}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -192,6 +192,49 @@ TEST(CudaNames, OccupancyRejectsBadArguments) {
                std::invalid_argument);
 }
 
+TEST(CudaNames, ErrorNameAndStringForEveryCode) {
+  // Every ErrorCode the simulator can surface must carry the exact CUDA
+  // spelling through both shim entry points.
+  struct Expected {
+    cudaError_t code;
+    const char* name;
+    const char* string;
+  };
+  const Expected table[] = {
+      {cudaSuccess, "cudaSuccess", "no error"},
+      {cudaErrorInvalidValue, "cudaErrorInvalidValue", "invalid argument"},
+      {cudaErrorMemoryAllocation, "cudaErrorMemoryAllocation", "out of memory"},
+      {cudaErrorInvalidDevicePointer, "cudaErrorInvalidDevicePointer",
+       "invalid device pointer"},
+      {cudaErrorLaunchOutOfResources, "cudaErrorLaunchOutOfResources",
+       "too many resources requested for launch"},
+      {cudaErrorIllegalAddress, "cudaErrorIllegalAddress",
+       "an illegal memory access was encountered"},
+      {cudaErrorLaunchFailure, "cudaErrorLaunchFailure",
+       "unspecified launch failure"},
+      {cudaErrorUnknown, "cudaErrorUnknown", "unknown error"},
+  };
+  for (const Expected& e : table) {
+    EXPECT_STREQ(cudaGetErrorName(e.code), e.name);
+    EXPECT_STREQ(cudaGetErrorString(e.code), e.string);
+  }
+}
+
+TEST(CudaNames, PeekAtLastErrorDoesNotClear) {
+  Runtime runtime(DeviceProfile::test_tiny());
+  CudaContext ctx(runtime);
+  runtime.set_fault_spec("oom:nth=1");
+
+  DevSpan<float> d;
+  EXPECT_EQ(cudaMalloc(&d, 256 * sizeof(float)), cudaErrorMemoryAllocation);
+  // Peek reports without consuming; get consumes (CUDA semantics).
+  EXPECT_EQ(cudaPeekAtLastError(), cudaErrorMemoryAllocation);
+  EXPECT_EQ(cudaPeekAtLastError(), cudaErrorMemoryAllocation);
+  EXPECT_EQ(cudaGetLastError(), cudaErrorMemoryAllocation);
+  EXPECT_EQ(cudaPeekAtLastError(), cudaSuccess);
+  EXPECT_EQ(cudaGetLastError(), cudaSuccess);
+}
+
 TEST(CudaNames, ContextRestoresPreviousRuntime) {
   Runtime a(DeviceProfile::test_tiny());
   Runtime b(DeviceProfile::test_tiny());
