@@ -9,9 +9,14 @@
 // so one iteration per configuration is exact. A header printed from main()
 // states which figure the series reproduces and what the paper measured.
 
-// Every bench binary also understands the vgpu-prof / vgpu-advise flags
-// (consumed before google-benchmark sees the argv):
+// Every bench binary also understands the vgpu runtime flags (consumed
+// before google-benchmark sees the argv):
 //
+//   --threads=N                      simulation worker threads per Runtime
+//                                    (results are bit-identical at any N)
+//   --fidelity=exact|fast            simulation fidelity
+//   --check[=memcheck,racecheck,...] enable vgpu-san checkers (default: full)
+//   --fault=SPEC                     vgpu-fault injection spec
 //   --prof[=summary,metrics,trace]   enable profiling for every Runtime the
 //                                    bench constructs (default: summary,metrics)
 //   --trace-out=FILE.json            write chrome://tracing JSON; implies
@@ -23,9 +28,11 @@
 //   --advise-out=FILE.json           write the JSON advice report; implies
 //                                    --advise=full
 //
-// All of them just seed the VGPU_PROF / VGPU_TRACE_OUT / VGPU_ADVISE /
-// VGPU_ADVISE_OUT environment variables, which each Runtime reads at
-// construction.
+// The flags build ONE vgpu::RuntimeOptions value — starting from
+// RuntimeOptions::from_env(), so VGPU_* variables still work and flags win
+// over them — and install it with vgpu::set_ambient_options(). Every Runtime
+// the bench constructs through the legacy Runtime(profile) constructor picks
+// it up; no setenv round-trips.
 
 #include <benchmark/benchmark.h>
 
@@ -59,48 +66,68 @@ inline void banner(const char* figure, const char* paper_result) {
               figure, paper_result);
 }
 
-/// Strip the vgpu flags (--prof / --trace-out / --advise / --advise-out)
-/// from argv (google-benchmark rejects unknown flags) and translate them
-/// into the corresponding environment variables. Validates modes eagerly so
-/// a typo fails the run instead of silently profiling/advising nothing; any
-/// other spelling starting with a vgpu flag name (e.g. "--trace-out" without
-/// a value, "--advise-x") is rejected here too instead of leaking through to
-/// google-benchmark's own confusing "unrecognized argument" failure.
+/// Strip the vgpu flags from argv (google-benchmark rejects unknown flags)
+/// and fold them into one RuntimeOptions installed as the process ambient
+/// override. Modes are validated eagerly so a typo fails the run instead of
+/// silently profiling/advising nothing; any other spelling starting with a
+/// vgpu flag name (e.g. "--trace-out" without a value, "--advise-x") is
+/// rejected here too instead of leaking through to google-benchmark's own
+/// confusing "unrecognized argument" failure.
 inline void consume_prof_flags(int* argc, char** argv) {
   auto is_vgpu_flag = [](const char* a) {
     return std::strncmp(a, "--prof", 6) == 0 ||
            std::strncmp(a, "--trace-out", 11) == 0 ||
-           std::strncmp(a, "--advise", 8) == 0;
+           std::strncmp(a, "--advise", 8) == 0 ||
+           std::strncmp(a, "--threads", 9) == 0 ||
+           std::strncmp(a, "--fidelity", 10) == 0 ||
+           std::strncmp(a, "--check", 7) == 0 ||
+           std::strncmp(a, "--fault", 7) == 0;
   };
+  vgpu::RuntimeOptions opts = vgpu::RuntimeOptions::from_env();
+  bool any = false;
   int keep = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--prof") == 0) {
-      setenv("VGPU_PROF", "summary,metrics", 1);
+      opts.prof = vgpu::ProfMode::kSummary | vgpu::ProfMode::kMetrics;
     } else if (std::strncmp(a, "--prof=", 7) == 0) {
-      vgpu::parse_prof_mode(a + 7);  // Throws on a bad token.
-      setenv("VGPU_PROF", a + 7, 1);
+      opts.prof = vgpu::parse_prof_mode(a + 7);  // Throws on a bad token.
     } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
-      setenv("VGPU_TRACE_OUT", a + 12, 1);
-      const char* mode = std::getenv("VGPU_PROF");
-      if (mode == nullptr || *mode == '\0') setenv("VGPU_PROF", "trace", 1);
+      opts.trace_path = a + 12;
+      if (opts.prof == vgpu::ProfMode::kOff) opts.prof = vgpu::ProfMode::kTrace;
     } else if (std::strcmp(a, "--advise") == 0) {
-      setenv("VGPU_ADVISE", "full", 1);
+      opts.advise = vgpu::AdviseMode::kFull;
     } else if (std::strncmp(a, "--advise=", 9) == 0) {
-      vgpu::parse_advise_mode(a + 9);  // Throws on a bad token.
-      setenv("VGPU_ADVISE", a + 9, 1);
+      opts.advise = vgpu::parse_advise_mode(a + 9);
     } else if (std::strncmp(a, "--advise-out=", 13) == 0) {
-      setenv("VGPU_ADVISE_OUT", a + 13, 1);
-      const char* mode = std::getenv("VGPU_ADVISE");
-      if (mode == nullptr || *mode == '\0') setenv("VGPU_ADVISE", "full", 1);
+      opts.advise_json_path = a + 13;
+      if (opts.advise == vgpu::AdviseMode::kOff)
+        opts.advise = vgpu::AdviseMode::kFull;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      opts.sim_threads = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--fidelity=", 11) == 0) {
+      opts.fidelity = vgpu::fidelity_from_string(a + 11);  // Throws on typos.
+    } else if (std::strcmp(a, "--check") == 0) {
+      opts.check = vgpu::CheckMode::kFull;
+    } else if (std::strncmp(a, "--check=", 8) == 0) {
+      opts.check = vgpu::parse_check_mode(a + 8);
+    } else if (std::strncmp(a, "--fault=", 8) == 0) {
+      vgpu::FaultInjector::parse(a + 8);  // Throws on a malformed spec.
+      opts.fault_spec = a + 8;
     } else if (is_vgpu_flag(a)) {
       std::fprintf(stderr, "unrecognized vgpu flag: %s\n", a);
       std::exit(1);
     } else {
       argv[keep++] = argv[i];
+      continue;
     }
+    any = true;
   }
   *argc = keep;
+  // Install only when a flag was actually given: with none, legacy Runtimes
+  // keep re-reading the environment per construction (some benches mutate
+  // VGPU_* between Runtimes and depend on that).
+  if (any) vgpu::set_ambient_options(std::move(opts));
 }
 
 }  // namespace cumbench

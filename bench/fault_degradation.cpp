@@ -229,14 +229,17 @@ bool check_twice(const char* name, Fn scenario) {
 
 int main(int argc, char** argv) {
   std::string spec = kDefaultSpec;
-  if (const char* env = std::getenv("VGPU_FAULT"); env != nullptr && *env != '\0')
-    spec = env;
+  if (std::string env = vgpu::RuntimeOptions::from_env().fault_spec; !env.empty())
+    spec = std::move(env);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--fault=", 8) == 0) spec = argv[i] + 8;
   }
-  // This binary manages its own injectors; keep the Runtimes it constructs
-  // from re-reading VGPU_FAULT and double-injecting.
-  unsetenv("VGPU_FAULT");
+  // This binary manages its own injectors; install an ambient override with
+  // the fault spec cleared (other VGPU_* knobs preserved) so the Runtimes it
+  // constructs don't re-read VGPU_FAULT and double-inject.
+  vgpu::RuntimeOptions ambient = vgpu::RuntimeOptions::from_env();
+  ambient.fault_spec.clear();
+  vgpu::set_ambient_options(std::move(ambient));
 
   std::printf("# vgpu-fault graceful-degradation harness\n# fault spec: %s\n\n",
               spec.c_str());

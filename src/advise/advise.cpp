@@ -105,17 +105,6 @@ AdviseMode parse_advise_mode(std::string_view s) {
                               "' (expected off|warn|full)");
 }
 
-AdviseMode advise_mode_from_env() {
-  const char* v = std::getenv("VGPU_ADVISE");
-  if (v == nullptr || *v == '\0') return AdviseMode::kOff;
-  return parse_advise_mode(v);
-}
-
-std::string advise_json_path_from_env() {
-  const char* v = std::getenv("VGPU_ADVISE_OUT");
-  return v == nullptr ? std::string{} : std::string{v};
-}
-
 const char* severity_name(Severity s) {
   switch (s) {
     case Severity::kNote: return "note";

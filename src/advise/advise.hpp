@@ -43,12 +43,6 @@ enum class AdviseMode : unsigned char { kOff = 0, kWarn = 1, kFull = 2 };
 /// the advisor would defeat the point.
 AdviseMode parse_advise_mode(std::string_view s);
 
-/// Mode selected by the VGPU_ADVISE environment variable (kOff when unset).
-AdviseMode advise_mode_from_env();
-
-/// JSON report path from VGPU_ADVISE_OUT (empty when unset; no file write).
-std::string advise_json_path_from_env();
-
 enum class Severity : unsigned char { kNote = 0, kWarning = 1, kCritical = 2 };
 
 const char* severity_name(Severity s);

@@ -134,10 +134,9 @@ FaultInjector FaultInjector::parse(std::string_view spec) {
   return inj;
 }
 
-std::unique_ptr<FaultInjector> FaultInjector::from_env() {
-  const char* v = std::getenv("VGPU_FAULT");
-  if (v == nullptr || *v == '\0') return nullptr;
-  return std::make_unique<FaultInjector>(parse(v));
+std::unique_ptr<FaultInjector> FaultInjector::from_spec(std::string_view spec) {
+  if (spec.empty()) return nullptr;
+  return std::make_unique<FaultInjector>(parse(spec));
 }
 
 std::string FaultInjector::to_string() const {

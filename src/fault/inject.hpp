@@ -79,9 +79,11 @@ class FaultInjector {
   /// would defeat the point.
   static FaultInjector parse(std::string_view spec);
 
-  /// Injector from VGPU_FAULT; nullptr when unset or empty (the moral
+  /// Injector from a spec string; nullptr for an empty spec (the moral
   /// equivalent of "fault injection compiled out": callers skip all hooks).
-  static std::unique_ptr<FaultInjector> from_env();
+  /// The VGPU_FAULT environment variable reaches here via
+  /// RuntimeOptions::from_env().fault_spec.
+  static std::unique_ptr<FaultInjector> from_spec(std::string_view spec);
 
   /// True if any clause targets `site` (cheap pre-check).
   bool armed(FaultSite site) const {

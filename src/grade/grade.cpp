@@ -66,7 +66,7 @@ Verdict run_grade(const TaskRegistry& tasks, const PluginRegistry& plugins,
   Verdict v;
   v.task = task_id;
   v.submission = submission;
-  Fidelity fid = opts.fidelity ? *opts.fidelity : fidelity_from_env();
+  Fidelity fid = opts.fidelity ? *opts.fidelity : RuntimeOptions::from_env().fidelity;
   v.fidelity = fidelity_name(fid);
 
   const TaskSpec* spec = tasks.find(task_id);

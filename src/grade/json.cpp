@@ -138,4 +138,10 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace vgpu::grade

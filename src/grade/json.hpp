@@ -41,6 +41,11 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& null();
+  /// Splice a pre-rendered JSON document in value position, verbatim. The
+  /// caller owns its validity (vgpu-serve embeds whole verdict/bench blobs
+  /// inside its report this way). Multi-line fragments keep their own
+  /// internal indentation; only the insertion point is positioned.
+  JsonWriter& raw(std::string_view json);
 
   /// Shorthand: key(k) followed by value(v).
   template <typename T>

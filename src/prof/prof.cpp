@@ -139,17 +139,6 @@ ProfMode parse_prof_mode(std::string_view s) {
   return m;
 }
 
-ProfMode prof_mode_from_env() {
-  const char* v = std::getenv("VGPU_PROF");
-  if (v == nullptr || *v == '\0') return ProfMode::kOff;
-  return parse_prof_mode(v);
-}
-
-std::string prof_trace_path_from_env() {
-  const char* v = std::getenv("VGPU_TRACE_OUT");
-  return v == nullptr ? std::string{} : std::string{v};
-}
-
 const char* activity_kind_name(ActivityRecord::Kind k) {
   switch (k) {
     case ActivityRecord::Kind::kKernel: return "kernel";

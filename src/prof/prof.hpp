@@ -56,15 +56,6 @@ constexpr bool prof_has(ProfMode m, ProfMode bit) {
 /// the point.
 ProfMode parse_prof_mode(std::string_view s);
 
-/// Mode selected by the VGPU_PROF environment variable (kOff when unset or
-/// empty).
-ProfMode prof_mode_from_env();
-
-/// Trace output path from VGPU_TRACE_OUT (empty when unset). When empty,
-/// trace mode still records activities — they are just not written to disk
-/// at flush.
-std::string prof_trace_path_from_env();
-
 /// One entry of the activity stream: everything the device side did, with
 /// simulated begin/end timestamps from the Timeline.
 struct ActivityRecord {

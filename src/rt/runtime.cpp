@@ -1,56 +1,127 @@
 #include "rt/runtime.hpp"
 
+#include <algorithm>
 #include <iostream>
+#include <mutex>
+#include <vector>
 
 namespace vgpu {
 
-Runtime::Runtime(DeviceProfile profile)
-    : profile_(std::move(profile)), gpu_(profile_), tl_(profile_), managed_(profile_),
-      fault_(FaultInjector::from_env()) {
+namespace {
+
+// Registry of live Runtimes backing Runtime::sole_instance() — the implicit
+// default the cuda_names shim uses when no runtime was bound explicitly.
+std::mutex instances_mu;
+std::vector<Runtime*>& instances() {
+  static std::vector<Runtime*> v;
+  return v;
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions opts)
+    : opts_(std::move(opts)), profile_(opts_.profile),
+      gpu_(profile_, opts_.sim_threads, opts_.fidelity, opts_.check),
+      tl_(profile_), managed_(profile_),
+      fault_(FaultInjector::from_spec(opts_.fault_spec)) {
   gpu_.gmem().set_um_hook(&managed_);
   gpu_.heap().set_capacity(profile_.gmem_bytes);
   streams_.emplace_back(0);  // Default stream.
-  set_prof_mode(prof_mode_from_env());
-  set_advise_mode(advise_mode_from_env());
+  if (opts_.prof != ProfMode::kOff) {
+    prof_ = std::make_unique<Profiler>(opts_.prof);
+    prof_->set_trace_path(opts_.trace_path);
+    tl_.set_profiler(prof_.get());
+  }
+  if (opts_.advise != AdviseMode::kOff) {
+    advise_ = std::make_unique<Advisor>(opts_.advise, profile_);
+    advise_->set_json_path(opts_.advise_json_path);
+    tl_.set_advisor(advise_.get());
+  }
+  std::lock_guard<std::mutex> lock(instances_mu);
+  instances().push_back(this);
 }
 
+Runtime::Runtime(DeviceProfile profile)
+    : Runtime(ambient_options(std::move(profile))) {}
+
 Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lock(instances_mu);
+    auto& v = instances();
+    v.erase(std::remove(v.begin(), v.end(), this), v.end());
+  }
   if (prof_ != nullptr) prof_->flush(std::cout);
   if (advise_ != nullptr) advise_->flush(std::cout);
 }
 
-void Runtime::set_prof_mode(ProfMode m) {
+Runtime* Runtime::sole_instance() {
+  std::lock_guard<std::mutex> lock(instances_mu);
+  auto& v = instances();
+  return v.size() == 1 ? v.front() : nullptr;
+}
+
+ErrorCode Runtime::set_sim_threads(int threads) {
+  if (launched_) return refuse_mutation();
+  gpu_.set_sim_threads(threads);
+  opts_.sim_threads = threads;
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode Runtime::set_fidelity(Fidelity f) {
+  if (launched_ && f != gpu_.fidelity()) return refuse_mutation();
+  gpu_.set_fidelity(f);
+  opts_.fidelity = f;
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode Runtime::set_check_mode(CheckMode m) {
+  if (launched_ && m != CheckMode::kOff && m != gpu_.check_mode())
+    return refuse_mutation();
+  gpu_.set_check_mode(m);
+  opts_.check = m;
+  return ErrorCode::kSuccess;
+}
+
+ErrorCode Runtime::set_prof_mode(ProfMode m) {
   if (m == ProfMode::kOff) {
     tl_.set_profiler(nullptr);
     prof_.reset();
-    return;
+    opts_.prof = m;
+    return ErrorCode::kSuccess;
   }
+  if (launched_ && m != prof_mode()) return refuse_mutation();
   if (prof_ == nullptr) {
     prof_ = std::make_unique<Profiler>(m);
-    prof_->set_trace_path(prof_trace_path_from_env());
+    prof_->set_trace_path(opts_.trace_path);
     tl_.set_profiler(prof_.get());
   } else {
     prof_->set_mode(m);
   }
+  opts_.prof = m;
+  return ErrorCode::kSuccess;
 }
 
 void Runtime::flush_prof(std::ostream& out) {
   if (prof_ != nullptr) prof_->flush(out);
 }
 
-void Runtime::set_advise_mode(AdviseMode m) {
+ErrorCode Runtime::set_advise_mode(AdviseMode m) {
   if (m == AdviseMode::kOff) {
     tl_.set_advisor(nullptr);
     advise_.reset();
-    return;
+    opts_.advise = m;
+    return ErrorCode::kSuccess;
   }
+  if (launched_ && m != advise_mode()) return refuse_mutation();
   if (advise_ == nullptr) {
     advise_ = std::make_unique<Advisor>(m, profile_);
-    advise_->set_json_path(advise_json_path_from_env());
+    advise_->set_json_path(opts_.advise_json_path);
     tl_.set_advisor(advise_.get());
   } else {
     advise_->set_mode(m);
   }
+  opts_.advise = m;
+  return ErrorCode::kSuccess;
 }
 
 void Runtime::flush_advise(std::ostream& out) {
@@ -63,6 +134,7 @@ Stream& Runtime::create_stream() {
 }
 
 LaunchInfo Runtime::launch(Stream& s, const LaunchConfig& cfg, KernelFn fn) {
+  launched_ = true;
   LaunchInfo info;
   if (!begin_op()) {
     info.error = errors_.call();
@@ -143,9 +215,11 @@ void Runtime::device_reset() {
   for (Stream& s : streams_) (void)s.take_pending_error();
 }
 
-void Runtime::set_fault_spec(std::string_view spec) {
-  fault_ = spec.empty() ? nullptr
-                        : std::make_unique<FaultInjector>(FaultInjector::parse(spec));
+ErrorCode Runtime::set_fault_spec(std::string_view spec) {
+  if (launched_ && !spec.empty()) return refuse_mutation();
+  fault_ = FaultInjector::from_spec(spec);
+  opts_.fault_spec = std::string(spec);
+  return ErrorCode::kSuccess;
 }
 
 }  // namespace vgpu

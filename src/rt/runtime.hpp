@@ -42,6 +42,7 @@
 #include "mem/constant.hpp"
 #include "prof/prof.hpp"
 #include "mem/texture.hpp"
+#include "rt/options.hpp"
 #include "sim/device.hpp"
 #include "sim/gpu.hpp"
 #include "um/managed.hpp"
@@ -71,6 +72,14 @@ enum class HostMem { kPinned, kPageable };
 
 class Runtime {
  public:
+  /// Explicit configuration: the environment is never consulted. This is the
+  /// canonical constructor; everything the VGPU_* variables used to steer is
+  /// a field of RuntimeOptions.
+  explicit Runtime(RuntimeOptions opts);
+  /// Legacy shim: resolves ambient_options(profile) — the installed
+  /// process-wide override if set_ambient_options() was called, otherwise
+  /// RuntimeOptions::from_env(profile). Existing single-runtime programs
+  /// keep their env-driven behavior unchanged.
   explicit Runtime(DeviceProfile profile = DeviceProfile::v100());
   /// Flushes the profiler (summary/metrics to stdout, chrome trace to the
   /// configured path) when profiling is on.
@@ -78,31 +87,53 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
+  /// The options this Runtime is running under. Tracks successful mutator
+  /// calls, so it always describes the live configuration.
+  const RuntimeOptions& options() const { return opts_; }
+
+  /// The only live Runtime in the process, or nullptr when zero or several
+  /// exist. The implicit binding the <vgpu/cuda_names.hpp> shim falls back
+  /// to for single-runtime programs.
+  static Runtime* sole_instance();
+
+  // --- Configuration lifecycle ------------------------------------------------
+  // Options are immutable once the first kernel (or graph) has launched:
+  // the subsystems snapshot configuration at launch boundaries, and
+  // mid-flight mutation raced those snapshots. A refused mutation records
+  // and returns cudaErrorInvalidValue and leaves the configuration
+  // untouched. Detaching an observer (prof/advise/check to kOff, fault spec
+  // to "") stays legal at any time — turning evidence collection *off*
+  // cannot perturb a simulation.
+  /// True once the first launch/launch_graph has been submitted.
+  bool configuration_locked() const { return launched_; }
+
   const DeviceProfile& profile() const { return profile_; }
   GpuExec& gpu() { return gpu_; }
-  /// Host worker threads simulating the block loop (VGPU_THREADS knob).
+  /// Host worker threads simulating the block loop (RuntimeOptions::
+  /// sim_threads; 0 = hardware concurrency). Observational: results are
+  /// bit-identical at any count.
   int sim_threads() const { return gpu_.sim_threads(); }
-  void set_sim_threads(int threads) { gpu_.set_sim_threads(threads); }
-  /// Simulation fidelity (VGPU_FIDELITY knob): kExact is bit-identical to
-  /// the goldens, kFast samples replay timing for speed (sim/fidelity.hpp).
+  ErrorCode set_sim_threads(int threads);
+  /// Simulation fidelity: kExact is bit-identical to the goldens, kFast
+  /// samples replay timing for speed (sim/fidelity.hpp).
   Fidelity fidelity() const { return gpu_.fidelity(); }
-  void set_fidelity(Fidelity f) { gpu_.set_fidelity(f); }
+  ErrorCode set_fidelity(Fidelity f);
 
   // --- vgpu-san (cuda-memcheck equivalent) -----------------------------------
-  /// Dynamic checkers for subsequent launches (VGPU_CHECK env var by
-  /// default; e.g. set_check_mode(CheckMode::kFull)).
+  /// Dynamic checkers for subsequent launches
+  /// (e.g. set_check_mode(CheckMode::kFull)).
   CheckMode check_mode() const { return gpu_.check_mode(); }
-  void set_check_mode(CheckMode m) { gpu_.set_check_mode(m); }
+  ErrorCode set_check_mode(CheckMode m);
   /// Diagnostics accumulated across every launch since the last clear.
   const CheckReport& check_report() const { return gpu_.check_report(); }
   void clear_check_report() { gpu_.clear_check_report(); }
 
   // --- vgpu-prof (nvprof equivalent) -----------------------------------------
-  /// Activity tracing & metrics for every subsequent device op (VGPU_PROF
-  /// env var by default; e.g. set_prof_mode(ProfMode::kTrace)). Switching to
-  /// kOff detaches and discards the profiler.
+  /// Activity tracing & metrics for every subsequent device op
+  /// (e.g. set_prof_mode(ProfMode::kTrace)). Switching to kOff detaches and
+  /// discards the profiler; enabling after the first launch is refused.
   ProfMode prof_mode() const { return prof_ ? prof_->mode() : ProfMode::kOff; }
-  void set_prof_mode(ProfMode m);
+  ErrorCode set_prof_mode(ProfMode m);
   /// The activity stream collector; nullptr while profiling is off.
   Profiler* profiler() { return prof_.get(); }
   const Profiler* profiler() const { return prof_.get(); }
@@ -111,13 +142,14 @@ class Runtime {
 
   // --- vgpu-advise (performance advisor) -------------------------------------
   /// Rule-based Table-I anti-pattern diagnosis over subsequent device ops
-  /// (VGPU_ADVISE env var by default; e.g. set_advise_mode(AdviseMode::kFull)).
-  /// Switching to kOff detaches and discards the advisor. Strictly
-  /// observational: stats and simulated times are bit-identical on or off.
+  /// (e.g. set_advise_mode(AdviseMode::kFull)). Switching to kOff detaches
+  /// and discards the advisor; enabling after the first launch is refused.
+  /// Strictly observational: stats and simulated times are bit-identical on
+  /// or off.
   AdviseMode advise_mode() const {
     return advise_ ? advise_->mode() : AdviseMode::kOff;
   }
-  void set_advise_mode(AdviseMode m);
+  ErrorCode set_advise_mode(AdviseMode m);
   /// The evidence collector / rule engine; nullptr while advising is off.
   Advisor* advisor() { return advise_.get(); }
   const Advisor* advisor() const { return advise_.get(); }
@@ -144,8 +176,9 @@ class Runtime {
   /// existing DevSpans stay functional after a reset (see DESIGN.md §10).
   void device_reset();
   /// Replace the fault injector with one parsed from `spec` ("" disables).
-  /// The VGPU_FAULT environment variable seeds it at construction.
-  void set_fault_spec(std::string_view spec);
+  /// RuntimeOptions::fault_spec seeds it at construction; arming a new spec
+  /// after the first launch is refused ("" stays legal).
+  ErrorCode set_fault_spec(std::string_view spec);
   /// The active injector; nullptr when fault injection is off.
   const FaultInjector* fault_injector() const { return fault_.get(); }
 
@@ -405,6 +438,7 @@ class Runtime {
   /// bypass the per-call runtime boundary); a poisoned context still refuses
   /// the whole launch.
   Timeline::Span launch_graph(ExecGraph& g, Stream& s) {
+    launched_ = true;
     if (!begin_op()) return {};
     return g.launch(gpu_, tl_, s);
   }
@@ -455,16 +489,26 @@ class Runtime {
     }
   }
 
+  /// Refuse a post-launch configuration mutation: records and returns
+  /// cudaErrorInvalidValue, leaving the configuration untouched.
+  ErrorCode refuse_mutation() {
+    errors_.begin_call();
+    errors_.fail(ErrorCode::kInvalidValue);
+    return errors_.call();
+  }
+
+  RuntimeOptions opts_;   // Live configuration (options() introspection).
   DeviceProfile profile_;
   GpuExec gpu_;
   Timeline tl_;
   ManagedDirectory managed_;
   ErrorState errors_;
-  std::unique_ptr<FaultInjector> fault_;  // Present only when VGPU_FAULT set.
+  std::unique_ptr<FaultInjector> fault_;  // Present only with a fault spec.
   std::unique_ptr<Profiler> prof_;  // Present only while profiling is on.
   std::unique_ptr<Advisor> advise_;  // Present only while advising is on.
   std::deque<Stream> streams_;  // Deque keeps references stable.
   int next_stream_id_ = 1;
+  bool launched_ = false;  // Set by the first launch/launch_graph.
 };
 
 }  // namespace vgpu

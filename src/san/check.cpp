@@ -1,6 +1,5 @@
 #include "san/check.hpp"
 
-#include <cstdlib>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -31,12 +30,6 @@ CheckMode parse_check_mode(std::string_view s) {
     s = comma == std::string_view::npos ? std::string_view{} : s.substr(comma + 1);
   }
   return m;
-}
-
-CheckMode check_mode_from_env() {
-  const char* v = std::getenv("VGPU_CHECK");
-  if (v == nullptr || *v == '\0') return CheckMode::kOff;
-  return parse_check_mode(v);
 }
 
 const char* check_kind_name(CheckKind k) {

@@ -58,10 +58,6 @@ constexpr bool check_has(CheckMode m, CheckMode bit) {
 /// checking would defeat the point.
 CheckMode parse_check_mode(std::string_view s);
 
-/// Mode selected by the VGPU_CHECK environment variable (kOff when unset
-/// or empty).
-CheckMode check_mode_from_env();
-
 enum class CheckKind : std::uint8_t {
   kOutOfBounds = 0,    ///< memcheck: access outside its owning allocation.
   kUseAfterFree,       ///< memcheck: access to a freed allocation.

@@ -1,0 +1,73 @@
+#include "serve/cache.hpp"
+
+namespace vgpu::serve {
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
+  return it->second->blob;
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) != 0;
+}
+
+void ResultCache::insert(const std::string& key, std::string blob) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->blob = std::move(blob);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(blob)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::vector<Metric> ResultCache::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = static_cast<double>(hits_ + misses_);
+  double rate = total > 0 ? 100.0 * static_cast<double>(hits_) / total : 0.0;
+  return {
+      {"serve_cache_hits", static_cast<double>(hits_), ""},
+      {"serve_cache_misses", static_cast<double>(misses_), ""},
+      {"serve_cache_evictions", static_cast<double>(evictions_), ""},
+      {"serve_cache_entries", static_cast<double>(lru_.size()), ""},
+      {"serve_cache_hit_rate", rate, "%"},
+  };
+}
+
+}  // namespace vgpu::serve

@@ -1,0 +1,77 @@
+#pragma once
+
+// vgpu-serve result cache: content-addressed memoization of job blobs.
+//
+// Sound because the simulator is deterministic: a job's blob is a pure
+// function of (kernel id, resolved problem size, result-affecting options),
+// which is exactly what the cache key canonicalizes (serve/server.hpp
+// composes it from RuntimeOptions::canonical(), so sim_threads and the
+// observability knobs are excluded — a job first run at VGPU_THREADS=8 hits
+// when re-requested at VGPU_THREADS=1, and the served bytes are identical to
+// what a fresh simulation would produce).
+//
+// Bounded LRU with hit/miss/eviction counters, surfaced through the same
+// Metric shape vgpu-prof uses so drivers fold cache health into their
+// metrics reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prof/prof.hpp"
+
+namespace vgpu::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` = max resident entries; 0 disables caching (every lookup
+  /// misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The blob for `key` if resident (refreshes recency). Counts one hit or
+  /// one miss. Thread-safe.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Residency probe: no counters, no recency refresh. The job server uses
+  /// it to separate "will be served from cache" from "will execute" before
+  /// deciding which counter the job belongs to — parked duplicates count
+  /// one hit when completed, never a miss, keeping counters independent of
+  /// worker interleaving. Thread-safe.
+  bool contains(const std::string& key) const;
+
+  /// Make `key` resident, evicting least-recently-used entries over
+  /// capacity. Re-inserting an existing key refreshes its blob and recency
+  /// without an eviction. Thread-safe.
+  void insert(const std::string& key, std::string blob);
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::size_t entries() const;
+
+  /// Cache health in vgpu-prof's Metric shape: serve_cache_hits / _misses /
+  /// _evictions / _entries / _hit_rate (percent).
+  std::vector<Metric> metrics() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string blob;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vgpu::serve

@@ -1,0 +1,176 @@
+// vgpu-serve driver: generate or replay a multi-tenant job queue against the
+// JobServer and emit the deterministic run report.
+//
+//   vgpu-serve [--jobs=N] [--workers=N] [--cache=N] [--seed=N]
+//              [--repeat-percent=P] [--report=FILE] [--list]
+//
+// The queue is synthesized from a seeded LCG: three tenants with different
+// RuntimeOptions tastes (exact+checked, fast, exact+faulty) draw kernels
+// from the registry, and P percent of the draws re-submit an earlier job
+// verbatim (same tenant, kernel, size, options) — the repeat traffic the
+// result cache exists for. Everything downstream of the seed is
+// deterministic: same seed, same queue, same report bytes.
+//
+// Exit status: 0 when every job completed ok AND every repeat was served
+// from the cache; 1 otherwise.
+
+#ifndef GRADE_BASELINES_PATH
+#define GRADE_BASELINES_PATH ""
+#endif
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "tasks/suite.hpp"
+
+namespace {
+
+using vgpu::serve::JobServer;
+using vgpu::serve::JobSpec;
+using vgpu::serve::KernelRegistry;
+
+struct Cli {
+  int jobs = 50;
+  int workers = 4;
+  std::size_t cache = 256;
+  std::uint64_t seed = 1;
+  int repeat_percent = 40;
+  std::string report_path;
+  bool list = false;
+};
+
+bool parse_cli(int argc, char** argv, Cli* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      cli->jobs = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      cli->workers = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--cache=", 8) == 0) {
+      cli->cache = static_cast<std::size_t>(std::atoll(a + 8));
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      cli->seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--repeat-percent=", 17) == 0) {
+      cli->repeat_percent = std::atoi(a + 17);
+    } else if (std::strncmp(a, "--report=", 9) == 0) {
+      cli->report_path = a + 9;
+    } else if (std::strcmp(a, "--list") == 0) {
+      cli->list = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return false;
+    }
+  }
+  return cli->jobs > 0;
+}
+
+/// Deterministic 64-bit LCG (MMIX constants); no std::random_device, no
+/// wall clock — the queue must replay bit-identically from the seed.
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 16;
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+/// The three synthetic tenants and their RuntimeOptions tastes.
+vgpu::RuntimeOptions tenant_options(int tenant) {
+  vgpu::RuntimeOptions o = vgpu::RuntimeOptions::defaults();
+  switch (tenant) {
+    case 0:  // "ci": exact fidelity, full checkers.
+      o.check = vgpu::CheckMode::kFull;
+      break;
+    case 1:  // "sweep": fast fidelity, unchecked throughput.
+      o.fidelity = vgpu::Fidelity::kFast;
+      break;
+    default:  // "chaos": exact, with the 5th launch of every job rejected
+              // (transient, non-sticky) — exercises error paths determin-
+              // istically without sinking the job.
+      o.fault_spec = "launch:transient,nth=5";
+      break;
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_cli(argc, argv, &cli)) return 2;
+
+  vgpu::grade::TaskRegistry tasks;
+  vgpu::grade::PluginRegistry plugins;
+  cumb::gradetasks::register_all(tasks, plugins);
+  auto baselines = vgpu::grade::load_baselines(GRADE_BASELINES_PATH);
+
+  KernelRegistry registry = KernelRegistry::builtin();
+  registry.attach_grade(&tasks, &plugins, &baselines);
+
+  if (cli.list) {
+    for (const std::string& id : registry.ids()) std::printf("%s\n", id.c_str());
+    return 0;
+  }
+
+  static const char* kTenants[] = {"ci", "sweep", "chaos"};
+  std::vector<std::string> kernels = registry.ids();
+
+  JobServer server(registry,
+                   {cli.workers, cli.cache, /*serialize_default_threads=*/true});
+  Lcg rng{cli.seed * 2654435761ull + 1};
+  std::vector<JobSpec> issued;
+  int repeats = 0;
+  for (int i = 0; i < cli.jobs; ++i) {
+    bool repeat = !issued.empty() &&
+                  rng.below(100) < static_cast<std::uint64_t>(cli.repeat_percent);
+    JobSpec spec;
+    if (repeat) {
+      spec = issued[rng.below(issued.size())];
+      ++repeats;
+    } else {
+      int tenant = static_cast<int>(rng.below(3));
+      spec.tenant = kTenants[tenant];
+      spec.kernel = kernels[rng.below(kernels.size())];
+      spec.n = 0;  // Registry default size.
+      spec.options = tenant_options(tenant);
+    }
+    server.submit(spec);
+    issued.push_back(std::move(spec));
+  }
+
+  server.run();
+
+  std::string report = server.report_json();
+  if (!cli.report_path.empty()) {
+    std::ofstream out(cli.report_path);
+    out << report << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.report_path.c_str());
+      return 2;
+    }
+  } else {
+    std::printf("%s\n", report.c_str());
+  }
+
+  int failed = 0, cached = 0;
+  for (const auto& rec : server.records()) {
+    if (!rec.ok) ++failed;
+    if (rec.cached) ++cached;
+  }
+  const auto& cache = server.cache();
+  std::fprintf(stderr,
+               "# vgpu-serve: %d jobs (%d repeats), %d cached, %d failed; "
+               "cache hits=%llu misses=%llu evictions=%llu\n",
+               cli.jobs, repeats, cached, failed,
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()),
+               static_cast<unsigned long long>(cache.evictions()));
+  // Every repeat submits an already-issued key, so the parking/caching
+  // contract says all of them must have been served without re-simulation.
+  return (failed == 0 && cached >= repeats) ? 0 : 1;
+}

@@ -1,0 +1,219 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/bankredux.hpp"
+#include "core/comem.hpp"
+#include "core/conkernels.hpp"
+#include "core/dynparallel.hpp"
+#include "core/gsoverlap.hpp"
+#include "core/hdoverlap.hpp"
+#include "core/histogram.hpp"
+#include "core/layout.hpp"
+#include "core/memalign.hpp"
+#include "core/minitransfer.hpp"
+#include "core/readonly.hpp"
+#include "core/shmem_mm.hpp"
+#include "core/shuffle_reduce.hpp"
+#include "core/taskgraph.hpp"
+#include "core/unimem.hpp"
+#include "core/warpdiv.hpp"
+#include "grade/json.hpp"
+#include "grade/verdict.hpp"
+#include "rt/runtime.hpp"
+
+namespace vgpu::serve {
+
+namespace {
+
+/// Render a naive/optimized pair as the bench blob. Field order is the
+/// schema; values are shortest-round-trip (grade/json.hpp) so the blob is
+/// byte-identical whenever the simulation is bit-identical.
+std::string pair_blob(std::string_view kernel, long long n,
+                      const cumb::PairResult& r) {
+  grade::JsonWriter w;
+  w.begin_object();
+  w.kv("kernel", kernel);
+  w.kv("n", static_cast<std::int64_t>(n));
+  w.kv("naive_us", r.naive_us);
+  w.kv("optimized_us", r.optimized_us);
+  w.kv("speedup", r.speedup());
+  w.kv("verified", r.results_match);
+  w.kv("max_error", r.max_error);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+KernelRegistry KernelRegistry::builtin() {
+  KernelRegistry reg;
+  auto add = [&reg](const char* name, long long default_n,
+                    std::function<cumb::PairResult(Runtime&, long long)> run) {
+    std::string id = std::string("bench:") + name;
+    reg.bench_[id] = BenchEntry{
+        default_n, [id, run = std::move(run)](Runtime& rt, long long n) {
+          return pair_blob(id, n, run(rt, n));
+        }};
+  };
+  // Default sizes are the table1_summary --smoke shapes: every size
+  // constraint (comem's grid*block divisibility, dynparallel's pow2 floor,
+  // shmem_mm's tiling) is known-valid, and a default-size job stays fast
+  // enough for interactive queues.
+  add("comem", 1 << 15,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_comem(rt, static_cast<int>(n), /*grid_blocks=*/16);
+      });
+  add("warpdiv", 1 << 12,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_warpdiv(rt, static_cast<int>(n));
+      });
+  add("memalign", 1 << 14,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_memalign(rt, static_cast<int>(n));
+      });
+  add("shmem_mm", 64,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_shmem_mm(rt, static_cast<int>(n));
+      });
+  add("conkernels", 4,  // n = concurrent kernel count.
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_conkernels(rt, static_cast<int>(n), /*iters=*/2000);
+      });
+  add("taskgraph", 1024,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_taskgraph(rt, static_cast<int>(n), /*chain_length=*/4,
+                                   /*iterations=*/2);
+      });
+  add("hdoverlap", 1 << 16,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_hdoverlap(rt, static_cast<int>(n), /*chunks=*/2,
+                                   /*streams=*/2);
+      });
+  add("gsoverlap", 1 << 14,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_gsoverlap(rt, static_cast<int>(n));
+      });
+  add("bankredux", 1 << 14,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_bankredux(rt, static_cast<int>(n));
+      });
+  add("shuffle", 1 << 14,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_shuffle_reduce(rt, static_cast<int>(n));
+      });
+  add("readonly", 128,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_readonly(rt, static_cast<int>(n));
+      });
+  add("constpoly", 1 << 12,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_const_poly(rt, static_cast<int>(n), /*terms=*/4);
+      });
+  add("unimem", 1 << 16,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_unimem(rt, static_cast<int>(n), /*stride=*/256);
+      });
+  add("minitransfer", 256,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_minitransfer(rt, static_cast<int>(n), /*nnz=*/1024);
+      });
+  add("dynparallel", 256,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_dynparallel(rt, static_cast<int>(n), /*max_iter=*/256);
+      });
+  add("histogram", 1 << 16,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_histogram(rt, static_cast<int>(n));
+      });
+  add("layout", 1 << 12,
+      [](Runtime& rt, long long n) -> cumb::PairResult {
+        return cumb::run_layout(rt, static_cast<int>(n));
+      });
+  return reg;
+}
+
+void KernelRegistry::attach_grade(
+    const grade::TaskRegistry* tasks, const grade::PluginRegistry* plugins,
+    const std::map<std::string, grade::PerfBaseline>* baselines) {
+  grade_tasks_ = tasks;
+  grade_plugins_ = plugins;
+  grade_baselines_ = baselines;
+}
+
+std::vector<std::string> KernelRegistry::ids() const {
+  std::vector<std::string> out;
+  for (const auto& [id, entry] : bench_) out.push_back(id);
+  if (grade_tasks_ != nullptr && grade_plugins_ != nullptr) {
+    // Every (task, submission) pair the plugin registry can actually grade.
+    for (const std::string& name : grade_plugins_->names()) {
+      const grade::PluginEntry* e = grade_plugins_->find(name);
+      out.push_back("grade:" + e->task + "/" + e->name);
+    }
+  }
+  return out;
+}
+
+bool KernelRegistry::known(std::string_view kernel) const {
+  if (bench_.count(std::string(kernel)) != 0) return true;
+  if (kernel.rfind("grade:", 0) == 0 && grade_tasks_ != nullptr &&
+      grade_plugins_ != nullptr) {
+    std::string_view rest = kernel.substr(6);
+    std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return false;
+    const grade::PluginEntry* e = grade_plugins_->find(rest.substr(slash + 1));
+    return e != nullptr && e->task == rest.substr(0, slash) &&
+           grade_tasks_->find(e->task) != nullptr;
+  }
+  return false;
+}
+
+long long KernelRegistry::default_size(std::string_view kernel) const {
+  auto it = bench_.find(std::string(kernel));
+  if (it != bench_.end()) return it->second.default_n;
+  if (known(kernel)) return 0;  // grade: the task spec owns its inputs.
+  throw std::invalid_argument("vgpu-serve: unknown kernel: " +
+                              std::string(kernel));
+}
+
+std::string KernelRegistry::run(std::string_view kernel, long long n,
+                                const RuntimeOptions& opts) const {
+  auto it = bench_.find(std::string(kernel));
+  if (it != bench_.end()) {
+    long long size = n > 0 ? n : it->second.default_n;
+    Runtime rt(opts);
+    return it->second.fn(rt, size);
+  }
+  if (known(kernel)) {
+    std::string_view rest = kernel.substr(6);
+    std::size_t slash = rest.find('/');
+    grade::GradeOptions gopts;
+    gopts.threads = opts.sim_threads;
+    gopts.fidelity = opts.fidelity;
+    gopts.fault_spec = opts.fault_spec;
+    gopts.baselines = grade_baselines_;
+    grade::Verdict v =
+        grade::run_grade(*grade_tasks_, *grade_plugins_, rest.substr(0, slash),
+                         rest.substr(slash + 1), gopts);
+    return grade::to_json(v);
+  }
+  throw std::invalid_argument("vgpu-serve: unknown kernel: " +
+                              std::string(kernel));
+}
+
+std::string fnv1a64_hex(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace vgpu::serve

@@ -1,0 +1,86 @@
+#pragma once
+
+// vgpu-serve kernel registry: the namespace of things a job can run.
+//
+// Two families of kernel ids:
+//
+//   bench:<name>             one of the paper's microbenchmark pairs
+//                            (core/run_*), e.g. "bench:comem". Runs both the
+//                            naive and optimized variant inside a Runtime
+//                            built from the job's RuntimeOptions and renders
+//                            the PairResult as a small deterministic JSON
+//                            blob (grade/json.hpp shortest-round-trip
+//                            numbers, fixed field order).
+//
+//   grade:<task>/<submission> a vgpu-grade evaluation, e.g.
+//                            "grade:comem/comem_coalesced". Dispatches to
+//                            run_grade (which owns its Runtime and device
+//                            profile); the blob is the full verdict JSON.
+//                            Available only after attach_grade() wires in
+//                            the task/plugin registries (they live in the
+//                            tasks/ layer, above this library).
+//
+// Both blob families are byte-deterministic for a fixed (kernel, size,
+// result-affecting options) triple — the property the serve result cache is
+// built on.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grade/grade.hpp"
+#include "rt/options.hpp"
+
+namespace vgpu::serve {
+
+class KernelRegistry {
+ public:
+  /// The registry with every bench:<name> pair registered.
+  static KernelRegistry builtin();
+
+  /// Enable grade:<task>/<submission> ids. Non-owning: the registries (and
+  /// optional baselines map for the perf gate) must outlive this object.
+  void attach_grade(const grade::TaskRegistry* tasks,
+                    const grade::PluginRegistry* plugins,
+                    const std::map<std::string, grade::PerfBaseline>* baselines =
+                        nullptr);
+
+  /// Every runnable id, sorted (bench:* first, then grade:*).
+  std::vector<std::string> ids() const;
+
+  bool known(std::string_view kernel) const;
+
+  /// The size a job with n == 0 resolves to. Grade kernels have no size knob
+  /// (the task spec owns its inputs); they resolve to 0. Throws
+  /// std::invalid_argument for unknown kernels.
+  long long default_size(std::string_view kernel) const;
+
+  /// Execute `kernel` at problem size `n` (0 = default_size) under `opts`
+  /// and return the deterministic JSON blob. Bench jobs construct
+  /// Runtime(opts) directly; grade jobs map opts onto GradeOptions
+  /// (sim_threads, fidelity, fault_spec — the task spec owns the profile).
+  /// Throws std::invalid_argument for unknown kernels; kernel-side failures
+  /// in grade jobs come back as structured error verdicts, not exceptions.
+  std::string run(std::string_view kernel, long long n,
+                  const RuntimeOptions& opts) const;
+
+ private:
+  struct BenchEntry {
+    long long default_n;
+    /// Runs both variants and renders the blob.
+    std::function<std::string(Runtime&, long long)> fn;
+  };
+
+  std::map<std::string, BenchEntry> bench_;
+  const grade::TaskRegistry* grade_tasks_ = nullptr;
+  const grade::PluginRegistry* grade_plugins_ = nullptr;
+  const std::map<std::string, grade::PerfBaseline>* grade_baselines_ = nullptr;
+};
+
+/// FNV-1a 64-bit over `s` — the serve layer's content-hash for cache keys,
+/// rendered as 16 lowercase hex digits in reports.
+std::string fnv1a64_hex(std::string_view s);
+
+}  // namespace vgpu::serve

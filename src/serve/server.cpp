@@ -1,0 +1,260 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "grade/json.hpp"
+
+namespace vgpu::serve {
+
+/// Shared state of one run() round. One mutex serializes dispatch,
+/// cache access and parking so the "first dispatch of a key executes,
+/// everyone else is served from cache" invariant holds under any thread
+/// interleaving. Simulation itself runs outside the lock.
+struct JobServer::RunState {
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::size_t next = 0;          ///< Next index into this round's order.
+  std::size_t completed = 0;     ///< Records finished this round.
+  std::size_t round_size = 0;
+  /// Key → ids parked behind the in-flight owner of that key.
+  std::map<std::string, std::vector<std::uint64_t>> inflight;
+  const std::vector<std::uint64_t>* order = nullptr;
+};
+
+JobServer::JobServer(const KernelRegistry& registry, Config cfg)
+    : registry_(registry), cfg_(cfg), cache_(cfg.cache_capacity) {
+  cfg_.workers = std::clamp(cfg_.workers, 1, 64);
+}
+
+std::uint64_t JobServer::submit(JobSpec spec) {
+  JobRecord rec;
+  rec.id = records_.size();
+  rec.spec = std::move(spec);
+  records_.push_back(std::move(rec));
+  pending_.push_back(records_.back().id);
+  return records_.back().id;
+}
+
+RuntimeOptions JobServer::exec_options(const JobSpec& spec) const {
+  RuntimeOptions o = spec.options;
+  // Workers must not interleave profiler/advisor reports on stdout, and both
+  // knobs are observational (excluded from the cache key) — detach them.
+  o.prof = ProfMode::kOff;
+  o.advise = AdviseMode::kOff;
+  o.trace_path.clear();
+  o.advise_json_path.clear();
+  if (o.sim_threads == 0 && cfg_.serialize_default_threads) o.sim_threads = 1;
+  return o;
+}
+
+std::string JobServer::job_key(const JobSpec& spec) const {
+  long long resolved =
+      spec.n > 0 ? spec.n : registry_.default_size(spec.kernel);
+  return spec.kernel + "|n=" + std::to_string(resolved) + "|" +
+         spec.options.canonical();
+}
+
+void JobServer::run() {
+  // Fair dispatch order: per-tenant FIFO, tenants round-robined in name
+  // order. Pure function of the submission sequence.
+  std::map<std::string, std::vector<std::uint64_t>> by_tenant;
+  for (std::uint64_t id : pending_)
+    by_tenant[records_[id].spec.tenant].push_back(id);
+  pending_.clear();
+  std::vector<std::uint64_t> order;
+  for (std::size_t lane = 0; !by_tenant.empty(); ++lane) {
+    for (auto it = by_tenant.begin(); it != by_tenant.end();) {
+      order.push_back(it->second[lane]);
+      it = lane + 1 == it->second.size() ? by_tenant.erase(it) : std::next(it);
+    }
+  }
+  dispatch_order_.insert(dispatch_order_.end(), order.begin(), order.end());
+
+  RunState state;
+  state.order = &order;
+  state.round_size = order.size();
+  state_ = &state;
+
+  auto worker = [this, &state] {
+    for (;;) {
+      std::uint64_t id;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.next >= state.order->size()) return;
+        id = (*state.order)[state.next++];
+      }
+      process(id);
+    }
+  };
+  int nworkers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(cfg_.workers),
+                            order.size()));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < std::max(nworkers - 1, 0); ++i)
+    threads.emplace_back(worker);
+  if (nworkers > 0) worker();
+  for (std::thread& t : threads) t.join();
+  // Workers only return once the dispatch list is drained, and every parked
+  // job is completed by its key's owner before that owner picks new work, so
+  // joining the pool is joining the round.
+  state_ = nullptr;
+}
+
+void JobServer::process(std::uint64_t id) {
+  JobRecord& rec = records_[id];
+  RunState& state = *state_;
+
+  if (!registry_.known(rec.spec.kernel)) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rec.ok = false;
+    rec.error = "unknown kernel: " + rec.spec.kernel;
+    ++state.completed;
+    return;
+  }
+  try {
+    rec.resolved_n = rec.spec.n > 0 ? rec.spec.n
+                                    : registry_.default_size(rec.spec.kernel);
+    rec.key = job_key(rec.spec);
+    rec.key_hash = fnv1a64_hex(rec.key);
+  } catch (const std::exception& e) {  // Malformed fault spec, etc.
+    std::lock_guard<std::mutex> lock(state.mu);
+    rec.ok = false;
+    rec.error = e.what();
+    ++state.completed;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (cache_.contains(rec.key)) {
+      auto blob = cache_.lookup(rec.key);  // Counts the hit.
+      rec.ok = true;
+      rec.cached = true;
+      rec.blob = std::move(*blob);
+      ++state.completed;
+      return;
+    }
+    auto it = state.inflight.find(rec.key);
+    if (it != state.inflight.end()) {
+      // Same key already simulating: park, uncounted — the owner completes
+      // this record from the cache (one hit), so hit/miss totals are a pure
+      // function of the dispatch sequence, not of worker interleaving.
+      it->second.push_back(id);
+      return;
+    }
+    (void)cache_.lookup(rec.key);  // Counts the one miss this key executes for.
+    state.inflight[rec.key] = {};
+  }
+
+  std::string blob, error;
+  try {
+    blob = registry_.run(rec.spec.kernel, rec.resolved_n,
+                         exec_options(rec.spec));
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::uint64_t> parked =
+      std::move(state.inflight[rec.key]);
+  state.inflight.erase(rec.key);
+  if (error.empty()) {
+    cache_.insert(rec.key, blob);
+    rec.ok = true;
+    rec.blob = std::move(blob);
+    ++state.completed;
+    for (std::uint64_t pid : parked) {
+      JobRecord& p = records_[pid];
+      // Served without re-simulating — a cache hit in every sense.
+      auto served = cache_.lookup(p.key);
+      p.ok = true;
+      p.cached = true;
+      p.blob = served ? std::move(*served) : rec.blob;
+      ++state.completed;
+    }
+  } else {
+    rec.ok = false;
+    rec.error = error;
+    ++state.completed;
+    for (std::uint64_t pid : parked) {
+      JobRecord& p = records_[pid];
+      p.ok = false;
+      p.error = error;
+      ++state.completed;
+    }
+  }
+}
+
+std::map<std::string, TenantStats> JobServer::tenant_stats() const {
+  std::map<std::string, TenantStats> out;
+  for (const JobRecord& r : records_) {
+    TenantStats& s = out[r.spec.tenant];
+    ++s.submitted;
+    if (r.ok) {
+      ++s.completed;
+      if (r.cached) ++s.cached;
+    } else {
+      ++s.failed;
+    }
+  }
+  return out;
+}
+
+std::string JobServer::report_json() const {
+  grade::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "vgpu-serve-report-v1");
+  w.key("config");
+  w.begin_object();
+  w.kv("workers", cfg_.workers);
+  w.kv("cache_capacity", static_cast<std::uint64_t>(cfg_.cache_capacity));
+  w.end_object();
+  w.key("jobs");
+  w.begin_array();
+  for (const JobRecord& r : records_) {
+    w.begin_object();
+    w.kv("id", static_cast<std::uint64_t>(r.id));
+    w.kv("tenant", r.spec.tenant);
+    w.kv("kernel", r.spec.kernel);
+    w.kv("n", static_cast<std::int64_t>(r.resolved_n));
+    w.kv("key", r.key_hash);
+    w.kv("ok", r.ok);
+    w.kv("cached", r.cached);
+    if (r.ok) {
+      w.key("result");
+      w.raw(r.blob);
+    } else {
+      w.kv("error", r.error);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tenants");
+  w.begin_array();
+  for (const auto& [name, s] : tenant_stats()) {
+    w.begin_object();
+    w.kv("tenant", name);
+    w.kv("submitted", s.submitted);
+    w.kv("completed", s.completed);
+    w.kv("cached", s.cached);
+    w.kv("failed", s.failed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("cache");
+  w.begin_object();
+  w.kv("hits", cache_.hits());
+  w.kv("misses", cache_.misses());
+  w.kv("evictions", cache_.evictions());
+  w.kv("entries", static_cast<std::uint64_t>(cache_.entries()));
+  w.kv("capacity", static_cast<std::uint64_t>(cache_.capacity()));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace vgpu::serve

@@ -1,0 +1,140 @@
+#pragma once
+
+// vgpu-serve JobServer: a multi-tenant batch front-end over the simulator.
+//
+// Tenants submit JobSpecs; run() executes the whole queue across a bounded
+// pool of worker threads, each job simulating inside its own Runtime built
+// from the job's RuntimeOptions (the tentpole API — two tenants can run
+// exact/checked and fast/unchecked jobs side by side in one process).
+//
+// Scheduling is fair and deterministic: per-tenant FIFO queues drained
+// round-robin in tenant-name order, so no tenant's burst starves another
+// and the dispatch order is a pure function of the submission sequence.
+//
+// Results are memoized in a content-addressed ResultCache. The cache key is
+//
+//   <kernel id> "|n=" <resolved size> "|" RuntimeOptions::canonical()
+//
+// — resolved size so n=0 and an explicit default size share an entry, and
+// canonical() so only result-affecting knobs discriminate (sim_threads and
+// the prof/advise observability knobs do not; see rt/options.hpp). Duplicate
+// keys in flight PARK rather than re-simulate: the first job with a key
+// executes, later ones wait on it and complete from the cache, so each
+// record's `cached` flag is deterministic (first submission of a key in
+// dispatch order is the one and only uncached run) no matter how worker
+// threads interleave.
+//
+// Determinism contract of the report: for a fixed submission sequence and
+// config, every field of report_json() — blobs, cached flags, hit/miss
+// counters, per-tenant stats — is byte-identical across runs, worker counts
+// and VGPU_THREADS. Two caveats, both outside the happy path: eviction
+// counts (and the re-misses evictions cause) are deterministic only when
+// the queue's unique keys fit the cache or workers == 1, and a key whose
+// execution FAILS is never cached, so its duplicates' hit/miss split
+// depends on whether they parked behind the failure — the records
+// themselves (ok, error, cached) stay deterministic in both cases.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/registry.hpp"
+
+namespace vgpu::serve {
+
+/// One unit of work: which kernel, how big, under which options, for whom.
+struct JobSpec {
+  std::string tenant;
+  std::string kernel;     ///< Registry id ("bench:comem", "grade:comem/...").
+  long long n = 0;        ///< Problem size; 0 = registry default.
+  RuntimeOptions options; ///< Full runtime configuration for this job.
+};
+
+/// The finished state of one submitted job.
+struct JobRecord {
+  std::uint64_t id = 0;   ///< Submission order, dense from 0.
+  JobSpec spec;
+  long long resolved_n = 0;
+  std::string key;        ///< Full cache key ("" when the spec was invalid).
+  std::string key_hash;   ///< fnv1a64_hex(key).
+  bool ok = false;
+  bool cached = false;    ///< Served from the result cache (or a parked dup).
+  std::string blob;       ///< Result JSON; empty on error.
+  std::string error;      ///< Diagnostic when !ok.
+};
+
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< ok only.
+  std::uint64_t cached = 0;
+  std::uint64_t failed = 0;
+};
+
+class JobServer {
+ public:
+  struct Config {
+    int workers = 4;              ///< Concurrent jobs; clamped to [1, 64].
+    std::size_t cache_capacity = 256;
+    /// Worker Runtimes with options.sim_threads == 0 run single-threaded by
+    /// default (job-level × block-level thread products explode); set false
+    /// to let each job claim full hardware concurrency.
+    bool serialize_default_threads = true;
+  };
+
+  /// `registry` must outlive the server.
+  JobServer(const KernelRegistry& registry, Config cfg);
+
+  /// Enqueue one job; returns its id (dense submission order). Rejected
+  /// specs (unknown kernel, malformed fault spec) are still assigned ids and
+  /// surface as !ok records after run().
+  std::uint64_t submit(JobSpec spec);
+
+  /// Execute everything submitted so far to completion. May be called again
+  /// after further submissions; the cache persists across rounds.
+  void run();
+
+  /// All records, by job id. Valid after run().
+  const std::vector<JobRecord>& records() const { return records_; }
+
+  /// Job ids in dispatch order (round-robin over tenants). Deterministic for
+  /// a fixed submission sequence; independent of worker count.
+  const std::vector<std::uint64_t>& dispatch_order() const {
+    return dispatch_order_;
+  }
+
+  const ResultCache& cache() const { return cache_; }
+
+  /// Per-tenant accounting, keyed by tenant name (sorted).
+  std::map<std::string, TenantStats> tenant_stats() const;
+
+  /// The canonical run report: config echo, per-job records sorted by id
+  /// (result blobs embedded verbatim), per-tenant stats, cache counters.
+  /// Deliberately excludes wall-clock anything — byte-identical across runs.
+  std::string report_json() const;
+
+  /// The cache key `spec` resolves to. Exposed for byte-identity tests.
+  std::string job_key(const JobSpec& spec) const;
+
+  /// The options `spec` actually executes under: observability detached
+  /// (prof/advise off — worker stdout must not interleave reports) and
+  /// sim_threads pinned per Config::serialize_default_threads.
+  RuntimeOptions exec_options(const JobSpec& spec) const;
+
+ private:
+  void process(std::uint64_t id);
+
+  const KernelRegistry& registry_;
+  Config cfg_;
+  ResultCache cache_;
+  std::vector<JobRecord> records_;
+  std::vector<std::uint64_t> pending_;  ///< Submitted, not yet dispatched.
+  std::vector<std::uint64_t> dispatch_order_;
+
+  // run()-scoped state (guarded by mu_ in server.cpp).
+  struct RunState;
+  RunState* state_ = nullptr;
+};
+
+}  // namespace vgpu::serve

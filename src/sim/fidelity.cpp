@@ -1,6 +1,5 @@
 #include "sim/fidelity.hpp"
 
-#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -14,16 +13,6 @@ Fidelity fidelity_from_string(const char* s) {
   }
   throw std::invalid_argument(std::string("unknown fidelity: ") +
                               (s != nullptr ? s : "(null)"));
-}
-
-Fidelity fidelity_from_env() {
-  const char* s = std::getenv("VGPU_FIDELITY");
-  if (s == nullptr || *s == '\0') return Fidelity::kExact;
-  try {
-    return fidelity_from_string(s);
-  } catch (const std::invalid_argument&) {
-    return Fidelity::kExact;
-  }
 }
 
 const char* fidelity_name(Fidelity f) {

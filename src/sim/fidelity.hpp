@@ -30,11 +30,6 @@ inline constexpr int kFastSampleEvery = 4;
 /// Throws std::invalid_argument on anything else.
 Fidelity fidelity_from_string(const char* s);
 
-/// VGPU_FIDELITY environment variable, defaulting to kExact when unset.
-/// An unparseable value falls back to kExact (env knobs never throw at
-/// static-init time).
-Fidelity fidelity_from_env();
-
 const char* fidelity_name(Fidelity f);
 
 }  // namespace vgpu

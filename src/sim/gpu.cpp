@@ -161,7 +161,8 @@ void GpuExec::ensure_arenas(int count) {
 }
 
 void GpuExec::set_sim_threads(int threads) {
-  threads = std::clamp(threads, 1, 256);
+  threads = threads <= 0 ? WorkerPool::default_thread_count()
+                         : std::clamp(threads, 1, 256);
   if (threads == threads_) return;
   threads_ = threads;
   pool_.reset();  // Rebuilt lazily at the next parallel grid.

@@ -66,8 +66,16 @@ struct KernelRun {
 
 class GpuExec {
  public:
-  explicit GpuExec(const DeviceProfile& profile)
-      : profile_(profile), gmem_(profile_), constants_(gmem_.heap()) {}
+  /// `sim_threads` 0 means one worker per hardware thread (clamped [1, 256]).
+  /// Environment knobs never reach this layer: the Runtime resolves
+  /// RuntimeOptions (explicit or from_env) and passes the values down.
+  explicit GpuExec(const DeviceProfile& profile, int sim_threads = 0,
+                   Fidelity fidelity = Fidelity::kExact,
+                   CheckMode check = CheckMode::kOff)
+      : profile_(profile), gmem_(profile_), constants_(gmem_.heap()),
+        check_(check), fidelity_(fidelity) {
+    set_sim_threads(sim_threads);
+  }
 
   const DeviceProfile& profile() const { return profile_; }
   GlobalMemory& gmem() { return gmem_; }
@@ -81,15 +89,15 @@ class GpuExec {
   int occupancy(int threads_per_block, std::size_t shared_bytes) const;
 
   // --- Host-side parallelism -------------------------------------------------
-  /// Simulation threads for the block loop (default: VGPU_THREADS env var,
-  /// falling back to hardware concurrency). 1 disables the worker pool.
+  /// Simulation threads for the block loop (RuntimeOptions::sim_threads;
+  /// 0 = hardware concurrency). 1 disables the worker pool.
   int sim_threads() const { return threads_; }
   void set_sim_threads(int threads);
 
   // --- Fidelity ---------------------------------------------------------------
-  /// Simulation fidelity for subsequent launches (default: VGPU_FIDELITY env
-  /// var, kExact when unset). kExact is bit-identical to the goldens; kFast
-  /// samples the cache replay (see sim/fidelity.hpp).
+  /// Simulation fidelity for subsequent launches (RuntimeOptions::fidelity).
+  /// kExact is bit-identical to the goldens; kFast samples the cache replay
+  /// (see sim/fidelity.hpp).
   Fidelity fidelity() const { return fidelity_; }
   void set_fidelity(Fidelity f) { fidelity_ = f; }
 
@@ -108,8 +116,8 @@ class GpuExec {
   std::uint64_t coalesce_cache_misses() const { return co_misses_total_; }
 
   // --- vgpu-san ---------------------------------------------------------------
-  /// Dynamic checkers applied to subsequent launches (default: VGPU_CHECK
-  /// env var, off when unset).
+  /// Dynamic checkers applied to subsequent launches
+  /// (RuntimeOptions::check; off by default).
   CheckMode check_mode() const { return check_; }
   void set_check_mode(CheckMode m) { check_ = m; }
   /// Diagnostics accumulated across every launch since the last clear.
@@ -183,11 +191,11 @@ class GpuExec {
   std::vector<ChildLaunch> pending_children_;
   std::uint32_t texture_ids_ = 0;
   std::uint64_t plan_epoch_ = 0;  // Tags GridPlans so arenas detect rebinds.
-  CheckMode check_ = check_mode_from_env();
+  CheckMode check_ = CheckMode::kOff;
   CheckReport check_accum_;
 
-  int threads_ = WorkerPool::env_thread_count();
-  Fidelity fidelity_ = fidelity_from_env();
+  int threads_ = 1;  // Overwritten by the constructor's set_sim_threads.
+  Fidelity fidelity_ = Fidelity::kExact;
   std::unique_ptr<WorkerPool> pool_;                 // Lazy, recreated on resize.
   std::vector<std::unique_ptr<BlockRunner>> arenas_; // One per worker, reused.
   std::vector<WorkerLane> lanes_;                    // One per worker, reused.

@@ -1,17 +1,10 @@
 #include "sim/pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 namespace vgpu {
 
-int WorkerPool::env_thread_count() {
-  if (const char* s = std::getenv("VGPU_THREADS")) {
-    char* end = nullptr;
-    long v = std::strtol(s, &end, 10);
-    if (end != s && *end == '\0' && v > 0)
-      return static_cast<int>(std::min<long>(v, 256));
-  }
+int WorkerPool::default_thread_count() {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) return 1;
   return static_cast<int>(std::min<unsigned>(hw, 256));

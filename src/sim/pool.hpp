@@ -36,9 +36,11 @@ namespace vgpu {
 
 class WorkerPool {
  public:
-  /// Simulation thread count: `VGPU_THREADS` if set to a positive integer,
-  /// otherwise std::thread::hardware_concurrency(). Clamped to [1, 256].
-  static int env_thread_count();
+  /// Thread count when the caller asked for "0 = pick for me":
+  /// std::thread::hardware_concurrency(), clamped to [1, 256]. The
+  /// VGPU_THREADS environment variable is consumed by
+  /// RuntimeOptions::from_env(), not here.
+  static int default_thread_count();
 
   explicit WorkerPool(int threads);
   ~WorkerPool();

@@ -29,7 +29,19 @@
 // the same error-handling discipline they would on hardware — see the
 // error-model section of README.md. bench/fig09_comem.cpp is the worked
 // example. Exceptions remain only for host-side programming errors (e.g.
-// calling the shim with no current CudaContext).
+// calling the shim with several live Runtimes and none bound).
+//
+// Binding: with exactly one live Runtime in the process the shim finds it
+// implicitly — single-runtime programs need no CudaContext at all. With
+// several (the job server's worker pool), bind per thread, either scoped:
+//
+//   vgpu::cuda::CudaContext ctx(rt);       // RAII, restores previous on exit
+//
+// or explicitly for bindings without lexical scope:
+//
+//   vgpu::cuda::cuda_bind_runtime(rt);
+//   ...
+//   vgpu::cuda::cuda_unbind_runtime();
 
 #include <cstddef>
 #include <span>
@@ -63,25 +75,47 @@ enum cudaMemcpyKind {
   cudaMemcpyDeviceToHost = 2,
 };
 
-/// The Runtime all shim calls target (CUDA's implicit current device).
+/// The explicitly bound Runtime of this thread, or nullptr when nothing was
+/// bound. Shim calls resolve their target through rt(), which falls back to
+/// the process's sole live Runtime — see below.
 inline Runtime*& current_runtime() {
   thread_local Runtime* rt = nullptr;
   return rt;
 }
 
-inline Runtime& rt() {
-  Runtime* r = current_runtime();
-  if (r == nullptr)
-    throw std::logic_error("vgpu::cuda: no current Runtime (create a CudaContext)");
-  return *r;
+/// Bind `runtime` as this thread's current device until cuda_unbind_runtime
+/// or a later bind replaces it. Returns the previously bound Runtime (nullptr
+/// if none) so callers can restore it by hand; prefer the RAII CudaContext
+/// when the binding has lexical scope.
+inline Runtime* cuda_bind_runtime(Runtime& runtime) {
+  Runtime* prev = current_runtime();
+  current_runtime() = &runtime;
+  return prev;
 }
 
-/// RAII binding of a Runtime as the shim's current device.
+/// Drop this thread's explicit binding. Shim calls fall back to the implicit
+/// sole-instance default (single-runtime programs keep working unbound).
+inline void cuda_unbind_runtime() { current_runtime() = nullptr; }
+
+/// The Runtime a shim call targets, resolved in order:
+///   1. the thread's explicit binding (cuda_bind_runtime / CudaContext);
+///   2. the process's only live Runtime, when exactly one exists — so a
+///      single-runtime program never has to bind anything;
+///   3. otherwise (zero or several live Runtimes, none bound) the call is a
+///      host-side programming error: ambiguous target, throws.
+inline Runtime& rt() {
+  if (Runtime* r = current_runtime()) return *r;
+  if (Runtime* r = Runtime::sole_instance()) return *r;
+  throw std::logic_error(
+      "vgpu::cuda: no bound Runtime and no unambiguous default "
+      "(bind one with CudaContext or cuda_bind_runtime)");
+}
+
+/// RAII binding of a Runtime as the shim's current device. Nests: the
+/// destructor restores whatever was bound before.
 class CudaContext {
  public:
-  explicit CudaContext(Runtime& runtime) : prev_(current_runtime()) {
-    current_runtime() = &runtime;
-  }
+  explicit CudaContext(Runtime& runtime) : prev_(cuda_bind_runtime(runtime)) {}
   ~CudaContext() { current_runtime() = prev_; }
   CudaContext(const CudaContext&) = delete;
   CudaContext& operator=(const CudaContext&) = delete;

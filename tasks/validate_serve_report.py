@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a vgpu-serve report against tasks/serve_report.schema.json.
+
+Reuses the stdlib-only schema walker from validate_verdicts.py and layers
+the cross-field invariants a schema can't express:
+
+- per-tenant counters reconcile with the job records (submitted = records,
+  completed = ok records, cached/failed likewise);
+- cache hits equal the number of cached job records, and misses are at
+  least the number of distinct executed keys;
+- every cached record has an uncached sibling with the same key and a
+  byte-identical result (the whole point of deterministic caching);
+- with any repeats in the queue the hit rate must be positive.
+
+Usage: validate_serve_report.py SCHEMA REPORT.json [REPORT.json ...]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from validate_verdicts import validate  # noqa: E402
+
+
+def cross_checks(doc, errors):
+    jobs = doc.get("jobs", [])
+    by_tenant = {}
+    for j in jobs:
+        s = by_tenant.setdefault(
+            j["tenant"], {"submitted": 0, "completed": 0, "cached": 0, "failed": 0})
+        s["submitted"] += 1
+        s["completed"] += 1 if j["ok"] else 0
+        s["cached"] += 1 if j["cached"] else 0
+        s["failed"] += 0 if j["ok"] else 1
+
+    reported = {t["tenant"]: t for t in doc.get("tenants", [])}
+    if set(reported) != set(by_tenant):
+        errors.append(f"tenants section {sorted(reported)} != job tenants "
+                      f"{sorted(by_tenant)}")
+    for name, want in by_tenant.items():
+        got = reported.get(name)
+        if got is None:
+            continue
+        for k, v in want.items():
+            if got[k] != v:
+                errors.append(f"tenant {name!r}: {k} is {got[k]}, "
+                              f"job records say {v}")
+
+    cache = doc.get("cache", {})
+    cached_records = sum(1 for j in jobs if j["cached"])
+    if cache.get("hits") != cached_records:
+        errors.append(f"cache.hits {cache.get('hits')} != cached job records "
+                      f"{cached_records}")
+    executed_keys = {j["key"] for j in jobs if j["ok"] and not j["cached"]}
+    if cache.get("misses", 0) < len(executed_keys):
+        errors.append(f"cache.misses {cache.get('misses')} < distinct executed "
+                      f"keys {len(executed_keys)}")
+
+    # Deterministic caching: a cached record's bytes must equal the bytes of
+    # the record that actually executed its key.
+    executed = {}
+    for j in jobs:
+        if j["ok"] and not j["cached"]:
+            executed.setdefault(j["key"], j["result"])
+    for j in jobs:
+        if not j["cached"]:
+            continue
+        fresh = executed.get(j["key"])
+        if fresh is None:
+            errors.append(f"job {j['id']}: cached but no executed record "
+                          f"shares key {j['key']}")
+        elif fresh != j["result"]:
+            errors.append(f"job {j['id']}: cached result differs from the "
+                          f"executed result for key {j['key']}")
+
+    ok_keys = [j["key"] for j in jobs if j["ok"]]
+    repeats = len(ok_keys) - len(set(ok_keys))
+    if repeats > 0 and cache.get("hits", 0) == 0:
+        errors.append(f"{repeats} repeated keys in the queue but cache.hits "
+                      f"is 0")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    bad = 0
+    for path in argv[2:]:
+        with open(path) as f:
+            doc = json.load(f)
+        errors = []
+        validate(doc, schema, schema, "$", errors)
+        if not errors:
+            cross_checks(doc, errors)
+        if errors:
+            bad += 1
+            print(f"INVALID {path}")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            jobs = doc["jobs"]
+            hits = doc["cache"]["hits"]
+            print(f"ok {path}: {len(jobs)} jobs, {hits} served from cache")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

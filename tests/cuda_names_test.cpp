@@ -247,4 +247,60 @@ TEST(CudaNames, ContextRestoresPreviousRuntime) {
   EXPECT_EQ(current_runtime(), &a);
 }
 
+// --- PR-8 binding redesign ---------------------------------------------------
+
+TEST(CudaNames, ExplicitBindParityWithScopedGuard) {
+  Runtime a(DeviceProfile::test_tiny());
+  Runtime b(DeviceProfile::test_tiny());
+  // The explicit API and the RAII guard are two spellings of one binding.
+  Runtime* prev = cuda_bind_runtime(a);
+  EXPECT_EQ(prev, nullptr);
+  EXPECT_EQ(&rt(), &a);
+  {
+    CudaContext guard(b);
+    EXPECT_EQ(&rt(), &b);
+  }
+  EXPECT_EQ(&rt(), &a);  // Guard restored the explicit binding.
+  cuda_unbind_runtime();
+  EXPECT_EQ(current_runtime(), nullptr);
+}
+
+TEST(CudaNames, SingleRuntimeNeedsNoBindingAtAll) {
+  Runtime only(DeviceProfile::test_tiny());
+  // No CudaContext anywhere: the shim finds the sole live Runtime.
+  DevSpan<float> d;
+  EXPECT_EQ(cudaMalloc(&d, 64 * sizeof(float)), cudaSuccess);
+  EXPECT_EQ(&rt(), &only);
+  EXPECT_EQ(cudaDeviceSynchronize(), cudaSuccess);
+}
+
+TEST(CudaNames, SeveralRuntimesUnboundIsAProgrammingError) {
+  Runtime a(DeviceProfile::test_tiny());
+  Runtime b(DeviceProfile::test_tiny());
+  EXPECT_THROW(rt(), std::logic_error);  // Ambiguous target.
+  cuda_bind_runtime(b);
+  EXPECT_EQ(&rt(), &b);  // Explicit binding resolves the ambiguity.
+  cuda_unbind_runtime();
+}
+
+TEST(CudaNames, ShimCallsFollowTheExplicitBinding) {
+  Runtime a(DeviceProfile::test_tiny());
+  Runtime b(DeviceProfile::test_tiny());
+  std::size_t a_before = a.gpu().heap().bytes_in_use();
+  std::size_t b_before = b.gpu().heap().bytes_in_use();
+  cuda_bind_runtime(a);
+  DevSpan<int> da;
+  EXPECT_EQ(cudaMalloc(&da, 128 * sizeof(int)), cudaSuccess);
+  // Only the bound runtime's heap grew.
+  EXPECT_GT(a.gpu().heap().bytes_in_use(), a_before);
+  EXPECT_EQ(b.gpu().heap().bytes_in_use(), b_before);
+  cuda_bind_runtime(b);
+  DevSpan<int> db;
+  std::size_t a_mid = a.gpu().heap().bytes_in_use();
+  EXPECT_EQ(cudaMalloc(&db, 128 * sizeof(int)), cudaSuccess);
+  EXPECT_EQ(a.gpu().heap().bytes_in_use(), a_mid);
+  EXPECT_GT(b.gpu().heap().bytes_in_use(), b_before);
+  cuda_unbind_runtime();
+}
+
 }  // namespace

@@ -1,0 +1,245 @@
+// RuntimeOptions tests: the explicit configuration surface (PR 8 tentpole).
+//
+// Covers the precedence contract (explicit > env > default), the ambient
+// override consumed by legacy Runtime(profile) constructions, canonical()'s
+// inclusion/exclusion rules (the serve cache-key foundation), the
+// options-immutable-after-first-launch lifecycle, and the headline payoff:
+// two differently-configured Runtimes coexisting in one process,
+// bit-identical to separate single-runtime runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <vgpu.hpp>
+#include <vgpu/cuda_names.hpp>
+
+#include "core/bankredux.hpp"
+#include "core/warpdiv.hpp"
+
+namespace {
+
+using namespace vgpu;
+
+/// setenv/unsetenv RAII so a test can't leak environment into its neighbors.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) setenv(name_.c_str(), old_.c_str(), 1);
+    else unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_;
+};
+
+TEST(RuntimeOptions, DefaultsIgnoreTheEnvironment) {
+  ScopedEnv t("VGPU_THREADS", "3");
+  ScopedEnv f("VGPU_FIDELITY", "fast");
+  ScopedEnv c("VGPU_CHECK", "full");
+  RuntimeOptions o = RuntimeOptions::defaults(DeviceProfile::test_tiny());
+  EXPECT_EQ(o.sim_threads, 0);
+  EXPECT_EQ(o.fidelity, Fidelity::kExact);
+  EXPECT_EQ(o.check, CheckMode::kOff);
+  EXPECT_EQ(o.prof, ProfMode::kOff);
+  EXPECT_EQ(o.advise, AdviseMode::kOff);
+  EXPECT_TRUE(o.fault_spec.empty());
+  EXPECT_EQ(o.profile.name, "test-tiny");
+}
+
+TEST(RuntimeOptions, FromEnvReadsEveryKnob) {
+  ScopedEnv t("VGPU_THREADS", "3");
+  ScopedEnv f("VGPU_FIDELITY", "fast");
+  ScopedEnv c("VGPU_CHECK", "memcheck,racecheck");
+  ScopedEnv p("VGPU_PROF", "summary,metrics");
+  ScopedEnv tp("VGPU_TRACE_OUT", "/tmp/t.json");
+  ScopedEnv a("VGPU_ADVISE", "warn");
+  ScopedEnv ap("VGPU_ADVISE_OUT", "/tmp/a.json");
+  ScopedEnv fs("VGPU_FAULT", "oom:nth=2");
+  RuntimeOptions o = RuntimeOptions::from_env(DeviceProfile::test_tiny());
+  EXPECT_EQ(o.sim_threads, 3);
+  EXPECT_EQ(o.fidelity, Fidelity::kFast);
+  EXPECT_EQ(o.check, CheckMode::kMemcheck | CheckMode::kRacecheck);
+  EXPECT_EQ(o.prof, ProfMode::kSummary | ProfMode::kMetrics);
+  EXPECT_EQ(o.trace_path, "/tmp/t.json");
+  EXPECT_EQ(o.advise, AdviseMode::kWarn);
+  EXPECT_EQ(o.advise_json_path, "/tmp/a.json");
+  EXPECT_EQ(o.fault_spec, "oom:nth=2");
+}
+
+TEST(RuntimeOptions, ExplicitConstructionNeverConsultsEnv) {
+  ScopedEnv c("VGPU_CHECK", "full");
+  ScopedEnv f("VGPU_FIDELITY", "fast");
+  Runtime rt(RuntimeOptions::defaults(DeviceProfile::test_tiny()));
+  EXPECT_EQ(rt.check_mode(), CheckMode::kOff);
+  EXPECT_EQ(rt.fidelity(), Fidelity::kExact);
+}
+
+TEST(RuntimeOptions, LegacyConstructorReadsEnvPerConstruction) {
+  {
+    ScopedEnv f("VGPU_FIDELITY", "fast");
+    Runtime rt(DeviceProfile::test_tiny());
+    EXPECT_EQ(rt.fidelity(), Fidelity::kFast);
+  }
+  {
+    ScopedEnv f("VGPU_FIDELITY", "exact");
+    Runtime rt(DeviceProfile::test_tiny());
+    EXPECT_EQ(rt.fidelity(), Fidelity::kExact);
+  }
+}
+
+TEST(RuntimeOptions, AmbientOverrideBeatsEnvAndKeepsCallerProfile) {
+  ScopedEnv f("VGPU_FIDELITY", "exact");
+  RuntimeOptions amb = RuntimeOptions::defaults();  // v100 profile inside.
+  amb.fidelity = Fidelity::kFast;
+  amb.sim_threads = 2;
+  set_ambient_options(amb);
+  {
+    Runtime rt(DeviceProfile::test_tiny());
+    EXPECT_EQ(rt.fidelity(), Fidelity::kFast);
+    EXPECT_EQ(rt.sim_threads(), 2);
+    // The ambient override's profile is ignored; the construction's wins.
+    EXPECT_EQ(rt.profile().name, "test-tiny");
+  }
+  clear_ambient_options();
+  Runtime rt(DeviceProfile::test_tiny());
+  EXPECT_EQ(rt.fidelity(), Fidelity::kExact);
+}
+
+TEST(RuntimeOptions, CanonicalExcludesObservationalKnobs) {
+  RuntimeOptions a = RuntimeOptions::defaults(DeviceProfile::test_tiny());
+  RuntimeOptions b = a;
+  b.sim_threads = 8;
+  b.prof = ProfMode::kFull;
+  b.advise = AdviseMode::kFull;
+  b.trace_path = "/tmp/x.json";
+  b.advise_json_path = "/tmp/y.json";
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(RuntimeOptions, CanonicalDiscriminatesResultAffectingKnobs) {
+  RuntimeOptions base = RuntimeOptions::defaults(DeviceProfile::test_tiny());
+  RuntimeOptions fid = base;
+  fid.fidelity = Fidelity::kFast;
+  RuntimeOptions chk = base;
+  chk.check = CheckMode::kFull;
+  RuntimeOptions flt = base;
+  flt.fault_spec = "oom:nth=2";
+  RuntimeOptions prof = base;
+  prof.profile = DeviceProfile::v100();
+  EXPECT_NE(base.canonical(), fid.canonical());
+  EXPECT_NE(base.canonical(), chk.canonical());
+  EXPECT_NE(base.canonical(), flt.canonical());
+  EXPECT_NE(base.canonical(), prof.canonical());
+}
+
+TEST(RuntimeOptions, CanonicalNormalizesFaultSpecAndRejectsMalformed) {
+  RuntimeOptions o = RuntimeOptions::defaults(DeviceProfile::test_tiny());
+  o.fault_spec = "oom:nth=2";
+  EXPECT_NE(o.canonical().find("fault=oom:nth=2"), std::string::npos);
+  o.fault_spec = "definitely-not-a-site:fail";
+  EXPECT_THROW(o.canonical(), std::invalid_argument);
+}
+
+// --- Satellite 6: options immutable after first launch ---------------------
+
+TEST(RuntimeLifecycle, MutatorsRefuseAfterFirstLaunchAndRecordTheError) {
+  Runtime rt(RuntimeOptions::defaults(DeviceProfile::test_tiny()));
+  EXPECT_FALSE(rt.configuration_locked());
+  // Pre-launch: everything is mutable.
+  EXPECT_EQ(rt.set_sim_threads(2), ErrorCode::kSuccess);
+  EXPECT_EQ(rt.set_fidelity(Fidelity::kFast), ErrorCode::kSuccess);
+  EXPECT_EQ(rt.set_fidelity(Fidelity::kExact), ErrorCode::kSuccess);
+
+  rt.launch({Dim3{1}, Dim3{32}, "noop"},
+            [](WarpCtx&) -> WarpTask { co_return; });
+  rt.synchronize();
+  EXPECT_TRUE(rt.configuration_locked());
+
+  // Post-launch: result-affecting mutations are refused, recorded, and the
+  // configuration is untouched — not UB, not a silent half-applied state.
+  EXPECT_EQ(rt.set_sim_threads(4), ErrorCode::kInvalidValue);
+  EXPECT_EQ(rt.get_last_error(), ErrorCode::kInvalidValue);
+  EXPECT_EQ(rt.get_last_error(), ErrorCode::kSuccess);  // Read clears it.
+  EXPECT_EQ(rt.sim_threads(), 2);
+
+  EXPECT_EQ(rt.set_fidelity(Fidelity::kFast), ErrorCode::kInvalidValue);
+  EXPECT_EQ(rt.fidelity(), Fidelity::kExact);
+  EXPECT_EQ(rt.set_check_mode(CheckMode::kMemcheck), ErrorCode::kInvalidValue);
+  EXPECT_EQ(rt.set_fault_spec("oom:fail"), ErrorCode::kInvalidValue);
+
+  // Same-value writes and detach-to-off stay legal (idempotent callers and
+  // the grade engine's observer detach depend on both).
+  EXPECT_EQ(rt.set_fidelity(Fidelity::kExact), ErrorCode::kSuccess);
+  EXPECT_EQ(rt.set_check_mode(CheckMode::kOff), ErrorCode::kSuccess);
+  EXPECT_EQ(rt.set_prof_mode(ProfMode::kOff), ErrorCode::kSuccess);
+  EXPECT_EQ(rt.set_advise_mode(AdviseMode::kOff), ErrorCode::kSuccess);
+  EXPECT_EQ(rt.set_fault_spec(""), ErrorCode::kSuccess);
+}
+
+// --- Satellite 3: two configurations in one process ------------------------
+
+TEST(MultiRuntime, TwoConfigsInOneProcessMatchSeparateRuns) {
+  RuntimeOptions exact_checked = RuntimeOptions::defaults();
+  exact_checked.check = CheckMode::kFull;
+  RuntimeOptions fast_unchecked = RuntimeOptions::defaults();
+  fast_unchecked.fidelity = Fidelity::kFast;
+
+  // Separate single-runtime baselines.
+  cumb::PairResult sep_a, sep_b;
+  {
+    Runtime rt(exact_checked);
+    sep_a = cumb::run_bankredux(rt, 1 << 12);
+  }
+  {
+    Runtime rt(fast_unchecked);
+    sep_b = cumb::run_warpdiv(rt, 1 << 12);
+  }
+
+  // Both configurations live at once, work interleaved between them.
+  Runtime a(exact_checked);
+  Runtime b(fast_unchecked);
+  cumb::PairResult mix_b = cumb::run_warpdiv(b, 1 << 12);
+  cumb::PairResult mix_a = cumb::run_bankredux(a, 1 << 12);
+
+  EXPECT_EQ(sep_a.naive_us, mix_a.naive_us);
+  EXPECT_EQ(sep_a.optimized_us, mix_a.optimized_us);
+  EXPECT_EQ(sep_a.max_error, mix_a.max_error);
+  EXPECT_TRUE(sep_a.naive_stats == mix_a.naive_stats);
+  EXPECT_TRUE(sep_a.optimized_stats == mix_a.optimized_stats);
+
+  EXPECT_EQ(sep_b.naive_us, mix_b.naive_us);
+  EXPECT_EQ(sep_b.optimized_us, mix_b.optimized_us);
+  EXPECT_EQ(sep_b.max_error, mix_b.max_error);
+  EXPECT_TRUE(sep_b.naive_stats == mix_b.naive_stats);
+  EXPECT_TRUE(sep_b.optimized_stats == mix_b.optimized_stats);
+
+  EXPECT_TRUE(mix_a.results_match);
+  EXPECT_TRUE(mix_b.results_match);
+}
+
+// --- Satellite 1: sole-instance default for the CUDA shim ------------------
+
+TEST(SoleInstance, TracksTheSingleLiveRuntime) {
+  EXPECT_EQ(Runtime::sole_instance(), nullptr);
+  {
+    Runtime only(RuntimeOptions::defaults(DeviceProfile::test_tiny()));
+    EXPECT_EQ(Runtime::sole_instance(), &only);
+    {
+      Runtime second(RuntimeOptions::defaults(DeviceProfile::test_tiny()));
+      EXPECT_EQ(Runtime::sole_instance(), nullptr);  // Ambiguous.
+    }
+    EXPECT_EQ(Runtime::sole_instance(), &only);  // Unambiguous again.
+  }
+  EXPECT_EQ(Runtime::sole_instance(), nullptr);
+}
+
+}  // namespace

@@ -151,8 +151,9 @@ std::vector<LaunchInfo> run_workload(Runtime& rt) {
 TEST(Prof, OffByDefaultAndEnvParse) {
   // A fresh Runtime follows VGPU_PROF (off when unset).
   Runtime rt(DeviceProfile::test_tiny());
-  EXPECT_EQ(rt.prof_mode(), prof_mode_from_env());
-  EXPECT_EQ(rt.profiler() != nullptr, prof_mode_from_env() != ProfMode::kOff);
+  EXPECT_EQ(rt.prof_mode(), RuntimeOptions::from_env().prof);
+  EXPECT_EQ(rt.profiler() != nullptr,
+            RuntimeOptions::from_env().prof != ProfMode::kOff);
   rt.set_prof_mode(ProfMode::kOff);
   EXPECT_EQ(rt.profiler(), nullptr);
   EXPECT_EQ(parse_prof_mode("summary"), ProfMode::kSummary);
