@@ -27,6 +27,11 @@
 //                                    destruction
 //   --advise-out=FILE.json           write the JSON advice report; implies
 //                                    --advise=full
+//   --devices=N                      device count for the multi-GPU benches
+//                                    (default 1; single-GPU benches accept and
+//                                    ignore it). Printed in the report header
+//                                    when != 1, so single-device output is
+//                                    byte-identical to pre-multi builds.
 //
 // The flags build ONE vgpu::RuntimeOptions value — starting from
 // RuntimeOptions::from_env(), so VGPU_* variables still work and flags win
@@ -59,11 +64,22 @@ inline void export_pair(benchmark::State& state, const PairResult& r) {
   state.counters["verified"] = r.results_match ? 1 : 0;
 }
 
-/// Print the standard banner; call at the top of each bench main().
+/// The --devices=N flag value (default 1). Multi-GPU benches scale their
+/// device sweep with it; single-GPU benches ignore it.
+inline int& device_count_ref() {
+  static int n = 1;
+  return n;
+}
+inline int device_count() { return device_count_ref(); }
+
+/// Print the standard banner; call at the top of each bench main(), after
+/// consume_prof_flags. The device line appears only for multi-GPU runs, so
+/// single-device output stays byte-identical.
 inline void banner(const char* figure, const char* paper_result) {
   std::printf("# %s\n# Paper result: %s\n# Columns are simulated times from the "
               "vgpu model (see DESIGN.md).\n",
               figure, paper_result);
+  if (device_count() != 1) std::printf("# devices: %d\n", device_count());
 }
 
 /// Strip the vgpu flags from argv (google-benchmark rejects unknown flags)
@@ -81,7 +97,8 @@ inline void consume_prof_flags(int* argc, char** argv) {
            std::strncmp(a, "--threads", 9) == 0 ||
            std::strncmp(a, "--fidelity", 10) == 0 ||
            std::strncmp(a, "--check", 7) == 0 ||
-           std::strncmp(a, "--fault", 7) == 0;
+           std::strncmp(a, "--fault", 7) == 0 ||
+           std::strncmp(a, "--devices", 9) == 0;
   };
   vgpu::RuntimeOptions opts = vgpu::RuntimeOptions::from_env();
   bool any = false;
@@ -114,6 +131,14 @@ inline void consume_prof_flags(int* argc, char** argv) {
     } else if (std::strncmp(a, "--fault=", 8) == 0) {
       vgpu::FaultInjector::parse(a + 8);  // Throws on a malformed spec.
       opts.fault_spec = a + 8;
+    } else if (std::strncmp(a, "--devices=", 10) == 0) {
+      int n = std::atoi(a + 10);
+      if (n < 1 || n > 64) {
+        std::fprintf(stderr, "--devices=%s: expected 1..64\n", a + 10);
+        std::exit(1);
+      }
+      opts.devices = n;
+      device_count_ref() = n;
     } else if (is_vgpu_flag(a)) {
       std::fprintf(stderr, "unrecognized vgpu flag: %s\n", a);
       std::exit(1);
@@ -135,8 +160,8 @@ inline void consume_prof_flags(int* argc, char** argv) {
 /// Boilerplate main that prints a banner before running the benchmarks.
 #define CUMB_BENCH_MAIN(figure, paper_result)                       \
   int main(int argc, char** argv) {                                 \
-    cumbench::banner(figure, paper_result);                         \
     cumbench::consume_prof_flags(&argc, argv);                      \
+    cumbench::banner(figure, paper_result);                         \
     ::benchmark::Initialize(&argc, argv);                           \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                          \

@@ -1,0 +1,72 @@
+// Multi-GPU port: halo-exchange stencil (vgpu-multi scale-out pair).
+//
+// A 1-D 3-point diffusion stencil row-sharded across N devices; every step
+// exchanges one-cell halos between neighbors. The exchange is tiny and
+// latency-bound, so host-staging it (naive: peer access never enabled) pays
+// two PCIe traversals plus a host round-trip per boundary per step, while
+// the optimized variant rides the interconnect directly. Strong scaling
+// fixes the domain; weak scaling grows it with the device count.
+
+#include "bench_common.hpp"
+#include "multi/ports.hpp"
+
+namespace {
+
+constexpr int kStrongCells = 1 << 18;
+constexpr int kWeakCellsPerDevice = 1 << 16;
+constexpr int kSteps = 24;
+
+void export_multi(benchmark::State& state, const cumb::MultiPairResult& r) {
+  state.counters["devices"] = r.devices;
+  state.counters["naive_sim_ms"] = r.naive_us * 1e-3;
+  state.counters["optimized_sim_ms"] = r.optimized_us * 1e-3;
+  state.counters["speedup"] = r.speedup();
+  state.counters["verified"] = r.results_match() ? 1 : 0;
+  state.counters["peer_transfers"] = r.optimized_transfers;
+}
+
+void Multi_HaloStencil_Strong(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = cumb::run_halo_exchange(vgpu::ambient_options(), devices,
+                                     kStrongCells, kSteps);
+    export_multi(state, r);
+  }
+}
+
+void Multi_HaloStencil_Weak(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = cumb::run_halo_exchange(vgpu::ambient_options(), devices,
+                                     kWeakCellsPerDevice * devices, kSteps);
+    export_multi(state, r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cumbench::consume_prof_flags(&argc, argv);
+  cumbench::banner(
+      "Multi-GPU - halo-exchange stencil (staged vs peer-to-peer halos)",
+      "P2P halo exchange removes the host bounce from every step boundary");
+  // --devices=N pins the sweep to one count; default sweeps the curve.
+  std::vector<int> counts = cumbench::device_count() != 1
+                                ? std::vector<int>{cumbench::device_count()}
+                                : std::vector<int>{1, 2, 4};
+  for (int d : counts) {
+    benchmark::RegisterBenchmark("Multi_HaloStencil_Strong",
+                                 Multi_HaloStencil_Strong)
+        ->Arg(d)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Multi_HaloStencil_Weak",
+                                 Multi_HaloStencil_Weak)
+        ->Arg(d)
+        ->Iterations(1);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

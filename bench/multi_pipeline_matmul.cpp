@@ -1,0 +1,72 @@
+// Multi-GPU port: pipelined matmul (vgpu-multi scale-out pair).
+//
+// C = A·B with A and C row-sharded and B split into k-blocks cycled around
+// the devices: each of the N rounds multiplies one B block fetched from its
+// owner. The naive variant stops the pipeline every round for a host-staged
+// fetch; the optimized one prefetches the next block peer-to-peer on a
+// second stream while the current round computes, hiding the transfer under
+// the kernel. Both verify bitwise against a host reference that replays the
+// device's accumulation order.
+
+#include "bench_common.hpp"
+#include "multi/ports.hpp"
+
+namespace {
+
+constexpr int kStrongDim = 256;   // m = n = k for the fixed-size curve.
+constexpr int kWeakDim = 160;     // Per-device share of the weak curve.
+
+void export_multi(benchmark::State& state, const cumb::MultiPairResult& r) {
+  state.counters["devices"] = r.devices;
+  state.counters["naive_sim_ms"] = r.naive_us * 1e-3;
+  state.counters["optimized_sim_ms"] = r.optimized_us * 1e-3;
+  state.counters["speedup"] = r.speedup();
+  state.counters["verified"] = r.results_match() ? 1 : 0;
+  state.counters["peer_transfers"] = r.optimized_transfers;
+}
+
+void Multi_PipelineMatmul_Strong(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = cumb::run_pipelined_matmul(vgpu::ambient_options(), devices,
+                                        kStrongDim, kStrongDim, kStrongDim);
+    export_multi(state, r);
+  }
+}
+
+void Multi_PipelineMatmul_Weak(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = cumb::run_pipelined_matmul(vgpu::ambient_options(), devices,
+                                        kWeakDim * devices, kWeakDim,
+                                        kWeakDim * devices);
+    export_multi(state, r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cumbench::consume_prof_flags(&argc, argv);
+  cumbench::banner(
+      "Multi-GPU - pipelined matmul (staged fetch vs P2P prefetch overlap)",
+      "P2P prefetch on a second stream hides the block transfer under compute");
+  std::vector<int> counts = cumbench::device_count() != 1
+                                ? std::vector<int>{cumbench::device_count()}
+                                : std::vector<int>{1, 2, 4};
+  for (int d : counts) {
+    benchmark::RegisterBenchmark("Multi_PipelineMatmul_Strong",
+                                 Multi_PipelineMatmul_Strong)
+        ->Arg(d)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Multi_PipelineMatmul_Weak",
+                                 Multi_PipelineMatmul_Weak)
+        ->Arg(d)
+        ->Iterations(1);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

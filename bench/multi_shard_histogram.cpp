@@ -1,0 +1,72 @@
+// Multi-GPU port: sharded histogram (vgpu-multi scale-out pair).
+//
+// The sample stream is sharded contiguously across N devices, each bins its
+// shard locally, and the per-device partial histograms are reduced onto
+// device 0 in ordinal order (the deterministic cross-device merge). The
+// naive variant ships every partial through host memory; the optimized one
+// sends them peer-to-peer. Integer bins make both variants exact.
+
+#include "bench_common.hpp"
+#include "multi/ports.hpp"
+
+namespace {
+
+constexpr int kStrongSamples = 1 << 20;
+constexpr int kWeakSamplesPerDevice = 1 << 18;
+constexpr int kBins = 256;
+constexpr double kSkew = 0.25;
+
+void export_multi(benchmark::State& state, const cumb::MultiPairResult& r) {
+  state.counters["devices"] = r.devices;
+  state.counters["naive_sim_ms"] = r.naive_us * 1e-3;
+  state.counters["optimized_sim_ms"] = r.optimized_us * 1e-3;
+  state.counters["speedup"] = r.speedup();
+  state.counters["verified"] = r.results_match() ? 1 : 0;
+  state.counters["peer_transfers"] = r.optimized_transfers;
+}
+
+void Multi_ShardHistogram_Strong(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = cumb::run_sharded_histogram(vgpu::ambient_options(), devices,
+                                         kStrongSamples, kBins, kSkew);
+    export_multi(state, r);
+  }
+}
+
+void Multi_ShardHistogram_Weak(benchmark::State& state) {
+  int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = cumb::run_sharded_histogram(vgpu::ambient_options(), devices,
+                                         kWeakSamplesPerDevice * devices,
+                                         kBins, kSkew);
+    export_multi(state, r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cumbench::consume_prof_flags(&argc, argv);
+  cumbench::banner(
+      "Multi-GPU - sharded histogram (staged vs peer-to-peer reduction)",
+      "P2P partial-histogram reduction avoids N-1 host bounces per merge");
+  std::vector<int> counts = cumbench::device_count() != 1
+                                ? std::vector<int>{cumbench::device_count()}
+                                : std::vector<int>{1, 2, 4};
+  for (int d : counts) {
+    benchmark::RegisterBenchmark("Multi_ShardHistogram_Strong",
+                                 Multi_ShardHistogram_Strong)
+        ->Arg(d)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Multi_ShardHistogram_Weak",
+                                 Multi_ShardHistogram_Weak)
+        ->Arg(d)
+        ->Iterations(1);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// multi_tour — a deterministic tour of the vgpu-multi subsystem.
+//
+// Runs the three multi-GPU benchmark ports at 2 devices, demonstrates the
+// peer-access lifecycle and a remote atomic through the DeviceSet API, and
+// prints only simulated times and checksums — no wall clock — so two runs
+// (at any VGPU_THREADS) must produce byte-identical stdout. CI relies on
+// that: it byte-compares VGPU_THREADS=1 against VGPU_THREADS=8.
+//
+//   ./multi_tour [--devices=N] [--trace-out=FILE.json]
+//
+// The exit code asserts every variant verified bitwise against its host
+// reference, so the tour doubles as a test.
+
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include <vgpu.hpp>
+
+#include "multi/ports.hpp"
+
+namespace {
+
+bool report(const cumb::MultiPairResult& r) {
+  std::printf("%-22s devices=%d naive=%.3fus optimized=%.3fus speedup=%.2fx "
+              "transfers=%d/%d checksum=%016llx %s\n",
+              r.name.c_str(), r.devices, r.naive_us, r.optimized_us,
+              r.speedup(), r.naive_transfers, r.optimized_transfers,
+              static_cast<unsigned long long>(r.checksum),
+              r.results_match() ? "verified" : "MISMATCH");
+  return r.results_match();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int devices = 2;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--devices=", 10) == 0) {
+      devices = std::atoi(argv[i] + 10);
+      if (devices < 1 || devices > 64) {
+        std::fprintf(stderr, "--devices out of range\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      std::fprintf(stderr, "usage: multi_tour [--devices=N] [--trace-out=F]\n");
+      return 2;
+    }
+  }
+
+  vgpu::RuntimeOptions base = vgpu::RuntimeOptions::from_env();
+  base.trace_path.clear();
+  base.advise_json_path.clear();
+
+  std::printf("== vgpu-multi tour: %d devices ==\n", devices);
+
+  // --- Peer-access lifecycle + remote atomic through the raw API ------------
+  {
+    vgpu::RuntimeOptions o = base;
+    o.devices = devices;
+    if (devices > 1) o.topology = "nvlink:" + std::to_string(devices);
+    if (!trace_out.empty()) {
+      o.trace_path = trace_out;
+      o.prof = vgpu::ProfMode::kTrace;
+    }
+    vgpu::DeviceSet set(o);
+    std::printf("topology: %s\n", set.topology().to_string().c_str());
+    if (devices > 1) {
+      // Enabling twice reports the CUDA already-enabled code; transfers
+      // before enablement would be host-staged.
+      set.enable_peer_access(0, 1);
+      vgpu::ErrorCode again = set.enable_peer_access(0, 1);
+      std::printf("re-enable(0,1): %s\n", vgpu::error_name(again));
+      set.enable_peer_access(1, 0);
+
+      vgpu::DevSpan<int> counter = set.device(1).malloc<int>(1);
+      set.device(1).memset(counter, 0);
+      set.device(1).synchronize();
+      set.set_device(0);
+      int before = 0;
+      for (int i = 0; i < 4; ++i)
+        before = set.peer_atomic_add(1, counter, 0, 10);
+      std::printf("peer_atomic_add: last_old=%d (expect 30)\n", before);
+      if (before != 30) return 1;
+
+      // One direct peer copy so the merged trace shows a MemCpy (PtoP) row.
+      vgpu::DevSpan<int> mirror = set.device(0).malloc<int>(1);
+      set.memcpy_peer(0, mirror, 1, counter, 1);
+      int got = 0;
+      std::span<int> one(&got, 1);
+      set.device(0).memcpy_d2h(one, mirror);
+      std::printf("peer copy-back: counter=%d (expect 40)\n", got);
+      if (got != 40) return 1;
+      set.set_device(0);
+    }
+  }
+
+  // --- The three scale-out ports at the requested device count --------------
+  bool ok = true;
+  ok &= report(cumb::run_halo_exchange(base, devices, 1 << 14, 8));
+  ok &= report(cumb::run_sharded_histogram(base, devices, 1 << 16, 128, 0.25));
+  ok &= report(cumb::run_pipelined_matmul(base, devices, 96, 96, 96));
+  if (!ok) {
+    std::fprintf(stderr, "multi_tour: verification FAILED\n");
+    return 1;
+  }
+  std::printf("all variants verified\n");
+  return 0;
+}

@@ -321,6 +321,32 @@ void Advisor::analyze_phase(const Phase& ph, std::vector<Advice>& out) const {
     }
   }
 
+  // host-staged-peer-transfer (vgpu-multi): inter-device copies that bounced
+  // through host memory because peer access was never enabled. Each record
+  // carries the would-have-been direct cost over the topology route, so the
+  // estimate is exactly staged-time / direct-time for the phase's traffic.
+  {
+    double staged_us = 0, direct_us = 0, staged_bytes = 0;
+    int staged_count = 0;
+    for (const ActivityRecord& r : ph.records) {
+      if (r.kind != ActivityRecord::Kind::kMemcpyP2P || !r.peer_staged) continue;
+      staged_us += r.duration_us();
+      direct_us += r.peer_direct_us;
+      staged_bytes += r.bytes;
+      ++staged_count;
+    }
+    if (staged_count > 0 && staged_us > 0 && direct_us > 0) {
+      push("host-staged-peer-transfer", "timeline", staged_us / direct_us,
+           {{"staged_transfers", static_cast<double>(staged_count), ""},
+            {"staged_bytes", staged_bytes, ""},
+            {"staged_us", staged_us, "us"},
+            {"direct_route_us", direct_us, "us"}},
+           "enable peer access (cudaDeviceEnablePeerAccess) and issue "
+           "cudaMemcpyPeerAsync so inter-device traffic rides the "
+           "interconnect instead of bouncing through host memory");
+    }
+  }
+
   // serial-small-kernels (ConKernels): small independent kernels that each
   // leave most of the device idle, run strictly one after another.
   if (kernel_recs.size() >= 2 && !any_kernel_overlap) {

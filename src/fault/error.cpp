@@ -8,6 +8,9 @@ const char* error_name(ErrorCode e) {
     case ErrorCode::kInvalidValue: return "cudaErrorInvalidValue";
     case ErrorCode::kMemoryAllocation: return "cudaErrorMemoryAllocation";
     case ErrorCode::kInvalidDevicePointer: return "cudaErrorInvalidDevicePointer";
+    case ErrorCode::kInvalidDevice: return "cudaErrorInvalidDevice";
+    case ErrorCode::kPeerAccessAlreadyEnabled: return "cudaErrorPeerAccessAlreadyEnabled";
+    case ErrorCode::kPeerAccessNotEnabled: return "cudaErrorPeerAccessNotEnabled";
     case ErrorCode::kLaunchOutOfResources: return "cudaErrorLaunchOutOfResources";
     case ErrorCode::kIllegalAddress: return "cudaErrorIllegalAddress";
     case ErrorCode::kLaunchFailure: return "cudaErrorLaunchFailure";
@@ -22,6 +25,9 @@ const char* error_string(ErrorCode e) {
     case ErrorCode::kInvalidValue: return "invalid argument";
     case ErrorCode::kMemoryAllocation: return "out of memory";
     case ErrorCode::kInvalidDevicePointer: return "invalid device pointer";
+    case ErrorCode::kInvalidDevice: return "invalid device ordinal";
+    case ErrorCode::kPeerAccessAlreadyEnabled: return "peer access is already enabled";
+    case ErrorCode::kPeerAccessNotEnabled: return "peer access has not been enabled";
     case ErrorCode::kLaunchOutOfResources: return "too many resources requested for launch";
     case ErrorCode::kIllegalAddress: return "an illegal memory access was encountered";
     case ErrorCode::kLaunchFailure: return "unspecified launch failure";

@@ -37,6 +37,9 @@ enum class ErrorCode : int {
   kInvalidValue = 1,           ///< cudaErrorInvalidValue: bad argument.
   kMemoryAllocation = 2,       ///< cudaErrorMemoryAllocation: device OOM.
   kInvalidDevicePointer = 17,  ///< cudaErrorInvalidDevicePointer: bad free.
+  kInvalidDevice = 101,        ///< cudaErrorInvalidDevice: bad ordinal.
+  kPeerAccessAlreadyEnabled = 704,  ///< Peer mapping already exists.
+  kPeerAccessNotEnabled = 705,      ///< Peer mapping never established.
   kLaunchOutOfResources = 701, ///< cudaErrorLaunchOutOfResources: transient.
   kIllegalAddress = 700,       ///< cudaErrorIllegalAddress: STICKY.
   kLaunchFailure = 719,        ///< cudaErrorLaunchFailure: STICKY.

@@ -1,5 +1,6 @@
 #include "fault/inject.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <limits>
@@ -32,7 +33,9 @@ FaultSite parse_site(std::string_view t) {
   if (t == "memset") return FaultSite::kMemset;
   if (t == "launch") return FaultSite::kLaunch;
   if (t == "um_migrate") return FaultSite::kUmMigrate;
-  bad_spec("unknown site (expected oom|h2d|d2h|memset|launch|um_migrate)", t);
+  if (t == "p2p") return FaultSite::kP2P;
+  bad_spec("unknown site (expected oom|h2d|d2h|memset|launch|um_migrate|p2p)",
+           t);
 }
 
 std::uint64_t parse_u64(std::string_view t) {
@@ -60,6 +63,7 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kMemset: return "memset";
     case FaultSite::kLaunch: return "launch";
     case FaultSite::kUmMigrate: return "um_migrate";
+    case FaultSite::kP2P: return "p2p";
   }
   return "?";
 }
@@ -90,11 +94,25 @@ FaultInjector FaultInjector::parse(std::string_view spec) {
 
     std::size_t colon = clause.find(':');
     if (colon == std::string_view::npos) bad_spec("missing ':'", clause);
-    FaultSite site = parse_site(clause.substr(0, colon));
+    std::string_view site_tok = clause.substr(0, colon);
+    int device = -1;
+    if (std::size_t at = site_tok.find('@'); at != std::string_view::npos) {
+      std::string_view scope = site_tok.substr(at + 1);
+      if (!scope.starts_with("dev") || scope.size() == 3)
+        bad_spec("bad device scope (expected '@dev' N)", site_tok);
+      std::uint64_t d = parse_u64(scope.substr(3));
+      if (d >= 64) bad_spec("device ordinal out of range (max 63)", site_tok);
+      device = static_cast<int>(d);
+      site_tok = site_tok.substr(0, at);
+    }
+    FaultSite site = parse_site(site_tok);
     auto& slot = inj.clauses_[static_cast<std::size_t>(site)];
-    if (slot.has_value()) bad_spec("duplicate clause for site", clause.substr(0, colon));
+    for (const FaultClause& prior : slot)
+      if (prior.device == device)
+        bad_spec("duplicate clause for site", clause.substr(0, colon));
 
     FaultClause c;
+    c.device = device;
     bool have_trigger = false;
     std::string_view params = clause.substr(colon + 1);
     while (!params.empty()) {
@@ -129,9 +147,25 @@ FaultInjector FaultInjector::parse(std::string_view spec) {
         bad_spec("unknown parameter", p);
       }
     }
-    slot = c;
+    slot.push_back(c);
   }
+  // Canonical order within a site: unscoped first, then ascending ordinal.
+  for (auto& site_clauses : inj.clauses_)
+    std::stable_sort(site_clauses.begin(), site_clauses.end(),
+                     [](const FaultClause& a, const FaultClause& b) {
+                       return a.device < b.device;
+                     });
   return inj;
+}
+
+const FaultClause* FaultInjector::select(FaultSite site, int device) const {
+  const auto& site_clauses = clauses_[static_cast<std::size_t>(site)];
+  const FaultClause* unscoped = nullptr;
+  for (const FaultClause& c : site_clauses) {
+    if (c.device == device) return &c;
+    if (c.device == -1) unscoped = &c;
+  }
+  return unscoped;
 }
 
 std::unique_ptr<FaultInjector> FaultInjector::from_spec(std::string_view spec) {
@@ -139,25 +173,51 @@ std::unique_ptr<FaultInjector> FaultInjector::from_spec(std::string_view spec) {
   return std::make_unique<FaultInjector>(parse(spec));
 }
 
+namespace {
+
+void render_clause(std::ostream& os, FaultSite site, const FaultClause& c) {
+  os << fault_site_name(site);
+  if (c.device >= 0) os << "@dev" << c.device;
+  os << ':';
+  if (c.transient) os << "transient,";
+  switch (c.trigger) {
+    case FaultClause::Trigger::kAlways: os << "fail"; break;
+    case FaultClause::Trigger::kAfter: os << "after=" << c.n; break;
+    case FaultClause::Trigger::kNth: os << "nth=" << c.n; break;
+    case FaultClause::Trigger::kProb:
+      os << "p=" << c.p << ",seed=" << c.seed;
+      break;
+  }
+}
+
+}  // namespace
+
 std::string FaultInjector::to_string() const {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
   bool first = true;
   for (std::size_t i = 0; i < kNumFaultSites; ++i) {
-    if (!clauses_[i].has_value()) continue;
-    const FaultClause& c = *clauses_[i];
+    for (const FaultClause& c : clauses_[i]) {
+      if (!first) os << ';';
+      first = false;
+      render_clause(os, static_cast<FaultSite>(i), c);
+    }
+  }
+  return os.str();
+}
+
+std::string FaultInjector::filtered_spec(int device) const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  bool first = true;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const FaultClause* c = select(static_cast<FaultSite>(i), device);
+    if (c == nullptr) continue;
     if (!first) os << ';';
     first = false;
-    os << fault_site_name(static_cast<FaultSite>(i)) << ':';
-    if (c.transient) os << "transient,";
-    switch (c.trigger) {
-      case FaultClause::Trigger::kAlways: os << "fail"; break;
-      case FaultClause::Trigger::kAfter: os << "after=" << c.n; break;
-      case FaultClause::Trigger::kNth: os << "nth=" << c.n; break;
-      case FaultClause::Trigger::kProb:
-        os << "p=" << c.p << ",seed=" << c.seed;
-        break;
-    }
+    FaultClause local = *c;
+    local.device = -1;
+    render_clause(os, static_cast<FaultSite>(i), local);
   }
   return os.str();
 }

@@ -14,8 +14,8 @@
 // per site:
 //
 //   spec    := clause (';' clause)*
-//   clause  := site ':' param (',' param)*
-//   site    := oom | h2d | d2h | memset | launch | um_migrate
+//   clause  := site ('@dev' N)? ':' param (',' param)*
+//   site    := oom | h2d | d2h | memset | launch | um_migrate | p2p
 //   param   := 'fail'            fire on every call (default)
 //            | 'transient'       launch only: immediate non-sticky
 //                                cudaErrorLaunchOutOfResources instead of a
@@ -29,6 +29,14 @@
 //   VGPU_FAULT="h2d:nth=2"                       2nd H2D copy fails
 //   VGPU_FAULT="launch:transient,p=0.1,seed=7"   10% of launches rejected
 //   VGPU_FAULT="um_migrate:fail"                 every page migration fails
+//   VGPU_FAULT="p2p@dev1:nth=2"                  2nd peer copy out of device 1
+//
+// The optional '@dev' N suffix scopes a clause to one device ordinal in a
+// multi-GPU DeviceSet (a lone Runtime is ordinal 0). A device-scoped clause
+// overrides the unscoped clause for the same site on that device, so
+// "oom:fail;oom@dev1:nth=3" means every allocation fails except on device 1,
+// where only the third does. The 'p2p' site guards peer transfers and fires
+// against the *source* device's ordinal.
 //
 // Every decision is a pure function of (site call counter, clause, seed):
 // counters advance on the submitting host thread in program order, so the
@@ -39,9 +47,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace vgpu {
 
@@ -53,8 +61,9 @@ enum class FaultSite : std::uint8_t {
   kMemset,       ///< Device-side fill.
   kLaunch,       ///< Kernel launch.
   kUmMigrate,    ///< Unified-memory page migration (either direction).
+  kP2P,          ///< Peer-to-peer transfer (scoped to the source device).
 };
-inline constexpr std::size_t kNumFaultSites = 6;
+inline constexpr std::size_t kNumFaultSites = 7;
 
 const char* fault_site_name(FaultSite s);
 
@@ -63,6 +72,7 @@ struct FaultClause {
   enum class Trigger : std::uint8_t { kAlways, kAfter, kNth, kProb };
   Trigger trigger = Trigger::kAlways;
   bool transient = false;       ///< launch only (see header comment).
+  int device = -1;              ///< Device ordinal scope, -1 = any device.
   std::uint64_t n = 0;          ///< kAfter / kNth threshold.
   double p = 0.0;               ///< kProb probability.
   std::uint64_t seed = 0;       ///< kProb seed.
@@ -85,26 +95,40 @@ class FaultInjector {
   /// RuntimeOptions::from_env().fault_spec.
   static std::unique_ptr<FaultInjector> from_spec(std::string_view spec);
 
-  /// True if any clause targets `site` (cheap pre-check).
-  bool armed(FaultSite site) const {
-    return clauses_[static_cast<std::size_t>(site)].has_value();
+  /// True if any clause could fire at `site` on `device` (cheap pre-check).
+  bool armed(FaultSite site, int device = 0) const {
+    return select(site, device) != nullptr;
   }
-  /// Decide for the next call at `site`; advances that site's counter.
-  bool fire(FaultSite site) {
-    auto& c = clauses_[static_cast<std::size_t>(site)];
-    return c.has_value() && c->fire();
+  /// Decide for the next call at `site` on `device`; advances the counter of
+  /// the clause that decided (the device-scoped one when both match).
+  bool fire(FaultSite site, int device = 0) {
+    FaultClause* c = select(site, device);
+    return c != nullptr && c->fire();
   }
-  /// Whether the clause at `site` carries the 'transient' flavor.
-  bool transient(FaultSite site) const {
-    const auto& c = clauses_[static_cast<std::size_t>(site)];
-    return c.has_value() && c->transient;
+  /// Whether the clause deciding (`site`, `device`) carries 'transient'.
+  bool transient(FaultSite site, int device = 0) const {
+    const FaultClause* c = select(site, device);
+    return c != nullptr && c->transient;
   }
 
   /// Canonical re-rendering of the spec (round-trips through parse()).
+  /// Clauses render in site order, unscoped before device-scoped.
   std::string to_string() const;
 
+  /// The spec as seen from one device ordinal: for every site, the clause
+  /// that decides there (device-scoped overriding unscoped), rendered with
+  /// the scope suffix dropped. A DeviceSet hands each member Runtime its
+  /// filtered spec so per-device call counters stay independent.
+  std::string filtered_spec(int device) const;
+
  private:
-  std::array<std::optional<FaultClause>, kNumFaultSites> clauses_;
+  const FaultClause* select(FaultSite site, int device) const;
+  FaultClause* select(FaultSite site, int device) {
+    return const_cast<FaultClause*>(
+        static_cast<const FaultInjector*>(this)->select(site, device));
+  }
+
+  std::array<std::vector<FaultClause>, kNumFaultSites> clauses_;
 };
 
 }  // namespace vgpu

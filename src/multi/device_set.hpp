@@ -1,0 +1,201 @@
+#pragma once
+
+// vgpu-multi: DeviceSet — N Runtimes joined by a Topology.
+//
+// One DeviceSet is the multi-GPU analogue of one Runtime: it owns a Runtime
+// per device ordinal (each with its own heap, streams, SM pool, profiler and
+// DMA engines — one copy-engine row per device for free), a Topology
+// describing the interconnect, and the peer state CUDA exposes through
+// cudaDeviceEnablePeerAccess. A single shared HostClock is installed into
+// every member Timeline, so host submission costs and blocking waits
+// serialize across devices exactly as one host thread driving N GPUs would.
+//
+// Peer transfers come in the two flavors the benchmarks contrast:
+//
+//   staged   peers NOT enabled (cudaMemcpyPeer before enablement): the copy
+//            bounces through host memory — a blocking D2H on the source
+//            device followed by an H2D on the destination, two PCIe
+//            traversals and a host round-trip,
+//   direct   peers enabled: the payload routes over the Topology's links,
+//            each hop a serially-reusable resource with its own bandwidth
+//            and latency; the host only pays the submission cost.
+//
+// Every peer copy is recorded as one kMemcpyP2P activity on the *source*
+// device (with peer_staged and the would-have-been direct cost, which is
+// what the host-staged-peer-transfer advisor rule prices), and each hop of a
+// direct copy is remembered as a LinkSpan for the per-link rows of the
+// merged chrome trace (write_chrome_trace).
+//
+// Determinism: everything is decided on the submitting host thread in
+// program order — link queues, fault decisions (p2p site scoped to the
+// source device), functional heap moves — so multi-GPU results are
+// bit-identical at any VGPU_THREADS, same as single-device. Cross-device
+// reductions in the benchmark ports merge partials in device-ordinal order,
+// mirroring the worker-lane block-order merge inside one grid.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "multi/topology.hpp"
+#include "rt/runtime.hpp"
+
+namespace vgpu {
+
+class DeviceSet {
+ public:
+  /// One hop of a direct peer transfer, for the per-link trace rows.
+  struct LinkSpan {
+    std::size_t link = 0;  ///< Index into topology().links().
+    int src = 0;           ///< Transfer endpoints (device ordinals).
+    int dst = 0;
+    double start_us = 0;
+    double end_us = 0;
+    double bytes = 0;
+  };
+
+  /// Build `opts.devices` identically-configured Runtimes joined by
+  /// `opts.topology` (default: a PCIe switch). A non-empty topology wins
+  /// over a defaulted device count; an explicit mismatch between the two
+  /// throws std::invalid_argument. Device-scoped fault clauses are filtered
+  /// per member (FaultInjector::filtered_spec), p2p clauses stay here.
+  explicit DeviceSet(RuntimeOptions opts);
+  ~DeviceSet();
+  DeviceSet(const DeviceSet&) = delete;
+  DeviceSet& operator=(const DeviceSet&) = delete;
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  const Topology& topology() const { return topo_; }
+  Runtime& device(int ordinal) { return *devices_.at(static_cast<std::size_t>(ordinal)); }
+
+  /// cudaSetDevice / cudaGetDevice: the ordinal subsequent work targets.
+  ErrorCode set_device(int ordinal);
+  int current_device() const { return current_; }
+  Runtime& current() { return *devices_[static_cast<std::size_t>(current_)]; }
+
+  // --- Peer access (cudaDeviceCanAccessPeer / EnablePeerAccess) --------------
+  /// Any two distinct devices in a topology can reach each other.
+  bool can_access_peer(int device, int peer) const;
+  /// Enable `device` -> `peer` direct transfers (directional, like CUDA).
+  /// Records on `device`: kPeerAccessAlreadyEnabled when repeated,
+  /// kInvalidDevice on a bad ordinal or device == peer.
+  ErrorCode enable_peer_access(int device, int peer);
+  /// Records kPeerAccessNotEnabled when the mapping was never established.
+  ErrorCode disable_peer_access(int device, int peer);
+  bool peer_enabled(int device, int peer) const;
+
+  // --- Peer transfers (cudaMemcpyPeer / cudaMemcpyPeerAsync) -----------------
+  /// Copy `n` elements from `src` on `src_dev` to `dst` on `dst_dev`.
+  /// Blocking form synchronizes the host with the transfer's completion.
+  /// Argument errors record kInvalidValue on the source device; an injected
+  /// p2p fault (scoped to the source ordinal) records kUnknown — deferred
+  /// onto `stream` for the async form, immediate for the blocking one.
+  template <typename T>
+  Timeline::Span memcpy_peer(int dst_dev, DevSpan<T> dst, int src_dev,
+                             DevSpan<T> src, std::size_t n) {
+    return memcpy_peer_impl(dst_dev, dst, src_dev, src, n, nullptr);
+  }
+  /// Async on `stream`, a stream of the *source* device.
+  template <typename T>
+  Timeline::Span memcpy_peer_async(int dst_dev, DevSpan<T> dst, int src_dev,
+                                   DevSpan<T> src, std::size_t n, Stream& stream) {
+    return memcpy_peer_impl(dst_dev, dst, src_dev, src, n, &stream);
+  }
+
+  /// Remote atomic add from the current device into `target[idx]` on
+  /// `dst_dev`: a functional read-modify-write plus a round trip over the
+  /// route (two hop-latency traversals, payload-sized wire time). Issued and
+  /// resolved on the host thread in program order — deterministic. Returns
+  /// the previous value; requires peer access (records kPeerAccessNotEnabled
+  /// and leaves the value untouched otherwise).
+  template <typename T>
+  T peer_atomic_add(int dst_dev, DevSpan<T> target, std::size_t idx, T value) {
+    int src_dev = current_;
+    if (!check_peer_op(dst_dev, src_dev, target.addr != 0 && idx < target.n))
+      return T{};
+    if (!peer_enabled_at(src_dev, dst_dev)) {
+      device(src_dev).record_call(ErrorCode::kPeerAccessNotEnabled);
+      return T{};
+    }
+    T old{};
+    std::span<T> one(&old, 1);
+    DevSpan<T> cell = target.subspan(idx, 1);
+    device(dst_dev).gpu().heap().copy_out(one, cell);
+    T next = static_cast<T>(old + value);
+    std::span<const T> upd(&next, 1);
+    device(dst_dev).gpu().heap().copy_in(cell, upd);
+    atomic_round_trip(src_dev, dst_dev, static_cast<double>(sizeof(T)));
+    return old;
+  }
+
+  /// cudaDeviceSynchronize over every member: surfaces each device's
+  /// deferred stream errors; returns the first non-success code in ordinal
+  /// order (kSuccess when all are clean).
+  ErrorCode synchronize_all();
+
+  /// The shared host clock, microseconds.
+  double host_now() const { return clock_.now; }
+
+  /// Hops of every direct peer transfer so far, in submission order.
+  const std::vector<LinkSpan>& link_spans() const { return link_spans_; }
+
+  /// Merged chrome://tracing export: one process (pid) per device with its
+  /// full stream/engine rows, plus an "interconnect" process holding one row
+  /// per topology link. Requires ProfMode::kTrace on the member runtimes
+  /// (the DeviceSet keeps members' trace_path empty and owns the file).
+  std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  Timeline::Span memcpy_peer_impl_untyped(int dst_dev, int src_dev,
+                                          double bytes, Stream* stream);
+  template <typename T>
+  Timeline::Span memcpy_peer_impl(int dst_dev, DevSpan<T> dst, int src_dev,
+                                  DevSpan<T> src, std::size_t n, Stream* stream) {
+    bool args_ok = dst.addr != 0 && src.addr != 0 && n <= src.n && n <= dst.n;
+    if (!check_peer_op(dst_dev, src_dev, args_ok)) return {};
+    if (fault_ != nullptr && fault_->fire(FaultSite::kP2P, src_dev)) {
+      if (stream != nullptr)
+        stream->defer_error(ErrorCode::kUnknown);
+      else
+        device(src_dev).record_call(ErrorCode::kUnknown);
+      return {};
+    }
+    // Functional move first (eager, like Runtime copies), then the timing.
+    std::vector<T> bounce(n);
+    device(src_dev).gpu().heap().copy_out(std::span<T>(bounce),
+                                          src.subspan(0, n));
+    device(dst_dev).gpu().heap().copy_in(dst.subspan(0, n),
+                                         std::span<const T>(bounce));
+    return memcpy_peer_impl_untyped(dst_dev, src_dev,
+                                    static_cast<double>(n * sizeof(T)), stream);
+  }
+
+  /// Validate ordinals + arguments; records kInvalidDevice / kInvalidValue
+  /// on the best runtime available and returns false on any failure.
+  bool check_peer_op(int dst_dev, int src_dev, bool args_ok);
+  bool peer_enabled_at(int device, int peer) const {
+    return peer_[static_cast<std::size_t>(device)]
+                [static_cast<std::size_t>(peer)];
+  }
+  /// Schedule `bytes` over the route src->dst starting no earlier than `t`;
+  /// links are serially reusable. Returns the transfer span and appends the
+  /// per-hop LinkSpans.
+  Timeline::Span route_transfer(int src_dev, int dst_dev, double bytes, double t);
+  void atomic_round_trip(int src_dev, int dst_dev, double bytes);
+  void record_p2p(int src_dev, int dst_dev, double bytes, Timeline::Span span,
+                  Stream* stream, bool staged);
+
+  Topology topo_;
+  HostClock clock_;
+  std::vector<std::unique_ptr<Runtime>> devices_;
+  std::vector<std::vector<bool>> peer_;   // peer_[src][dst] access enabled.
+  std::vector<double> link_free_;         // Per-link next-free time.
+  std::vector<LinkSpan> link_spans_;
+  std::unique_ptr<FaultInjector> fault_;  // Full (unfiltered) spec; p2p site.
+  std::string trace_path_;                // Merged-trace sink ("" = none).
+  int current_ = 0;
+};
+
+}  // namespace vgpu

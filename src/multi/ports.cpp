@@ -1,0 +1,445 @@
+#include "multi/ports.hpp"
+
+#include <algorithm>
+#include <array>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/histogram.hpp"
+
+namespace cumb {
+
+namespace {
+
+constexpr int kTpb = 256;
+
+/// Options one variant's DeviceSet is built from: the caller's base with the
+/// device count pinned and (when unspecified) an NVLink ring — the scale-out
+/// shape whose direct path the optimized variants exercise.
+vgpu::RuntimeOptions set_options(const vgpu::RuntimeOptions& base, int devices) {
+  if (devices < 1 || devices > 64)
+    throw std::invalid_argument("multi ports: device count out of range");
+  vgpu::RuntimeOptions o = base;
+  o.devices = devices;
+  if (o.topology.empty() && devices > 1)
+    o.topology = "nvlink:" + std::to_string(devices);
+  return o;
+}
+
+void enable_all_peers(DeviceSet& set) {
+  for (int a = 0; a < set.device_count(); ++a)
+    for (int b = 0; b < set.device_count(); ++b)
+      if (a != b) set.enable_peer_access(a, b);
+}
+
+void begin_phase(DeviceSet& set, const char* name) {
+  for (int d = 0; d < set.device_count(); ++d)
+    set.device(d).advise_phase(name);
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Deterministic float in [0, 1): the domain initializer of the stencil.
+float cell_init(long long i) {
+  std::uint32_t x = static_cast<std::uint32_t>(i) * 1664525u + 1013904223u;
+  return static_cast<float>(x & 0xffffu) / 65536.0f;
+}
+
+// --- Halo-exchange stencil kernels ------------------------------------------
+
+/// next[c] = 0.25*cur[c-1] + 0.5*cur[c] + 0.25*cur[c+1] over the interior
+/// cells of a (shard + 2)-wide span whose cells 0 and shard+1 are halos.
+WarpTask halo_stencil_kernel(WarpCtx& w, DevSpan<float> cur, DevSpan<float> next,
+                             int shard) {
+  LaneI i = w.global_tid_x();
+  w.branch(i < shard, [&] {
+    LaneI c = i + 1;
+    LaneF left = w.load(cur, c - 1);
+    LaneF mid = w.load(cur, c);
+    LaneF right = w.load(cur, c + 1);
+    w.store(next, c, left * 0.25f + mid * 0.5f + right * 0.25f);
+  });
+  co_return;
+}
+
+/// dst[i] += src[i] — the ordinal-order reduction step of the histogram port.
+WarpTask vec_iadd_kernel(WarpCtx& w, DevSpan<int> dst, DevSpan<int> src, int n) {
+  LaneI i = w.global_tid_x();
+  w.branch(i < n, [&] {
+    LaneVec<int> a = w.load(dst, i);
+    LaneVec<int> b = w.load(src, i);
+    w.store(dst, i, a + b);
+  });
+  co_return;
+}
+
+/// C[g] += sum_t A[row*k + koff + t] * B[t*n + col] for one k-block of B.
+WarpTask mm_block_acc_kernel(WarpCtx& w, DevSpan<float> a, DevSpan<float> bblk,
+                             DevSpan<float> c, int rows, int n, int kb, int k,
+                             int koff) {
+  LaneI g = w.global_tid_x();
+  w.branch(g < rows * n, [&] {
+    LaneI row = g / n;
+    LaneI col = g % n;
+    LaneF acc(0.0f);
+    for (int t = 0; t < kb; ++t) {
+      LaneF av = w.load(a, row * k + (koff + t));
+      LaneF bv = w.load(bblk, LaneI(t * n) + col);
+      acc += av * bv;
+    }
+    w.store(c, g, w.load(c, g) + acc);
+  });
+  co_return;
+}
+
+}  // namespace
+
+// --- Halo-exchange stencil ---------------------------------------------------
+
+MultiPairResult run_halo_exchange(const vgpu::RuntimeOptions& base, int devices,
+                                  int n_total, int steps) {
+  int quantum = kTpb * devices;
+  n_total = ((n_total + quantum - 1) / quantum) * quantum;
+  int shard = n_total / devices;
+
+  // Host reference: fixed zero boundary, same per-element evaluation order
+  // as the kernel (bitwise-identical floats at any shard count).
+  std::vector<float> ref(static_cast<std::size_t>(n_total));
+  for (int i = 0; i < n_total; ++i)
+    ref[static_cast<std::size_t>(i)] = cell_init(i);
+  {
+    std::vector<float> nxt(ref.size());
+    for (int s = 0; s < steps; ++s) {
+      for (int i = 0; i < n_total; ++i) {
+        float left = i > 0 ? ref[static_cast<std::size_t>(i - 1)] : 0.0f;
+        float mid = ref[static_cast<std::size_t>(i)];
+        float right = i + 1 < n_total ? ref[static_cast<std::size_t>(i + 1)] : 0.0f;
+        nxt[static_cast<std::size_t>(i)] = left * 0.25f + mid * 0.5f + right * 0.25f;
+      }
+      ref.swap(nxt);
+    }
+  }
+
+  MultiPairResult res;
+  res.name = "MultiHaloStencil";
+  res.devices = devices;
+
+  auto run_variant = [&](bool optimized, double& out_us, bool& out_ok,
+                         int& out_transfers) {
+    DeviceSet set(set_options(base, devices));
+    if (optimized) enable_all_peers(set);
+    begin_phase(set, optimized ? "halo.optimized" : "halo.naive");
+
+    std::vector<DevSpan<float>> cur(static_cast<std::size_t>(devices));
+    std::vector<DevSpan<float>> nxt(static_cast<std::size_t>(devices));
+    std::vector<float> init(static_cast<std::size_t>(shard) + 2, 0.0f);
+    for (int d = 0; d < devices; ++d) {
+      auto& rt = set.device(d);
+      cur[static_cast<std::size_t>(d)] = rt.malloc<float>(static_cast<std::size_t>(shard) + 2);
+      nxt[static_cast<std::size_t>(d)] = rt.malloc<float>(static_cast<std::size_t>(shard) + 2);
+      for (int i = 0; i < shard; ++i)
+        init[static_cast<std::size_t>(i) + 1] =
+            cell_init(static_cast<long long>(d) * shard + i);
+      init.front() = 0.0f;
+      init.back() = 0.0f;
+      rt.memcpy_h2d(cur[static_cast<std::size_t>(d)], std::span<const float>(init));
+      // Halo cells of `next` stay whatever the exchange writes; the fixed
+      // domain boundary cells are only ever read from `cur`, seed them too.
+      rt.memcpy_h2d(nxt[static_cast<std::size_t>(d)], std::span<const float>(init));
+    }
+    set.synchronize_all();
+
+    int transfers = 0;
+    double t0 = set.host_now();
+    for (int s = 0; s < steps; ++s) {
+      // Exchange halos between every adjacent shard pair.
+      for (int d = 0; d + 1 < devices; ++d) {
+        auto lo = static_cast<std::size_t>(d);
+        auto hi = lo + 1;
+        set.memcpy_peer(d + 1, cur[hi].subspan(0, 1), d,
+                        cur[lo].subspan(static_cast<std::size_t>(shard), 1), 1);
+        set.memcpy_peer(d, cur[lo].subspan(static_cast<std::size_t>(shard) + 1, 1),
+                        d + 1, cur[hi].subspan(1, 1), 1);
+        transfers += 2;
+      }
+      for (int d = 0; d < devices; ++d) {
+        LaunchConfig cfg{Dim3{blocks_for(shard, kTpb)}, Dim3{kTpb}, "halo_stencil"};
+        DevSpan<float> c = cur[static_cast<std::size_t>(d)];
+        DevSpan<float> x = nxt[static_cast<std::size_t>(d)];
+        set.device(d).launch(cfg, [=](WarpCtx& w) {
+          return halo_stencil_kernel(w, c, x, shard);
+        });
+      }
+      set.synchronize_all();
+      cur.swap(nxt);
+    }
+    out_us = set.host_now() - t0;
+    out_transfers = transfers;
+
+    // Gather shards in device-ordinal order (the deterministic merge).
+    std::vector<float> got(static_cast<std::size_t>(n_total));
+    for (int d = 0; d < devices; ++d) {
+      std::vector<float> shard_out(static_cast<std::size_t>(shard) + 2);
+      set.device(d).memcpy_d2h(std::span<float>(shard_out),
+                               cur[static_cast<std::size_t>(d)]);
+      for (int i = 0; i < shard; ++i)
+        got[static_cast<std::size_t>(d) * static_cast<std::size_t>(shard) +
+            static_cast<std::size_t>(i)] = shard_out[static_cast<std::size_t>(i) + 1];
+    }
+    out_ok = got == ref;
+    if (optimized) res.checksum = fnv1a(got.data(), got.size() * sizeof(float));
+  };
+
+  run_variant(false, res.naive_us, res.naive_ok, res.naive_transfers);
+  run_variant(true, res.optimized_us, res.optimized_ok, res.optimized_transfers);
+  return res;
+}
+
+// --- Sharded histogram -------------------------------------------------------
+
+MultiPairResult run_sharded_histogram(const vgpu::RuntimeOptions& base,
+                                      int devices, int n_total, int bins,
+                                      double skew) {
+  if (bins < 1 || bins > 4096)
+    throw std::invalid_argument("run_sharded_histogram: bins out of range");
+  int quantum = kTpb * devices;
+  n_total = ((n_total + quantum - 1) / quantum) * quantum;
+  int shard = n_total / devices;
+
+  std::mt19937_64 rng(161);
+  std::uniform_real_distribution<double> coin(0, 1);
+  std::uniform_int_distribution<int> uni(0, bins - 1);
+  std::vector<int> samples(static_cast<std::size_t>(n_total));
+  std::vector<int> want(static_cast<std::size_t>(bins), 0);
+  for (int& s : samples) {
+    s = coin(rng) < skew ? 0 : uni(rng);
+    ++want[static_cast<std::size_t>(s)];
+  }
+
+  MultiPairResult res;
+  res.name = "MultiShardHistogram";
+  res.devices = devices;
+
+  auto run_variant = [&](bool optimized, double& out_us, bool& out_ok,
+                         int& out_transfers) {
+    DeviceSet set(set_options(base, devices));
+    if (optimized) enable_all_peers(set);
+    begin_phase(set, optimized ? "hist.optimized" : "hist.naive");
+
+    std::vector<int> zero(static_cast<std::size_t>(bins), 0);
+    std::vector<DevSpan<int>> in(static_cast<std::size_t>(devices));
+    std::vector<DevSpan<int>> hist(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d) {
+      auto& rt = set.device(d);
+      in[static_cast<std::size_t>(d)] = rt.malloc<int>(static_cast<std::size_t>(shard));
+      hist[static_cast<std::size_t>(d)] = rt.malloc<int>(static_cast<std::size_t>(bins));
+      rt.memcpy_h2d(in[static_cast<std::size_t>(d)],
+                    std::span<const int>(samples).subspan(
+                        static_cast<std::size_t>(d) * static_cast<std::size_t>(shard),
+                        static_cast<std::size_t>(shard)));
+      rt.memcpy_h2d(hist[static_cast<std::size_t>(d)], std::span<const int>(zero));
+    }
+    DevSpan<int> scratch = set.device(0).malloc<int>(static_cast<std::size_t>(bins));
+    set.synchronize_all();
+
+    int transfers = 0;
+    double t0 = set.host_now();
+    for (int d = 0; d < devices; ++d) {
+      LaunchConfig cfg{Dim3{blocks_for(shard, kTpb)}, Dim3{kTpb}, "hist_shard"};
+      DevSpan<int> bi = in[static_cast<std::size_t>(d)];
+      DevSpan<int> hi = hist[static_cast<std::size_t>(d)];
+      set.device(d).launch(cfg, [=](WarpCtx& w) {
+        return hist_global_kernel(w, bi, hi, shard);
+      });
+    }
+    set.synchronize_all();
+    // Reduce partials onto device 0 in ordinal order.
+    for (int d = 1; d < devices; ++d) {
+      set.memcpy_peer(0, scratch, d, hist[static_cast<std::size_t>(d)],
+                      static_cast<std::size_t>(bins));
+      ++transfers;
+      LaunchConfig cfg{Dim3{blocks_for(bins, kTpb)}, Dim3{kTpb}, "hist_reduce"};
+      DevSpan<int> h0 = hist[0];
+      DevSpan<int> sc = scratch;
+      int nb = bins;
+      set.device(0).launch(cfg, [=](WarpCtx& w) {
+        return vec_iadd_kernel(w, h0, sc, nb);
+      });
+    }
+    set.synchronize_all();
+    out_us = set.host_now() - t0;
+    out_transfers = transfers;
+
+    std::vector<int> got(static_cast<std::size_t>(bins));
+    set.device(0).memcpy_d2h(std::span<int>(got), hist[0]);
+    out_ok = got == want;
+    if (optimized) res.checksum = fnv1a(got.data(), got.size() * sizeof(int));
+  };
+
+  run_variant(false, res.naive_us, res.naive_ok, res.naive_transfers);
+  run_variant(true, res.optimized_us, res.optimized_ok, res.optimized_transfers);
+  return res;
+}
+
+// --- Pipelined matmul --------------------------------------------------------
+
+MultiPairResult run_pipelined_matmul(const vgpu::RuntimeOptions& base,
+                                     int devices, int m, int n, int k) {
+  // Whole tiles everywhere: rows per device, and k split into `devices`
+  // equal blocks.
+  m = ((m + devices - 1) / devices) * devices;
+  k = ((k + devices - 1) / devices) * devices;
+  int rows = m / devices;
+  int kb = k / devices;
+
+  std::vector<float> a(static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+  std::vector<float> b(static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = cell_init(static_cast<long long>(i));
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = cell_init(static_cast<long long>(i) + 7919);
+
+  // Host reference replicating the device evaluation order exactly: each row
+  // block d accumulates its k-blocks in ring order (d, d+1, ... mod D), each
+  // block's inner product in ascending t.
+  std::vector<float> ref(static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 0.0f);
+  for (int d = 0; d < devices; ++d) {
+    for (int r = 0; r < devices; ++r) {
+      int blk = (d + r) % devices;
+      int koff = blk * kb;
+      for (int i = d * rows; i < (d + 1) * rows; ++i) {
+        for (int j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int t = 0; t < kb; ++t)
+            acc += a[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+                     static_cast<std::size_t>(koff + t)] *
+                   b[static_cast<std::size_t>(koff + t) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(j)];
+          ref[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(j)] += acc;
+        }
+      }
+    }
+  }
+
+  MultiPairResult res;
+  res.name = "MultiPipelineMatmul";
+  res.devices = devices;
+
+  auto run_variant = [&](bool optimized, double& out_us, bool& out_ok,
+                         int& out_transfers) {
+    DeviceSet set(set_options(base, devices));
+    if (optimized) enable_all_peers(set);
+    begin_phase(set, optimized ? "matmul.optimized" : "matmul.naive");
+
+    std::size_t blk_elems = static_cast<std::size_t>(kb) * static_cast<std::size_t>(n);
+    std::vector<DevSpan<float>> da(static_cast<std::size_t>(devices));
+    std::vector<DevSpan<float>> dc(static_cast<std::size_t>(devices));
+    std::vector<DevSpan<float>> dbown(static_cast<std::size_t>(devices));
+    std::vector<std::array<DevSpan<float>, 2>> dbuf(static_cast<std::size_t>(devices));
+    std::vector<Stream*> xfer(static_cast<std::size_t>(devices));
+    std::vector<float> zero(static_cast<std::size_t>(rows) * static_cast<std::size_t>(n),
+                            0.0f);
+    for (int d = 0; d < devices; ++d) {
+      auto di = static_cast<std::size_t>(d);
+      auto& rt = set.device(d);
+      da[di] = rt.malloc<float>(static_cast<std::size_t>(rows) * static_cast<std::size_t>(k));
+      dc[di] = rt.malloc<float>(zero.size());
+      dbown[di] = rt.malloc<float>(blk_elems);
+      dbuf[di] = {rt.malloc<float>(blk_elems), rt.malloc<float>(blk_elems)};
+      xfer[di] = &rt.create_stream();
+      rt.memcpy_h2d(da[di], std::span<const float>(a).subspan(
+                                static_cast<std::size_t>(d) * static_cast<std::size_t>(rows) *
+                                    static_cast<std::size_t>(k),
+                                static_cast<std::size_t>(rows) * static_cast<std::size_t>(k)));
+      rt.memcpy_h2d(dc[di], std::span<const float>(zero));
+      rt.memcpy_h2d(dbown[di],
+                    std::span<const float>(b).subspan(
+                        static_cast<std::size_t>(d) * static_cast<std::size_t>(kb) *
+                            static_cast<std::size_t>(n),
+                        blk_elems));
+    }
+    set.synchronize_all();
+
+    int transfers = 0;
+    double t0 = set.host_now();
+    // Round 0 multiplies the locally-owned block in place; later rounds read
+    // the double buffer the previous round's fetch filled.
+    for (int r = 0; r < devices; ++r) {
+      if (r > 0) {
+        for (int d = 0; d < devices; ++d) {
+          auto di = static_cast<std::size_t>(d);
+          // The block this round consumes must have landed.
+          set.device(d).stream_synchronize(*xfer[di]);
+        }
+      }
+      if (optimized && r + 1 < devices) {
+        // Prefetch next round's block over P2P while this round computes.
+        for (int d = 0; d < devices; ++d) {
+          auto di = static_cast<std::size_t>(d);
+          int owner = (d + r + 1) % devices;
+          set.memcpy_peer_async(d, dbuf[di][(r + 1) % 2], owner,
+                                dbown[static_cast<std::size_t>(owner)], blk_elems,
+                                *xfer[static_cast<std::size_t>(owner)]);
+          ++transfers;
+        }
+      }
+      for (int d = 0; d < devices; ++d) {
+        auto di = static_cast<std::size_t>(d);
+        int blk = (d + r) % devices;
+        LaunchConfig cfg{Dim3{blocks_for(static_cast<long long>(rows) * n, kTpb)},
+                         Dim3{kTpb}, "mm_block_acc"};
+        DevSpan<float> A = da[di];
+        DevSpan<float> B =
+            r == 0 ? dbown[di] : dbuf[di][static_cast<std::size_t>(r % 2)];
+        DevSpan<float> C = dc[di];
+        int koff = blk * kb;
+        int rw = rows, nn = n, kk = k, kbb = kb;
+        set.device(d).launch(cfg, [=](WarpCtx& w) {
+          return mm_block_acc_kernel(w, A, B, C, rw, nn, kbb, kk, koff);
+        });
+      }
+      if (!optimized && r + 1 < devices) {
+        // Naive: wait for this round's kernels, then fetch the next block
+        // synchronously (host-staged, since peers were never enabled).
+        set.synchronize_all();
+        for (int d = 0; d < devices; ++d) {
+          auto di = static_cast<std::size_t>(d);
+          int owner = (d + r + 1) % devices;
+          set.memcpy_peer(d, dbuf[di][(r + 1) % 2], owner,
+                          dbown[static_cast<std::size_t>(owner)], blk_elems);
+          ++transfers;
+        }
+      }
+    }
+    set.synchronize_all();
+    out_us = set.host_now() - t0;
+    out_transfers = transfers;
+
+    std::vector<float> got(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+    for (int d = 0; d < devices; ++d) {
+      std::vector<float> block(zero.size());
+      set.device(d).memcpy_d2h(std::span<float>(block), dc[static_cast<std::size_t>(d)]);
+      std::copy(block.begin(), block.end(),
+                got.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(d) * zero.size()));
+    }
+    out_ok = got == ref;
+    if (optimized) res.checksum = fnv1a(got.data(), got.size() * sizeof(float));
+  };
+
+  run_variant(false, res.naive_us, res.naive_ok, res.naive_transfers);
+  run_variant(true, res.optimized_us, res.optimized_ok, res.optimized_transfers);
+  return res;
+}
+
+}  // namespace cumb

@@ -1,0 +1,76 @@
+#pragma once
+
+// Multi-GPU ports of three benchmarks (MGMark-style scaling pairs).
+//
+// Each driver runs the same workload twice on a fresh DeviceSet:
+//
+//   naive      peer access never enabled — every inter-device byte bounces
+//              through the host (staged D2H + H2D),
+//   optimized  peer access enabled and transfers routed directly over the
+//              topology links (plus transfer/compute overlap where the
+//              workload pipeline allows it).
+//
+// Both variants verify bitwise against a host reference that replicates the
+// device's floating-point evaluation order exactly, and both merge
+// cross-device partials in device-ordinal order — the multi-GPU analogue of
+// the worker-lane block-order merge — so results are bit-identical at any
+// VGPU_THREADS. run_* helpers are shared by bench/multi_*.cpp, the
+// multi_tour example and tests/multi_test.cpp.
+//
+//   halo-exchange stencil   1-D 3-point diffusion over a row-sharded domain;
+//                           one tiny boundary exchange per neighbor per step
+//                           (latency-bound: staging is catastrophic),
+//   sharded histogram       contiguous sample shards binned locally, partial
+//                           histograms reduced onto device 0,
+//   pipelined matmul        A row-sharded, B block-cycled between devices;
+//                           the optimized variant prefetches the next B
+//                           block over P2P while computing the current one.
+
+#include <cstdint>
+#include <string>
+
+#include "core/common.hpp"
+#include "multi/device_set.hpp"
+
+namespace cumb {
+
+using vgpu::DeviceSet;
+
+/// Outcome of one naive-vs-optimized multi-GPU comparison.
+struct MultiPairResult {
+  std::string name;
+  int devices = 1;
+  double naive_us = 0;       ///< Simulated time of the measured region.
+  double optimized_us = 0;
+  bool naive_ok = false;     ///< Bitwise match against the host reference.
+  bool optimized_ok = false;
+  bool results_match() const { return naive_ok && optimized_ok; }
+  /// FNV-1a over the optimized variant's result bytes: a determinism probe
+  /// (byte-identical runs agree on it, any divergence shows up immediately).
+  std::uint64_t checksum = 0;
+  /// Inter-device traffic of one variant's measured region.
+  int naive_transfers = 0;
+  int optimized_transfers = 0;
+
+  double speedup() const { return optimized_us > 0 ? naive_us / optimized_us : 0; }
+};
+
+/// 1-D 3-point stencil over `n_total` cells row-sharded across `devices`,
+/// `steps` iterations, one-cell halos exchanged every step. `n_total` is
+/// rounded up to a multiple of 256 * devices.
+MultiPairResult run_halo_exchange(const vgpu::RuntimeOptions& base, int devices,
+                                  int n_total, int steps);
+
+/// Histogram of `n_total` skewed samples into `bins`, sample stream sharded
+/// contiguously, per-device partials reduced onto device 0 in ordinal order.
+MultiPairResult run_sharded_histogram(const vgpu::RuntimeOptions& base,
+                                      int devices, int n_total, int bins,
+                                      double skew);
+
+/// C = A·B with A,C row-sharded and B k-blocked: D rounds per device, each
+/// multiplying one B block fetched from its owner. `m`, `n`, `k` are rounded
+/// up so every device gets whole tiles (k to a multiple of devices).
+MultiPairResult run_pipelined_matmul(const vgpu::RuntimeOptions& base,
+                                     int devices, int m, int n, int k);
+
+}  // namespace cumb

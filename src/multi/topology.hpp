@@ -1,0 +1,101 @@
+#pragma once
+
+// vgpu-multi: the interconnect model joining N simulated devices.
+//
+// A Topology is a set of device nodes plus bidirectional links, MGSim-style:
+// every peer transfer routes over one or more links, each with its own
+// bandwidth and latency, and each link is a serially-reusable resource (two
+// transfers crossing the same link queue behind each other, transfers on
+// disjoint links overlap). Three shapes cover the hardware people actually
+// buy:
+//
+//   pcie:N     all devices hang off one virtual PCIe switch; every peer
+//              route is two hops (device -> switch -> device) and siblings
+//              contend for their root-port links,
+//   nvlink:N   a ring of point-to-point links; routes take the shorter
+//              direction around the ring (ties go clockwise),
+//   mesh:N     a dedicated link between every pair (NVSwitch-style);
+//              every route is a single uncontended hop.
+//
+// Grammar (RuntimeOptions::topology / VGPU_TOPOLOGY):
+//
+//   spec  := kind ':' N (',' param)*
+//   kind  := pcie | nvlink | mesh
+//   param := 'bw=' GB/s per link   (default: pcie 12, nvlink 50, mesh 50)
+//          | 'lat=' us per hop     (default: pcie 2,  nvlink 1,  mesh 1)
+//
+// to_string() renders the canonical spelling with every parameter explicit
+// ("nvlink:4,bw=50,lat=1") and round-trips through parse(); RuntimeOptions::
+// canonical() uses it so equivalent spellings key identically.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vgpu {
+
+enum class LinkKind : std::uint8_t { kPcie, kNvlink };
+
+const char* link_kind_name(LinkKind k);
+
+/// One bidirectional link between two topology nodes. Node ids < devices()
+/// are devices; the pcie shape adds a virtual switch node with id devices().
+struct Link {
+  int a = 0;
+  int b = 0;
+  LinkKind kind = LinkKind::kPcie;
+  double bw_gbps = 12.0;
+  double latency_us = 2.0;
+
+  /// Time on the wire for `bytes` once the link is free.
+  double transfer_us(double bytes) const {
+    return latency_us + bytes / (bw_gbps * 1e3);
+  }
+  /// Stable display name for trace rows: "link pcie d0-sw" / "link nvlink d1-d2".
+  std::string display_name(int device_count) const;
+};
+
+class Topology {
+ public:
+  enum class Shape : std::uint8_t { kPcieSwitch, kNvlinkRing, kMesh };
+
+  /// Parse a spec (grammar above). Throws std::invalid_argument on a
+  /// malformed kind/count/parameter, count outside [1, 64], or a negative
+  /// bandwidth/latency.
+  static Topology parse(std::string_view spec);
+
+  /// The shape `devices` collapse to with no spec: a PCIe switch.
+  static Topology pcie_switch(int devices);
+  static Topology nvlink_ring(int devices);
+  static Topology mesh(int devices);
+
+  int devices() const { return devices_; }
+  Shape shape() const { return shape_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// The link sequence a src->dst transfer crosses, as indices into links().
+  /// Deterministic: the ring always resolves distance ties clockwise.
+  /// Throws std::out_of_range on a bad ordinal, std::invalid_argument when
+  /// src == dst.
+  std::vector<std::size_t> route(int src, int dst) const;
+
+  /// Lower bound on a src->dst transfer: every hop's latency plus wire time,
+  /// assuming every link is idle. What a peer copy costs when nothing
+  /// contends; the advisor uses it to price host-staged traffic.
+  double ideal_transfer_us(int src, int dst, double bytes) const;
+
+  /// Canonical spelling, round-trips through parse().
+  std::string to_string() const;
+
+ private:
+  Shape shape_ = Shape::kPcieSwitch;
+  int devices_ = 1;
+  double bw_gbps_ = 12.0;
+  double latency_us_ = 2.0;
+  std::vector<Link> links_;
+
+  void build_links();
+};
+
+}  // namespace vgpu

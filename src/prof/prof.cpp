@@ -80,6 +80,7 @@ const char* summary_row_name(ActivityRecord::Kind k) {
     case ActivityRecord::Kind::kMemset: return "[CUDA memset]";
     case ActivityRecord::Kind::kUmMigration: return "[Unified Memory migration]";
     case ActivityRecord::Kind::kHostFunc: return "[host function]";
+    case ActivityRecord::Kind::kMemcpyP2P: return "[CUDA memcpy PtoP]";
     default: return "?";
   }
 }
@@ -89,12 +90,14 @@ const char* summary_row_name(ActivityRecord::Kind k) {
 constexpr int kTidH2D = 1000;
 constexpr int kTidD2H = 1001;
 constexpr int kTidHost = 1002;
+constexpr int kTidP2P = 1003;
 
 int chrome_tid(const ActivityRecord& r) {
   switch (r.kind) {
     case ActivityRecord::Kind::kMemcpyH2D: return kTidH2D;
     case ActivityRecord::Kind::kMemcpyD2H: return kTidD2H;
     case ActivityRecord::Kind::kUmMigration: return kTidHost;
+    case ActivityRecord::Kind::kMemcpyP2P: return kTidP2P;
     default:
       return r.stream == ActivityRecord::kHostStream ? kTidHost : r.stream;
   }
@@ -109,6 +112,7 @@ const char* chrome_category(ActivityRecord::Kind k) {
     case ActivityRecord::Kind::kUmMigration: return "um";
     case ActivityRecord::Kind::kHostFunc: return "host";
     case ActivityRecord::Kind::kEventRecord: return "event";
+    case ActivityRecord::Kind::kMemcpyP2P: return "memcpy_p2p";
   }
   return "?";
 }
@@ -148,6 +152,7 @@ const char* activity_kind_name(ActivityRecord::Kind k) {
     case ActivityRecord::Kind::kUmMigration: return "um migration";
     case ActivityRecord::Kind::kHostFunc: return "host func";
     case ActivityRecord::Kind::kEventRecord: return "event record";
+    case ActivityRecord::Kind::kMemcpyP2P: return "memcpy p2p";
   }
   return "unknown";
 }
@@ -338,6 +343,7 @@ std::string Profiler::chrome_trace_json() const {
     if (tid == kTidH2D) label = "MemCpy (HtoD)";
     else if (tid == kTidD2H) label = "MemCpy (DtoH)";
     else if (tid == kTidHost) label = "Host / Unified Memory";
+    else if (tid == kTidP2P) label = "MemCpy (PtoP)";
     else label = "Stream " + std::to_string(tid);
     std::snprintf(buf, sizeof buf,
                   "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
@@ -369,6 +375,9 @@ std::string Profiler::chrome_trace_json() const {
        << ",\"dur\":" << r.duration_us() << ",\"args\":{\"stream\":" << r.stream
        << ",\"correlation\":" << r.correlation;
     if (r.bytes > 0) ev << ",\"bytes\":" << static_cast<long long>(r.bytes);
+    if (r.kind == ActivityRecord::Kind::kMemcpyP2P)
+      ev << ",\"peer_device\":" << r.peer_device
+         << ",\"staged\":" << (r.peer_staged ? "true" : "false");
     if (r.kind == ActivityRecord::Kind::kKernel) {
       ev << ",\"grid\":" << r.grid_blocks << ",\"block\":" << r.block_threads
          << ",\"granted_sms\":" << r.granted_sms

@@ -67,6 +67,7 @@ struct ActivityRecord {
     kUmMigration,   ///< Unified-memory page migration (host-side faults).
     kHostFunc,      ///< Host callback occupying a stream (cudaLaunchHostFunc).
     kEventRecord,   ///< cudaEventRecord marker (instant).
+    kMemcpyP2P,     ///< Peer-to-peer copy (recorded on the source device).
   };
 
   Kind kind = Kind::kKernel;
@@ -89,6 +90,11 @@ struct ActivityRecord {
   std::size_t shared_bytes = 0;   ///< Largest per-block shared allocation.
   std::uint64_t coalesce_hits = 0;    ///< Coalesce-memo cache hits (simulator).
   std::uint64_t coalesce_misses = 0;  ///< Coalesce-memo cache misses.
+
+  // kMemcpyP2P-only payload.
+  int peer_device = -1;      ///< Destination device ordinal.
+  bool peer_staged = false;  ///< True when the copy bounced through the host.
+  double peer_direct_us = 0; ///< What the direct route would have cost.
 
   double duration_us() const { return end_us - start_us; }
   bool operator==(const ActivityRecord&) const = default;

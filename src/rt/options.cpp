@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fault/inject.hpp"
+#include "multi/topology.hpp"
 
 namespace vgpu {
 
@@ -22,6 +23,13 @@ int parse_thread_count(const char* s) {
   long v = std::strtol(s, &end, 10);
   if (end == s || *end != '\0' || v <= 0) return 0;
   return static_cast<int>(v > 256 ? 256 : v);
+}
+
+int parse_device_count(const char* s) {
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0) return 1;
+  return static_cast<int>(v > 64 ? 64 : v);
 }
 
 }  // namespace
@@ -54,6 +62,8 @@ RuntimeOptions RuntimeOptions::from_env(DeviceProfile p) {
     if (*v != '\0') o.advise = parse_advise_mode(v);
   }
   if (const char* v = std::getenv("VGPU_FAULT")) o.fault_spec = v;
+  if (const char* v = std::getenv("VGPU_DEVICES")) o.devices = parse_device_count(v);
+  if (const char* v = std::getenv("VGPU_TOPOLOGY")) o.topology = v;
   if (const char* v = std::getenv("VGPU_TRACE_OUT")) o.trace_path = v;
   if (const char* v = std::getenv("VGPU_ADVISE_OUT")) o.advise_json_path = v;
   return o;
@@ -133,6 +143,10 @@ std::string RuntimeOptions::canonical() const {
   // defaulted fields, reordered clauses) key identically.
   os << ";fault=";
   if (!fault_spec.empty()) os << FaultInjector::parse(fault_spec).to_string();
+  // Multi-GPU shape. Normalized like the fault spec so equivalent topology
+  // spellings ("nvlink:4" vs "nvlink:4,bw=50,lat=1") key identically.
+  os << ";devices=" << devices << ";topo=";
+  if (!topology.empty()) os << Topology::parse(topology).to_string();
   return os.str();
 }
 

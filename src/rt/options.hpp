@@ -54,6 +54,13 @@ struct RuntimeOptions {
   AdviseMode advise = AdviseMode::kOff;
   /// vgpu-fault injection spec (fault/inject.hpp grammar); "" = none.
   std::string fault_spec;
+  /// Device count for a multi-GPU DeviceSet (VGPU_DEVICES). A Runtime
+  /// ignores this — only src/multi consumes it. Clamped to [1, 64].
+  int devices = 1;
+  /// Interconnect spec for a DeviceSet (VGPU_TOPOLOGY, multi/topology.hpp
+  /// grammar: "pcie:4" / "nvlink:4,bw=50,lat=1" / "mesh:2"); "" lets the
+  /// DeviceSet default to a PCIe switch over `devices` devices.
+  std::string topology;
   /// chrome://tracing JSON sink (VGPU_TRACE_OUT); "" = no file write.
   std::string trace_path;
   /// vgpu-advise JSON report sink (VGPU_ADVISE_OUT); "" = no file write.
@@ -71,10 +78,11 @@ struct RuntimeOptions {
   static RuntimeOptions from_env(DeviceProfile p = DeviceProfile::v100());
 
   /// Stable text form of the result-affecting knobs (see file comment):
-  /// "profile{...};fidelity=...;check=...;fault=..." with the fault spec
-  /// normalized through FaultInjector::parse().to_string(). Two options
-  /// values with equal canonical() produce bit-identical simulations of the
-  /// same workload. Throws std::invalid_argument on a malformed fault spec.
+  /// "profile{...};fidelity=...;check=...;fault=...;devices=...;topo=..."
+  /// with the fault and topology specs normalized through their parsers.
+  /// Two options values with equal canonical() produce bit-identical
+  /// simulations of the same workload. Throws std::invalid_argument on a
+  /// malformed fault or topology spec.
   std::string canonical() const;
 };
 

@@ -182,6 +182,17 @@ class Runtime {
   /// The active injector; nullptr when fault injection is off.
   const FaultInjector* fault_injector() const { return fault_.get(); }
 
+  /// Record how an externally-implemented runtime call went — the multi-GPU
+  /// peer API (src/multi) runs its calls through the owning DeviceSet but
+  /// reports them against a member device's error state, honoring sticky
+  /// poisoning. Returns the code the call reports: the sticky code on a
+  /// poisoned context, otherwise `e`.
+  ErrorCode record_call(ErrorCode e) {
+    if (!begin_op()) return errors_.call();
+    errors_.fail(e);
+    return errors_.call();
+  }
+
   Timeline& timeline() { return tl_; }
   ManagedDirectory& managed() { return managed_; }
 

@@ -208,6 +208,7 @@ std::string JobServer::report_json() const {
   grade::JsonWriter w;
   w.begin_object();
   w.kv("schema", "vgpu-serve-report-v1");
+  w.kv("schema_version", static_cast<std::uint64_t>(1));
   w.key("config");
   w.begin_object();
   w.kv("workers", cfg_.workers);

@@ -21,6 +21,8 @@
 #include "advise/advise.hpp" // vgpu-advise: AdviseMode, Advisor, Advice.
 #include "fault/error.hpp"   // vgpu-fault: ErrorCode, ErrorState.
 #include "fault/inject.hpp"  // vgpu-fault: FaultInjector, FaultSite.
+#include "multi/device_set.hpp" // vgpu-multi: DeviceSet, peer transfers.
+#include "multi/topology.hpp"   // vgpu-multi: Topology, Link.
 #include "prof/prof.hpp"     // vgpu-prof: ProfMode, Profiler, ActivityRecord.
 #include "rt/runtime.hpp"    // Runtime, LaunchInfo, streams, events, graphs.
 #include "san/check.hpp"     // vgpu-san: CheckMode, CheckReport.

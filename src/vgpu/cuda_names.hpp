@@ -49,6 +49,7 @@
 
 #include "advise/advise.hpp"
 #include "fault/error.hpp"
+#include "multi/device_set.hpp"
 #include "rt/runtime.hpp"
 
 namespace vgpu::cuda {
@@ -69,6 +70,11 @@ inline constexpr cudaError_t cudaErrorLaunchOutOfResources =
 inline constexpr cudaError_t cudaErrorIllegalAddress = ErrorCode::kIllegalAddress;
 inline constexpr cudaError_t cudaErrorLaunchFailure = ErrorCode::kLaunchFailure;
 inline constexpr cudaError_t cudaErrorUnknown = ErrorCode::kUnknown;
+inline constexpr cudaError_t cudaErrorInvalidDevice = ErrorCode::kInvalidDevice;
+inline constexpr cudaError_t cudaErrorPeerAccessAlreadyEnabled =
+    ErrorCode::kPeerAccessAlreadyEnabled;
+inline constexpr cudaError_t cudaErrorPeerAccessNotEnabled =
+    ErrorCode::kPeerAccessNotEnabled;
 
 enum cudaMemcpyKind {
   cudaMemcpyHostToDevice = 1,
@@ -97,14 +103,35 @@ inline Runtime* cuda_bind_runtime(Runtime& runtime) {
 /// sole-instance default (single-runtime programs keep working unbound).
 inline void cuda_unbind_runtime() { current_runtime() = nullptr; }
 
+/// The explicitly bound DeviceSet of this thread (multi-GPU programs), or
+/// nullptr. While bound, cudaSetDevice retargets the shim and the peer entry
+/// points (cudaDeviceEnablePeerAccess, cudaMemcpyPeer, ...) become live.
+inline DeviceSet*& current_device_set() {
+  thread_local DeviceSet* set = nullptr;
+  return set;
+}
+
+/// Bind `set` as this thread's device set. Returns the previous binding so
+/// callers can restore it; prefer the RAII CudaMultiContext.
+inline DeviceSet* cuda_bind_device_set(DeviceSet& set) {
+  DeviceSet* prev = current_device_set();
+  current_device_set() = &set;
+  return prev;
+}
+
+inline void cuda_unbind_device_set() { current_device_set() = nullptr; }
+
 /// The Runtime a shim call targets, resolved in order:
 ///   1. the thread's explicit binding (cuda_bind_runtime / CudaContext);
-///   2. the process's only live Runtime, when exactly one exists — so a
+///   2. the current device of the thread's bound DeviceSet
+///      (cuda_bind_device_set / CudaMultiContext), tracking cudaSetDevice;
+///   3. the process's only live Runtime, when exactly one exists — so a
 ///      single-runtime program never has to bind anything;
-///   3. otherwise (zero or several live Runtimes, none bound) the call is a
+///   4. otherwise (zero or several live Runtimes, none bound) the call is a
 ///      host-side programming error: ambiguous target, throws.
 inline Runtime& rt() {
   if (Runtime* r = current_runtime()) return *r;
+  if (DeviceSet* s = current_device_set()) return s->current();
   if (Runtime* r = Runtime::sole_instance()) return *r;
   throw std::logic_error(
       "vgpu::cuda: no bound Runtime and no unambiguous default "
@@ -122,6 +149,18 @@ class CudaContext {
 
  private:
   Runtime* prev_;
+};
+
+/// RAII binding of a DeviceSet as the shim's multi-GPU context. Nests.
+class CudaMultiContext {
+ public:
+  explicit CudaMultiContext(DeviceSet& set) : prev_(cuda_bind_device_set(set)) {}
+  ~CudaMultiContext() { current_device_set() = prev_; }
+  CudaMultiContext(const CudaMultiContext&) = delete;
+  CudaMultiContext& operator=(const CudaMultiContext&) = delete;
+
+ private:
+  DeviceSet* prev_;
 };
 
 inline Stream& stream_of(cudaStream_t s) {
@@ -255,6 +294,84 @@ inline cudaError_t cudaStreamWaitEvent(cudaStream_t stream,
                                        const cudaEvent_t& event) {
   rt().stream_wait_event(stream_of(stream), event);
   return cudaSuccess;
+}
+
+// --- Devices & peer access ----------------------------------------------------
+// Live when a DeviceSet is bound (CudaMultiContext / cuda_bind_device_set);
+// unbound, they describe the classic one-device world: count 1, device 0,
+// no peers. cudaMemcpyPeer without a bound set is a host-side programming
+// error (there is no second device to name) and throws, like rt().
+inline cudaError_t cudaGetDeviceCount(int* count) {
+  if (count == nullptr) return cudaErrorInvalidValue;
+  DeviceSet* s = current_device_set();
+  *count = s != nullptr ? s->device_count() : 1;
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaSetDevice(int device) {
+  if (DeviceSet* s = current_device_set()) return s->set_device(device);
+  return device == 0 ? cudaSuccess : cudaErrorInvalidDevice;
+}
+
+inline cudaError_t cudaGetDevice(int* device) {
+  if (device == nullptr) return cudaErrorInvalidValue;
+  DeviceSet* s = current_device_set();
+  *device = s != nullptr ? s->current_device() : 0;
+  return cudaSuccess;
+}
+
+inline cudaError_t cudaDeviceCanAccessPeer(int* canAccess, int device, int peer) {
+  if (canAccess == nullptr) return cudaErrorInvalidValue;
+  DeviceSet* s = current_device_set();
+  *canAccess = s != nullptr && s->can_access_peer(device, peer) ? 1 : 0;
+  return cudaSuccess;
+}
+
+/// Enables current-device -> `peer` transfers, like the CUDA original
+/// (directional; the flags argument must be 0).
+inline cudaError_t cudaDeviceEnablePeerAccess(int peer, unsigned flags = 0) {
+  if (flags != 0) return cudaErrorInvalidValue;
+  DeviceSet* s = current_device_set();
+  if (s == nullptr) return cudaErrorInvalidDevice;
+  return s->enable_peer_access(s->current_device(), peer);
+}
+
+inline cudaError_t cudaDeviceDisablePeerAccess(int peer) {
+  DeviceSet* s = current_device_set();
+  if (s == nullptr) return cudaErrorInvalidDevice;
+  return s->disable_peer_access(s->current_device(), peer);
+}
+
+inline DeviceSet& device_set() {
+  DeviceSet* s = current_device_set();
+  if (s == nullptr)
+    throw std::logic_error(
+        "vgpu::cuda: peer memcpy needs a bound DeviceSet "
+        "(bind one with CudaMultiContext or cuda_bind_device_set)");
+  return *s;
+}
+
+template <typename T>
+cudaError_t cudaMemcpyPeer(DevSpan<T> dst, int dstDevice, DevSpan<T> src,
+                           int srcDevice, std::size_t bytes) {
+  DeviceSet& s = device_set();
+  s.memcpy_peer(dstDevice, DevSpan<T>{dst.addr, bytes / sizeof(T)}, srcDevice,
+                DevSpan<T>{src.addr, bytes / sizeof(T)}, bytes / sizeof(T));
+  int rec = srcDevice >= 0 && srcDevice < s.device_count() ? srcDevice : 0;
+  return s.device(rec).last_call_error();
+}
+
+template <typename T>
+cudaError_t cudaMemcpyPeerAsync(DevSpan<T> dst, int dstDevice, DevSpan<T> src,
+                                int srcDevice, std::size_t bytes,
+                                cudaStream_t stream = nullptr) {
+  DeviceSet& s = device_set();
+  int rec = srcDevice >= 0 && srcDevice < s.device_count() ? srcDevice : 0;
+  Stream& st = stream != nullptr ? *stream : s.device(rec).default_stream();
+  s.memcpy_peer_async(dstDevice, DevSpan<T>{dst.addr, bytes / sizeof(T)},
+                      srcDevice, DevSpan<T>{src.addr, bytes / sizeof(T)},
+                      bytes / sizeof(T), st);
+  return s.device(rec).last_call_error();
 }
 
 // --- Occupancy ----------------------------------------------------------------

@@ -10,14 +10,14 @@ namespace vgpu {
 Timeline::Span Timeline::copy(Stream& s, double bytes, bool sync, bool charge_submit,
                               double bw_scale, double& engine_free) {
   if (charge_submit) host_advance(profile_->stream_op_us);
-  double ready = std::max(host_now_, s.last_end());
+  double ready = std::max(clock_->now, s.last_end());
   double start = std::max(ready, engine_free);
   double end = start + profile_->pcie_latency_us +
                bytes / (profile_->pcie_bw_gbps * bw_scale * 1e3);
   engine_free = end;
   s.set_last_end(end);
   note(end);
-  if (sync) host_now_ = std::max(host_now_, end);
+  if (sync) clock_->now = std::max(clock_->now, end);
   return Span{start, end};
 }
 
@@ -40,7 +40,7 @@ Timeline::Span Timeline::copy_d2h(Stream& s, double bytes, bool sync,
 Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
                                 double launch_overhead_us) {
   host_advance(launch_overhead_us);
-  double ready = std::max(host_now_, s.last_end());
+  double ready = std::max(clock_->now, s.last_end());
 
   int want = std::clamp(run.preferred_sms, 1, profile_->sm_count);
   // Take the `want` earliest-available SM slots.
@@ -92,7 +92,7 @@ Timeline::Span Timeline::kernel(Stream& s, const KernelRun& run,
 
 Timeline::Span Timeline::memset(Stream& s, double bytes, double duration_us) {
   host_advance(profile_->stream_op_us);
-  double start = std::max(host_now_, s.last_end());
+  double start = std::max(clock_->now, s.last_end());
   double end = start + duration_us;
   s.set_last_end(end);
   note(end);
@@ -104,7 +104,7 @@ Timeline::Span Timeline::memset(Stream& s, double bytes, double duration_us) {
 
 Timeline::Span Timeline::host_op(Stream& s, double duration_us, bool charge_submit) {
   if (charge_submit) host_advance(profile_->stream_op_us);
-  double start = std::max(host_now_, s.last_end());
+  double start = std::max(clock_->now, s.last_end());
   double end = start + duration_us;
   s.set_last_end(end);
   note(end);
@@ -129,14 +129,14 @@ void Timeline::stream_wait_event(Stream& s, const Event& e) {
 
 void Timeline::event_synchronize(const Event& e) {
   if (!e.recorded) throw std::logic_error("synchronizing on unrecorded event");
-  host_now_ = std::max(host_now_, e.time);
+  clock_->now = std::max(clock_->now, e.time);
 }
 
 void Timeline::stream_synchronize(Stream& s) {
-  host_now_ = std::max(host_now_, s.last_end());
+  clock_->now = std::max(clock_->now, s.last_end());
 }
 
-void Timeline::device_synchronize() { host_now_ = std::max(host_now_, frontier_); }
+void Timeline::device_synchronize() { clock_->now = std::max(clock_->now, frontier_); }
 
 void Timeline::prof_activity(ActivityRecord::Kind kind, const char* name,
                              const Stream& s, Span span, double bytes) {

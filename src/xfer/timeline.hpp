@@ -11,6 +11,7 @@
 //
 // All times are microseconds since timeline start.
 
+#include <algorithm>
 #include <vector>
 
 #include "prof/prof.hpp"
@@ -22,6 +23,14 @@
 namespace vgpu {
 
 class Advisor;
+
+/// The host thread's clock. Normally each Timeline owns one; a multi-GPU
+/// DeviceSet installs a single shared instance into every member timeline so
+/// submission costs and blocking waits serialize across devices exactly as
+/// one host thread driving N devices would.
+struct HostClock {
+  double now = 0;
+};
 
 class Timeline {
  public:
@@ -35,11 +44,35 @@ class Timeline {
       : profile_(&profile),
         sm_free_(static_cast<std::size_t>(profile.sm_count), 0.0) {}
 
-  double host_now() const { return host_now_; }
+  // clock_ may point at own_clock_; a byte-wise copy would alias the source.
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  double host_now() const { return clock_->now; }
   void host_advance(double us) {
-    host_now_ += us;
-    note(host_now_);
+    clock_->now += us;
+    note(clock_->now);
   }
+  /// Block the host until simulated time `t` (no-op if already past it).
+  void host_wait_until(double t) {
+    if (t > clock_->now) clock_->now = t;
+  }
+
+  /// Share a host clock with other timelines (nullptr restores the owned
+  /// clock). The incoming clock absorbs any time this timeline already spent.
+  void set_host_clock(HostClock* clock) {
+    if (clock != nullptr) {
+      clock->now = std::max(clock->now, clock_->now);
+      clock_ = clock;
+    } else {
+      own_clock_.now = std::max(own_clock_.now, clock_->now);
+      clock_ = &own_clock_;
+    }
+  }
+
+  /// Fold an externally-scheduled completion (a peer transfer landing on
+  /// this device) into the device frontier.
+  void note_external(double t) { note(t); }
 
   /// Host<->device copy on the DMA engine for that direction.
   /// `sync` makes the host block until completion (cudaMemcpy semantics).
@@ -102,7 +135,8 @@ class Timeline {
             double bw_scale, double& engine_free);
 
   const DeviceProfile* profile_;
-  double host_now_ = 0;
+  HostClock own_clock_;
+  HostClock* clock_ = &own_clock_;
   double h2d_free_ = 0;
   double d2h_free_ = 0;
   double frontier_ = 0;

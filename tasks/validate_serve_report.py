@@ -12,6 +12,11 @@ the cross-field invariants a schema can't express:
   byte-identical result (the whole point of deterministic caching);
 - with any repeats in the queue the hit rate must be positive.
 
+Exit codes: 0 all valid, 1 schema/invariant violations, 2 usage error or a
+report whose schema_version this validator does not understand (checked
+before anything else — a future-versioned report is neither valid nor
+invalid, it is unreadable here).
+
 Usage: validate_serve_report.py SCHEMA REPORT.json [REPORT.json ...]
 """
 
@@ -21,6 +26,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from validate_verdicts import validate  # noqa: E402
+
+KNOWN_SCHEMA_VERSIONS = {1}
 
 
 def cross_checks(doc, errors):
@@ -91,6 +98,11 @@ def main(argv):
     for path in argv[2:]:
         with open(path) as f:
             doc = json.load(f)
+        version = doc.get("schema_version")
+        if version not in KNOWN_SCHEMA_VERSIONS:
+            print(f"UNSUPPORTED {path}: schema_version {version!r} not in "
+                  f"{sorted(KNOWN_SCHEMA_VERSIONS)}")
+            return 2
         errors = []
         validate(doc, schema, schema, "$", errors)
         if not errors:

@@ -213,6 +213,12 @@ TEST(CudaNames, ErrorNameAndStringForEveryCode) {
       {cudaErrorLaunchFailure, "cudaErrorLaunchFailure",
        "unspecified launch failure"},
       {cudaErrorUnknown, "cudaErrorUnknown", "unknown error"},
+      {cudaErrorInvalidDevice, "cudaErrorInvalidDevice",
+       "invalid device ordinal"},
+      {cudaErrorPeerAccessAlreadyEnabled, "cudaErrorPeerAccessAlreadyEnabled",
+       "peer access is already enabled"},
+      {cudaErrorPeerAccessNotEnabled, "cudaErrorPeerAccessNotEnabled",
+       "peer access has not been enabled"},
   };
   for (const Expected& e : table) {
     EXPECT_STREQ(cudaGetErrorName(e.code), e.name);
