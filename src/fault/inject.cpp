@@ -206,6 +206,23 @@ std::string FaultInjector::to_string() const {
   return os.str();
 }
 
+std::string FaultInjector::without_device(int device) const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  bool first = true;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    for (const FaultClause& c : clauses_[i]) {
+      if (c.device == device) continue;  // Evicted: its clauses go with it.
+      FaultClause local = c;
+      if (local.device > device) --local.device;  // Survivors close ranks.
+      if (!first) os << ';';
+      first = false;
+      render_clause(os, static_cast<FaultSite>(i), local);
+    }
+  }
+  return os.str();
+}
+
 std::string FaultInjector::filtered_spec(int device) const {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);

@@ -121,6 +121,14 @@ class FaultInjector {
   /// filtered spec so per-device call counters stay independent.
   std::string filtered_spec(int device) const;
 
+  /// The spec after evicting device ordinal `device` from the set: clauses
+  /// scoped to it are dropped and higher scopes renumber down by one (the
+  /// surviving devices close ranks). Unscoped clauses are kept — they follow
+  /// every device, so eviction cannot escape them. The serve layer's device
+  /// eviction uses this to re-route a job's shards onto the healthy
+  /// ordinals of a smaller DeviceSet.
+  std::string without_device(int device) const;
+
  private:
   const FaultClause* select(FaultSite site, int device) const;
   FaultClause* select(FaultSite site, int device) {

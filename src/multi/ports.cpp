@@ -39,6 +39,17 @@ void begin_phase(DeviceSet& set, const char* name) {
     set.device(d).advise_phase(name);
 }
 
+/// Fold each device's recorded error into `errs` (first non-zero per ordinal
+/// wins), so both variants' trips land in one per-device vector.
+void collect_device_errors(DeviceSet& set, std::vector<int>& errs) {
+  errs.resize(static_cast<std::size_t>(set.device_count()), 0);
+  for (int d = 0; d < set.device_count(); ++d) {
+    int code = static_cast<int>(set.device(d).peek_last_error());
+    if (errs[static_cast<std::size_t>(d)] == 0)
+      errs[static_cast<std::size_t>(d)] = code;
+  }
+}
+
 std::uint64_t fnv1a(const void* data, std::size_t bytes) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
   std::uint64_t h = 1469598103934665603ull;
@@ -198,6 +209,7 @@ MultiPairResult run_halo_exchange(const vgpu::RuntimeOptions& base, int devices,
     }
     out_ok = got == ref;
     if (optimized) res.checksum = fnv1a(got.data(), got.size() * sizeof(float));
+    collect_device_errors(set, res.device_errors);
   };
 
   run_variant(false, res.naive_us, res.naive_ok, res.naive_transfers);
@@ -284,6 +296,7 @@ MultiPairResult run_sharded_histogram(const vgpu::RuntimeOptions& base,
     set.device(0).memcpy_d2h(std::span<int>(got), hist[0]);
     out_ok = got == want;
     if (optimized) res.checksum = fnv1a(got.data(), got.size() * sizeof(int));
+    collect_device_errors(set, res.device_errors);
   };
 
   run_variant(false, res.naive_us, res.naive_ok, res.naive_transfers);
@@ -435,6 +448,7 @@ MultiPairResult run_pipelined_matmul(const vgpu::RuntimeOptions& base,
     }
     out_ok = got == ref;
     if (optimized) res.checksum = fnv1a(got.data(), got.size() * sizeof(float));
+    collect_device_errors(set, res.device_errors);
   };
 
   run_variant(false, res.naive_us, res.naive_ok, res.naive_transfers);

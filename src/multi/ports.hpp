@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/common.hpp"
 #include "multi/device_set.hpp"
@@ -51,6 +52,10 @@ struct MultiPairResult {
   /// Inter-device traffic of one variant's measured region.
   int naive_transfers = 0;
   int optimized_transfers = 0;
+  /// Per-ordinal ErrorCode (numeric) left recorded on each device after both
+  /// variants ran — 0 when healthy. Sized `devices`; the serve retry engine
+  /// uses it to attribute fault trips to ordinals for eviction decisions.
+  std::vector<int> device_errors;
 
   double speedup() const { return optimized_us > 0 ? naive_us / optimized_us : 0; }
 };

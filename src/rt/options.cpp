@@ -66,6 +66,8 @@ RuntimeOptions RuntimeOptions::from_env(DeviceProfile p) {
   if (const char* v = std::getenv("VGPU_TOPOLOGY")) o.topology = v;
   if (const char* v = std::getenv("VGPU_TRACE_OUT")) o.trace_path = v;
   if (const char* v = std::getenv("VGPU_ADVISE_OUT")) o.advise_json_path = v;
+  if (const char* v = std::getenv("VGPU_RETRY")) o.retry_spec = v;
+  if (const char* v = std::getenv("VGPU_SERVE_CACHE_DIR")) o.serve_cache_dir = v;
   return o;
 }
 

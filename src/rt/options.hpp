@@ -65,6 +65,17 @@ struct RuntimeOptions {
   std::string trace_path;
   /// vgpu-advise JSON report sink (VGPU_ADVISE_OUT); "" = no file write.
   std::string advise_json_path;
+  /// Serve retry policy spec (VGPU_RETRY, serve/retry.hpp grammar:
+  /// "attempts=3,backoff=50,multiplier=2,evict=2"); "" = server default. A
+  /// Runtime ignores this — only the serve layer's retry engine consumes
+  /// it. Serving policy, not simulation content: deliberately excluded from
+  /// canonical(), so a retried job's cache key (and blob) is identical to
+  /// an unretried one.
+  std::string retry_spec;
+  /// Directory of the serve layer's crash-safe persistent result cache
+  /// (VGPU_SERVE_CACHE_DIR); "" = in-memory only. Excluded from canonical()
+  /// for the same reason as retry_spec.
+  std::string serve_cache_dir;
 
   /// The compiled-in defaults, ignoring the environment entirely.
   static RuntimeOptions defaults(DeviceProfile p = DeviceProfile::v100());

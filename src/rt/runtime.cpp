@@ -222,4 +222,10 @@ ErrorCode Runtime::set_fault_spec(std::string_view spec) {
   return ErrorCode::kSuccess;
 }
 
+ErrorCode Runtime::adopt_fault_injector(std::shared_ptr<FaultInjector> inj) {
+  if (launched_ && inj != nullptr) return refuse_mutation();
+  fault_ = std::move(inj);
+  return ErrorCode::kSuccess;
+}
+
 }  // namespace vgpu

@@ -179,6 +179,14 @@ class Runtime {
   /// RuntimeOptions::fault_spec seeds it at construction; arming a new spec
   /// after the first launch is refused ("" stays legal).
   ErrorCode set_fault_spec(std::string_view spec);
+  /// Share a pre-armed injector with this Runtime, replacing the one parsed
+  /// from RuntimeOptions::fault_spec. The serve retry engine hands each
+  /// replay attempt's fresh Runtime the SAME injector so per-site call
+  /// counters persist across attempts (a consumed `nth=N` fault stays
+  /// consumed — the replay runs clean, exactly like PR 5's manual-retry
+  /// recovery on a single Runtime). Same locking rule as set_fault_spec:
+  /// refused with kInvalidValue once a kernel has launched.
+  ErrorCode adopt_fault_injector(std::shared_ptr<FaultInjector> inj);
   /// The active injector; nullptr when fault injection is off.
   const FaultInjector* fault_injector() const { return fault_.get(); }
 
@@ -514,7 +522,10 @@ class Runtime {
   Timeline tl_;
   ManagedDirectory managed_;
   ErrorState errors_;
-  std::unique_ptr<FaultInjector> fault_;  // Present only with a fault spec.
+  // Present only with a fault spec. Shared, not unique: the serve retry
+  // engine re-adopts one injector across replay Runtimes (see
+  // adopt_fault_injector); everyone else holds the only reference.
+  std::shared_ptr<FaultInjector> fault_;
   std::unique_ptr<Profiler> prof_;  // Present only while profiling is on.
   std::unique_ptr<Advisor> advise_;  // Present only while advising is on.
   std::deque<Stream> streams_;  // Deque keeps references stable.

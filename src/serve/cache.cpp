@@ -1,6 +1,117 @@
 #include "serve/cache.hpp"
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "serve/registry.hpp"  // fnv1a64_hex for file names.
+
 namespace vgpu::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'v', 'g', 'p', 'u', 'c', 's', 'h', '1'};
+constexpr std::size_t kHeaderBytes = 32;
+
+std::uint64_t fnv1a64(const std::string& a, const std::string& b) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::string* s : {&a, &b})
+    for (unsigned char c : *s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  return h;
+}
+
+void put_u64(char* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
+std::uint64_t get_u64(const char* src) {
+  std::uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("PersistentStore: cannot create directory: " +
+                             dir_);
+}
+
+std::string PersistentStore::path_for(const std::string& key) const {
+  return (fs::path(dir_) / (fnv1a64_hex(key) + ".blob")).string();
+}
+
+bool PersistentStore::store(const std::string& key, const std::string& blob) {
+  std::string path = path_for(key);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    char header[kHeaderBytes];
+    std::memcpy(header, kMagic, 8);
+    put_u64(header + 8, key.size());
+    put_u64(header + 16, blob.size());
+    put_u64(header + 24, fnv1a64(key, blob));
+    out.write(header, kHeaderBytes);
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) return false;
+  }
+  // rename() is atomic within a filesystem: readers see the old entry or the
+  // new one, never a torn write under the real name.
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return false;
+  ++stores_;
+  return true;
+}
+
+std::optional<std::string> PersistentStore::load(const std::string& key) {
+  std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // Plain miss: never persisted.
+
+  auto corrupt = [&]() -> std::optional<std::string> {
+    in.close();
+    std::error_code ec;
+    fs::rename(path, path + ".quarantined", ec);
+    if (ec) fs::remove(path, ec);  // At minimum get it out of the way.
+    ++quarantined_;
+    return std::nullopt;
+  };
+
+  char header[kHeaderBytes];
+  if (!in.read(header, kHeaderBytes)) return corrupt();
+  if (std::memcmp(header, kMagic, 8) != 0) return corrupt();
+  std::uint64_t key_len = get_u64(header + 8);
+  std::uint64_t blob_len = get_u64(header + 16);
+  std::uint64_t want_sum = get_u64(header + 24);
+  if (key_len > (1ull << 20) || blob_len > (1ull << 32)) return corrupt();
+
+  std::string stored_key(static_cast<std::size_t>(key_len), '\0');
+  std::string blob(static_cast<std::size_t>(blob_len), '\0');
+  if (!in.read(stored_key.data(), static_cast<std::streamsize>(key_len)))
+    return corrupt();
+  if (!in.read(blob.data(), static_cast<std::streamsize>(blob_len)))
+    return corrupt();
+  if (in.peek() != std::char_traits<char>::eof()) return corrupt();  // Tail.
+  if (fnv1a64(stored_key, blob) != want_sum) return corrupt();
+  // Structurally sound but for another key: a file-name hash collision.
+  // That is the other key's valid entry, not corruption — just a miss here.
+  if (stored_key != key) return std::nullopt;
+  ++loads_;
+  return blob;
+}
+
+void ResultCache::enable_persistence(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::make_unique<PersistentStore>(dir);
+}
 
 std::optional<std::string> ResultCache::lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -19,9 +130,25 @@ bool ResultCache::contains(const std::string& key) const {
   return index_.count(key) != 0;
 }
 
-void ResultCache::insert(const std::string& key, std::string blob) {
+bool ResultCache::probe(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) != 0) return true;
+  if (store_ == nullptr || capacity_ == 0) return false;
+  std::optional<std::string> blob = store_->load(key);
+  if (!blob.has_value()) return false;
+  insert_locked(key, std::move(*blob));  // Page in, uncounted.
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, std::string blob,
+                         bool persist) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr && persist) store_->store(key, blob);
+  insert_locked(key, std::move(blob));
+}
+
+void ResultCache::insert_locked(const std::string& key, std::string blob) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->blob = std::move(blob);

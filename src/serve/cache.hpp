@@ -13,10 +13,20 @@
 // Bounded LRU with hit/miss/eviction counters, surfaced through the same
 // Metric shape vgpu-prof uses so drivers fold cache health into their
 // metrics reports.
+//
+// Optional crash-safe persistence (PersistentStore): one file per
+// content-hash key under a spill directory, each with a magic + length +
+// checksum header, written to a temp name and renamed into place so a crash
+// mid-write never leaves a half entry under the real name. Entries load
+// lazily — the first probe of a key pages it in — and a truncated or
+// bit-flipped file is detected by its header, quarantined (renamed aside,
+// never deleted: it is evidence) and the key recomputed. A wrong blob is
+// never served.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -27,11 +37,62 @@
 
 namespace vgpu::serve {
 
+/// Crash-safe one-file-per-key blob store. File layout (all integers little-
+/// endian host order; the store is a local spill, not a wire format):
+///
+///   bytes 0..7    magic "vgpucsh1"
+///   bytes 8..15   key length
+///   bytes 16..23  blob length
+///   bytes 24..31  FNV-1a 64 checksum over key bytes then blob bytes
+///   ...           key bytes, blob bytes
+///
+/// The stored key is verified on load: two keys colliding on the same
+/// 16-hex-digit file name (FNV-1a of the key) read as a plain miss, not
+/// corruption. Anything structurally wrong — short file, bad magic,
+/// checksum mismatch — is quarantined by renaming to "<name>.quarantined"
+/// and reported via quarantined().
+class PersistentStore {
+ public:
+  /// Opens (and creates if needed) the spill directory. Throws
+  /// std::runtime_error when the directory cannot be created.
+  explicit PersistentStore(std::string dir);
+
+  /// Persist `blob` under `key` (write-to-temp + rename). Returns false and
+  /// counts nothing when the filesystem refuses; the cache then simply
+  /// degrades to in-memory.
+  bool store(const std::string& key, const std::string& blob);
+
+  /// The blob persisted under `key`, or nullopt (missing, foreign key with
+  /// the same hash, or corrupt — the corrupt case quarantines the file and
+  /// counts it so the caller recomputes).
+  std::optional<std::string> load(const std::string& key);
+
+  /// The file a key persists to — exposed so corruption fixtures (tests,
+  /// the chaos harness) can truncate and bit-flip real entries.
+  std::string path_for(const std::string& key) const;
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t stores() const { return stores_; }
+  std::uint64_t loads() const { return loads_; }
+  std::uint64_t quarantined() const { return quarantined_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t stores_ = 0;
+  std::uint64_t loads_ = 0;        ///< Successful disk loads.
+  std::uint64_t quarantined_ = 0;  ///< Corrupt entries detected + set aside.
+};
+
 class ResultCache {
  public:
   /// `capacity` = max resident entries; 0 disables caching (every lookup
   /// misses, inserts are dropped).
   explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Attach a PersistentStore over `dir`. Call before serving; existing
+  /// entries under `dir` become reachable lazily via probe(). Throws when
+  /// the directory cannot be created.
+  void enable_persistence(const std::string& dir);
 
   /// The blob for `key` if resident (refreshes recency). Counts one hit or
   /// one miss. Thread-safe.
@@ -41,19 +102,36 @@ class ResultCache {
   /// it to separate "will be served from cache" from "will execute" before
   /// deciding which counter the job belongs to — parked duplicates count
   /// one hit when completed, never a miss, keeping counters independent of
-  /// worker interleaving. Thread-safe.
+  /// worker interleaving. Memory-only: does not consult the disk store.
+  /// Thread-safe.
   bool contains(const std::string& key) const;
+
+  /// contains() plus the lazy persistent path: a key absent from memory but
+  /// valid on disk is paged in (uncounted — the caller's follow-up lookup
+  /// counts the hit) and the probe answers true. A corrupt disk entry is
+  /// quarantined and the probe answers false, so the key recomputes.
+  /// Thread-safe.
+  bool probe(const std::string& key);
 
   /// Make `key` resident, evicting least-recently-used entries over
   /// capacity. Re-inserting an existing key refreshes its blob and recency
-  /// without an eviction. Thread-safe.
-  void insert(const std::string& key, std::string blob);
+  /// without an eviction. With persistence enabled and `persist` true the
+  /// blob is also spilled to disk (memory eviction never deletes the disk
+  /// copy — evicted keys page back in). The serve layer passes
+  /// persist=false for degraded (device-evicted) results: a restart should
+  /// recompute those, not replay them as if healthy. Thread-safe.
+  void insert(const std::string& key, std::string blob, bool persist = true);
 
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
   std::size_t entries() const;
+
+  /// The attached store; nullptr when persistence is off. Counter reads via
+  /// this pointer are not synchronized — read after run() completes, as
+  /// report_json() does.
+  const PersistentStore* store() const { return store_.get(); }
 
   /// Cache health in vgpu-prof's Metric shape: serve_cache_hits / _misses /
   /// _evictions / _entries / _hit_rate (percent).
@@ -65,6 +143,8 @@ class ResultCache {
     std::string blob;
   };
 
+  void insert_locked(const std::string& key, std::string blob);
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::list<Entry> lru_;  ///< Front = most recent.
@@ -72,6 +152,7 @@ class ResultCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::unique_ptr<PersistentStore> store_;  ///< Guarded by mu_.
 };
 
 }  // namespace vgpu::serve

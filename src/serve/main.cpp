@@ -3,6 +3,17 @@
 //
 //   vgpu-serve [--jobs=N] [--workers=N] [--cache=N] [--seed=N]
 //              [--repeat-percent=P] [--report=FILE] [--list]
+//              [--fault=SPEC] [--retry=SPEC] [--cache-dir=DIR]
+//              [--devices=N] [--quota=TENANT=N]
+//
+// Fault-tolerance knobs: --fault overrides every generated job's VGPU_FAULT
+// spec (the chaos harness drives whole queues through injected faults this
+// way), --retry sets the server's RetryPolicy (default from VGPU_RETRY),
+// --cache-dir enables the crash-safe persistent result cache (default from
+// VGPU_SERVE_CACHE_DIR — a restarted server pointed at the same directory
+// replays completed work from disk), --devices shapes generated jobs for
+// multi:* kernels, and --quota=TENANT=N (repeatable) grants a tenant N
+// in-flight dispatch slots per wave instead of 1.
 //
 // The queue is synthesized from a seeded LCG: three tenants with different
 // RuntimeOptions tastes (exact+checked, fast, exact+faulty) draw kernels
@@ -41,6 +52,11 @@ struct Cli {
   int repeat_percent = 40;
   std::string report_path;
   bool list = false;
+  std::string fault;      ///< Overrides every generated job's fault spec.
+  std::string retry;      ///< RetryPolicy spec; default VGPU_RETRY.
+  std::string cache_dir;  ///< Persistence dir; default VGPU_SERVE_CACHE_DIR.
+  int devices = 0;        ///< 0 = leave each tenant's default (1).
+  std::map<std::string, JobServer::TenantQuota> quotas;
 };
 
 bool parse_cli(int argc, char** argv, Cli* cli) {
@@ -60,6 +76,21 @@ bool parse_cli(int argc, char** argv, Cli* cli) {
       cli->report_path = a + 9;
     } else if (std::strcmp(a, "--list") == 0) {
       cli->list = true;
+    } else if (std::strncmp(a, "--fault=", 8) == 0) {
+      cli->fault = a + 8;
+    } else if (std::strncmp(a, "--retry=", 8) == 0) {
+      cli->retry = a + 8;
+    } else if (std::strncmp(a, "--cache-dir=", 12) == 0) {
+      cli->cache_dir = a + 12;
+    } else if (std::strncmp(a, "--devices=", 10) == 0) {
+      cli->devices = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--quota=", 8) == 0) {
+      const char* eq = std::strchr(a + 8, '=');
+      if (eq == nullptr || eq == a + 8 || std::atoi(eq + 1) < 1) {
+        std::fprintf(stderr, "bad --quota (want TENANT=N): %s\n", a);
+        return false;
+      }
+      cli->quotas[std::string(a + 8, eq)].max_in_flight = std::atoi(eq + 1);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return false;
@@ -120,8 +151,23 @@ int main(int argc, char** argv) {
   static const char* kTenants[] = {"ci", "sweep", "chaos"};
   std::vector<std::string> kernels = registry.ids();
 
-  JobServer server(registry,
-                   {cli.workers, cli.cache, /*serialize_default_threads=*/true});
+  // Env defaults for the fault-tolerance knobs (flags win; from_env is the
+  // runtime's single env reader).
+  vgpu::RuntimeOptions env = vgpu::RuntimeOptions::from_env();
+  if (cli.retry.empty()) cli.retry = env.retry_spec;
+  if (cli.cache_dir.empty()) cli.cache_dir = env.serve_cache_dir;
+
+  JobServer::Config cfg{cli.workers, cli.cache,
+                        /*serialize_default_threads=*/true};
+  try {
+    cfg.retry = vgpu::serve::RetryPolicy::parse(cli.retry);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  cfg.quotas = cli.quotas;
+  cfg.cache_dir = cli.cache_dir;
+  JobServer server(registry, cfg);
   Lcg rng{cli.seed * 2654435761ull + 1};
   std::vector<JobSpec> issued;
   int repeats = 0;
@@ -138,6 +184,8 @@ int main(int argc, char** argv) {
       spec.kernel = kernels[rng.below(kernels.size())];
       spec.n = 0;  // Registry default size.
       spec.options = tenant_options(tenant);
+      if (!cli.fault.empty()) spec.options.fault_spec = cli.fault;
+      if (cli.devices > 0) spec.options.devices = cli.devices;
     }
     server.submit(spec);
     issued.push_back(std::move(spec));

@@ -18,6 +18,7 @@
 #include "core/taskgraph.hpp"
 #include "core/unimem.hpp"
 #include "core/warpdiv.hpp"
+#include "fault/inject.hpp"
 #include "grade/json.hpp"
 #include "grade/verdict.hpp"
 #include "rt/runtime.hpp"
@@ -25,6 +26,16 @@
 namespace vgpu::serve {
 
 namespace {
+
+std::string hex64(std::uint64_t h) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
 
 /// Render a naive/optimized pair as the bench blob. Field order is the
 /// schema; values are shortest-round-trip (grade/json.hpp) so the blob is
@@ -44,17 +55,35 @@ std::string pair_blob(std::string_view kernel, long long n,
   return w.str();
 }
 
+/// The multi-GPU blob: same shape plus scale-out observables. The checksum
+/// is the ports layer's FNV over the optimized result bytes, rendered as 16
+/// hex digits — the cross-run determinism probe.
+std::string multi_blob(std::string_view kernel, long long n,
+                       const cumb::MultiPairResult& r) {
+  grade::JsonWriter w;
+  w.begin_object();
+  w.kv("kernel", kernel);
+  w.kv("n", static_cast<std::int64_t>(n));
+  w.kv("devices", static_cast<std::int64_t>(r.devices));
+  w.kv("naive_us", r.naive_us);
+  w.kv("optimized_us", r.optimized_us);
+  w.kv("speedup", r.speedup());
+  w.kv("verified", r.results_match());
+  w.kv("checksum", hex64(r.checksum));
+  w.kv("naive_transfers", static_cast<std::int64_t>(r.naive_transfers));
+  w.kv("optimized_transfers", static_cast<std::int64_t>(r.optimized_transfers));
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
 
 KernelRegistry KernelRegistry::builtin() {
   KernelRegistry reg;
   auto add = [&reg](const char* name, long long default_n,
                     std::function<cumb::PairResult(Runtime&, long long)> run) {
-    std::string id = std::string("bench:") + name;
-    reg.bench_[id] = BenchEntry{
-        default_n, [id, run = std::move(run)](Runtime& rt, long long n) {
-          return pair_blob(id, n, run(rt, n));
-        }};
+    reg.bench_[std::string("bench:") + name] =
+        BenchEntry{default_n, std::move(run)};
   };
   // Default sizes are the table1_summary --smoke shapes: every size
   // constraint (comem's grid*block divisibility, dynparallel's pow2 floor,
@@ -130,6 +159,26 @@ KernelRegistry KernelRegistry::builtin() {
       [](Runtime& rt, long long n) -> cumb::PairResult {
         return cumb::run_layout(rt, static_cast<int>(n));
       });
+
+  // Multi-GPU scaling pairs. The device count comes from the job's
+  // RuntimeOptions (devices/topology), so one kernel id covers every
+  // scale-out shape; default sizes are the multi_test smoke shapes.
+  reg.multi_["multi:halo"] = MultiEntry{
+      1 << 12, [](const RuntimeOptions& opts, long long n) {
+        return cumb::run_halo_exchange(opts, opts.devices,
+                                       static_cast<int>(n), /*steps=*/4);
+      }};
+  reg.multi_["multi:histogram"] = MultiEntry{
+      1 << 14, [](const RuntimeOptions& opts, long long n) {
+        return cumb::run_sharded_histogram(opts, opts.devices,
+                                           static_cast<int>(n), /*bins=*/64,
+                                           /*skew=*/0.25);
+      }};
+  reg.multi_["multi:matmul"] = MultiEntry{
+      64, [](const RuntimeOptions& opts, long long n) {
+        int e = static_cast<int>(n);
+        return cumb::run_pipelined_matmul(opts, opts.devices, e, e, e);
+      }};
   return reg;
 }
 
@@ -151,11 +200,13 @@ std::vector<std::string> KernelRegistry::ids() const {
       out.push_back("grade:" + e->task + "/" + e->name);
     }
   }
+  for (const auto& [id, entry] : multi_) out.push_back(id);
   return out;
 }
 
 bool KernelRegistry::known(std::string_view kernel) const {
   if (bench_.count(std::string(kernel)) != 0) return true;
+  if (multi_.count(std::string(kernel)) != 0) return true;
   if (kernel.rfind("grade:", 0) == 0 && grade_tasks_ != nullptr &&
       grade_plugins_ != nullptr) {
     std::string_view rest = kernel.substr(6);
@@ -168,9 +219,19 @@ bool KernelRegistry::known(std::string_view kernel) const {
   return false;
 }
 
+KernelKind KernelRegistry::kind(std::string_view kernel) const {
+  if (bench_.count(std::string(kernel)) != 0) return KernelKind::kBench;
+  if (multi_.count(std::string(kernel)) != 0) return KernelKind::kMulti;
+  if (known(kernel)) return KernelKind::kGrade;
+  throw std::invalid_argument("vgpu-serve: unknown kernel: " +
+                              std::string(kernel));
+}
+
 long long KernelRegistry::default_size(std::string_view kernel) const {
   auto it = bench_.find(std::string(kernel));
   if (it != bench_.end()) return it->second.default_n;
+  auto mit = multi_.find(std::string(kernel));
+  if (mit != multi_.end()) return mit->second.default_n;
   if (known(kernel)) return 0;  // grade: the task spec owns its inputs.
   throw std::invalid_argument("vgpu-serve: unknown kernel: " +
                               std::string(kernel));
@@ -178,11 +239,73 @@ long long KernelRegistry::default_size(std::string_view kernel) const {
 
 std::string KernelRegistry::run(std::string_view kernel, long long n,
                                 const RuntimeOptions& opts) const {
+  return run(kernel, n, opts, ExecHooks{});
+}
+
+std::string KernelRegistry::run(std::string_view kernel, long long n,
+                                const RuntimeOptions& opts,
+                                const ExecHooks& hooks) const {
   auto it = bench_.find(std::string(kernel));
   if (it != bench_.end()) {
     long long size = n > 0 ? n : it->second.default_n;
     Runtime rt(opts);
-    return it->second.fn(rt, size);
+    if (hooks.injector != nullptr) rt.adopt_fault_injector(hooks.injector);
+    // Classify the attempt the way a careful CUDA host program would: peek
+    // the last recorded error, then cudaDeviceSynchronize to surface any
+    // deferred async error (a sticky launch failure parks on the stream
+    // until the next sync — bench kernels themselves never sync, the
+    // simulator runs their launches eagerly). Without the sync a killed
+    // kernel whose output a later iteration overwrites would pass
+    // verification with silently perturbed timings.
+    auto classify = [&rt](ErrorCode fallback) {
+      ErrorCode c = rt.peek_last_error();
+      if (c == ErrorCode::kSuccess) c = rt.synchronize();
+      return c == ErrorCode::kSuccess ? fallback : c;
+    };
+    try {
+      cumb::PairResult r = it->second.fn(rt, size);
+      if (hooks.outcome != nullptr) {
+        hooks.outcome->verified = r.results_match;
+        hooks.outcome->code = classify(ErrorCode::kSuccess);
+        hooks.outcome->device_errors.clear();
+      }
+      return pair_blob(kernel, size, r);
+    } catch (...) {
+      // Fill the outcome before the exception leaves: the recorded device
+      // error classifies the failure (sticky vs transient) for retries.
+      if (hooks.outcome != nullptr) {
+        hooks.outcome->verified = false;
+        hooks.outcome->code = classify(ErrorCode::kUnknown);
+        hooks.outcome->device_errors.clear();
+      }
+      throw;
+    }
+  }
+  auto mit = multi_.find(std::string(kernel));
+  if (mit != multi_.end()) {
+    long long size = n > 0 ? n : mit->second.default_n;
+    try {
+      cumb::MultiPairResult r = mit->second.fn(opts, size);
+      if (hooks.outcome != nullptr) {
+        hooks.outcome->verified = r.results_match();
+        hooks.outcome->device_errors = r.device_errors;
+        ErrorCode c = ErrorCode::kSuccess;
+        for (int e : r.device_errors)
+          if (e != 0) {
+            c = static_cast<ErrorCode>(e);
+            break;
+          }
+        hooks.outcome->code = c;
+      }
+      return multi_blob(kernel, size, r);
+    } catch (...) {
+      if (hooks.outcome != nullptr) {
+        hooks.outcome->verified = false;
+        hooks.outcome->code = ErrorCode::kUnknown;
+        hooks.outcome->device_errors.clear();
+      }
+      throw;
+    }
   }
   if (known(kernel)) {
     std::string_view rest = kernel.substr(6);
@@ -195,6 +318,10 @@ std::string KernelRegistry::run(std::string_view kernel, long long n,
     grade::Verdict v =
         grade::run_grade(*grade_tasks_, *grade_plugins_, rest.substr(0, slash),
                          rest.substr(slash + 1), gopts);
+    // Grade failures are structured verdicts in the blob, not retryable
+    // execution faults: the outcome stays "success" so the retry engine
+    // gives grade jobs exactly one attempt.
+    if (hooks.outcome != nullptr) *hooks.outcome = RunOutcome{};
     return grade::to_json(v);
   }
   throw std::invalid_argument("vgpu-serve: unknown kernel: " +
@@ -207,13 +334,7 @@ std::string fnv1a64_hex(std::string_view s) {
     h ^= c;
     h *= 1099511628211ull;
   }
-  static const char* hex = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
-    h >>= 4;
-  }
-  return out;
+  return hex64(h);
 }
 
 }  // namespace vgpu::serve

@@ -1,0 +1,60 @@
+#include "serve/retry.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace vgpu::serve {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view what, std::string_view token) {
+  throw std::invalid_argument("VGPU_RETRY: " + std::string(what) + ": '" +
+                              std::string(token) + "'");
+}
+
+std::uint64_t parse_u64(std::string_view t) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc{} || p != t.data() + t.size()) bad_spec("bad integer", t);
+  return v;
+}
+
+}  // namespace
+
+RetryPolicy RetryPolicy::parse(std::string_view spec) {
+  RetryPolicy pol;
+  while (!spec.empty()) {
+    std::size_t comma = spec.find(',');
+    std::string_view tok = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (tok.empty()) continue;
+    if (tok.starts_with("attempts=")) {
+      std::uint64_t v = parse_u64(tok.substr(9));
+      if (v < 1 || v > 64) bad_spec("attempts out of range (1..64)", tok);
+      pol.max_attempts = static_cast<int>(v);
+    } else if (tok.starts_with("backoff=")) {
+      pol.backoff_us = parse_u64(tok.substr(8));
+    } else if (tok.starts_with("multiplier=")) {
+      std::uint64_t v = parse_u64(tok.substr(11));
+      if (v < 1 || v > 64) bad_spec("multiplier out of range (1..64)", tok);
+      pol.multiplier = static_cast<int>(v);
+    } else if (tok.starts_with("evict=")) {
+      std::uint64_t v = parse_u64(tok.substr(6));
+      if (v < 1 || v > 64) bad_spec("evict out of range (1..64)", tok);
+      pol.evict_after = static_cast<int>(v);
+    } else {
+      bad_spec("unknown parameter", tok);
+    }
+  }
+  return pol;
+}
+
+std::string RetryPolicy::to_string() const {
+  return "attempts=" + std::to_string(max_attempts) +
+         ",backoff=" + std::to_string(backoff_us) +
+         ",multiplier=" + std::to_string(multiplier) +
+         ",evict=" + std::to_string(evict_after);
+}
+
+}  // namespace vgpu::serve

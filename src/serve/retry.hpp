@@ -1,0 +1,40 @@
+#pragma once
+
+// vgpu-serve retry policy: how a job recovers from injected faults.
+//
+// Grammar (VGPU_RETRY / --retry=, comma-separated, any subset, any order):
+//
+//   attempts=N     total execution attempts per job, >= 1   (default 3)
+//   backoff=US     first retry's simulated backoff in us    (default 50)
+//   multiplier=M   exponential backoff factor, >= 1         (default 2)
+//   evict=K        device fault trips before eviction, >= 1 (default 2)
+//
+// Parsing follows the VGPU_FAULT philosophy: a malformed spec throws
+// std::invalid_argument rather than silently serving with a default policy.
+//
+// Backoff is *simulated* time, charged to the JobServer's shared HostClock —
+// deterministic exact integers (base * multiplier^k), never wall clock, so a
+// retried job's report bytes are identical at any worker count.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vgpu::serve {
+
+struct RetryPolicy {
+  int max_attempts = 3;           ///< Total attempts (first try included).
+  std::uint64_t backoff_us = 50;  ///< Simulated backoff before retry 1.
+  int multiplier = 2;             ///< Backoff factor per further retry.
+  int evict_after = 2;            ///< Device fault trips before eviction.
+
+  /// Parse a spec (see grammar above); "" yields the defaults. Throws
+  /// std::invalid_argument on unknown keys, bad integers or out-of-range
+  /// values.
+  static RetryPolicy parse(std::string_view spec);
+
+  /// Canonical re-rendering (round-trips through parse()).
+  std::string to_string() const;
+};
+
+}  // namespace vgpu::serve

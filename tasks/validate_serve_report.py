@@ -1,16 +1,30 @@
 #!/usr/bin/env python3
 """Validate a vgpu-serve report against tasks/serve_report.schema.json.
 
+The shipped schema describes the current report version (2, the
+fault-tolerance surface). Version-1 reports — emitted before the retry
+engine, quotas, device health and the persistent cache existed — are still
+accepted: the validator derives the v1 schema from the v2 one by shrinking
+the required field sets and version constants back to the v1 shape, so old
+archived reports keep validating without shipping two schema files.
+
 Reuses the stdlib-only schema walker from validate_verdicts.py and layers
 the cross-field invariants a schema can't express:
 
 - per-tenant counters reconcile with the job records (submitted = records,
-  completed = ok records, cached/failed likewise);
+  completed = ok records, cached/failed likewise; v2 adds retried =
+  records with attempts > 1 and the quota_wait_us sum);
 - cache hits equal the number of cached job records, and misses are at
   least the number of distinct executed keys;
 - every cached record has an uncached sibling with the same key and a
   byte-identical result (the whole point of deterministic caching);
-- with any repeats in the queue the hit rate must be positive.
+- with any repeats in the queue the hit rate must be positive;
+- v2: every record claims at least one attempt, every failed record's
+  attempt log ends in "give_up", the top-level degraded flag reconciles
+  with per-job degraded flags and device_health rows, simulated_wait_us
+  equals the sum of all backoff and quota waits, and the persistent-cache
+  counters are all zero when persistence is disabled (loads never exceed
+  hits when it is enabled).
 
 Exit codes: 0 all valid, 1 schema/invariant violations, 2 usage error or a
 report whose schema_version this validator does not understand (checked
@@ -20,6 +34,7 @@ invalid, it is unreadable here).
 Usage: validate_serve_report.py SCHEMA REPORT.json [REPORT.json ...]
 """
 
+import copy
 import json
 import sys
 from pathlib import Path
@@ -27,19 +42,51 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from validate_verdicts import validate  # noqa: E402
 
-KNOWN_SCHEMA_VERSIONS = {1}
+KNOWN_SCHEMA_VERSIONS = {1, 2}
+
+V1_TOP_REQUIRED = ["schema", "schema_version", "config", "jobs", "tenants",
+                   "cache"]
+V1_CONFIG_REQUIRED = ["workers", "cache_capacity"]
+V1_JOB_REQUIRED = ["id", "tenant", "kernel", "n", "key", "ok", "cached"]
+V1_TENANT_REQUIRED = ["tenant", "submitted", "completed", "cached", "failed"]
+V1_CACHE_REQUIRED = ["hits", "misses", "evictions", "entries", "capacity"]
+
+
+def schema_for_version(schema, version):
+    """The shipped (v2) schema, or its v1 relaxation: v1 constants, v1
+    required sets, and v1's error contract (a failed job carries only the
+    message string). Properties stay — a v1 report simply never has them."""
+    if version == 2:
+        return schema
+    v1 = copy.deepcopy(schema)
+    v1["required"] = V1_TOP_REQUIRED
+    v1["properties"]["schema"] = {"const": "vgpu-serve-report-v1"}
+    v1["properties"]["schema_version"] = {"const": 1}
+    v1["properties"]["config"]["required"] = V1_CONFIG_REQUIRED
+    v1["properties"]["cache"]["required"] = V1_CACHE_REQUIRED
+    job = v1["definitions"]["job"]
+    job["required"] = V1_JOB_REQUIRED
+    job["properties"]["kernel"] = {"type": "string",
+                                   "pattern": "^(bench|grade):"}
+    job["allOf"][0]["else"]["required"] = ["error"]
+    v1["definitions"]["tenant"]["required"] = V1_TENANT_REQUIRED
+    return v1
 
 
 def cross_checks(doc, errors):
+    version = doc["schema_version"]
     jobs = doc.get("jobs", [])
     by_tenant = {}
     for j in jobs:
         s = by_tenant.setdefault(
-            j["tenant"], {"submitted": 0, "completed": 0, "cached": 0, "failed": 0})
+            j["tenant"], {"submitted": 0, "completed": 0, "cached": 0,
+                          "failed": 0, "retried": 0, "quota_wait_us": 0})
         s["submitted"] += 1
         s["completed"] += 1 if j["ok"] else 0
         s["cached"] += 1 if j["cached"] else 0
         s["failed"] += 0 if j["ok"] else 1
+        s["retried"] += 1 if j.get("attempts", 1) > 1 else 0
+        s["quota_wait_us"] += j.get("quota_wait_us", 0)
 
     reported = {t["tenant"]: t for t in doc.get("tenants", [])}
     if set(reported) != set(by_tenant):
@@ -50,6 +97,8 @@ def cross_checks(doc, errors):
         if got is None:
             continue
         for k, v in want.items():
+            if k in ("retried", "quota_wait_us") and version < 2:
+                continue
             if got[k] != v:
                 errors.append(f"tenant {name!r}: {k} is {got[k]}, "
                               f"job records say {v}")
@@ -65,7 +114,11 @@ def cross_checks(doc, errors):
                       f"keys {len(executed_keys)}")
 
     # Deterministic caching: a cached record's bytes must equal the bytes of
-    # the record that actually executed its key.
+    # the record that actually executed its key. With a persistent cache a
+    # cached record may have no executed sibling in THIS run (it replayed
+    # from a previous server's disk spill), so the orphan check only applies
+    # when persistence is off.
+    persistent = cache.get("persistent", {}).get("enabled", False)
     executed = {}
     for j in jobs:
         if j["ok"] and not j["cached"]:
@@ -75,8 +128,9 @@ def cross_checks(doc, errors):
             continue
         fresh = executed.get(j["key"])
         if fresh is None:
-            errors.append(f"job {j['id']}: cached but no executed record "
-                          f"shares key {j['key']}")
+            if not persistent:
+                errors.append(f"job {j['id']}: cached but no executed record "
+                              f"shares key {j['key']}")
         elif fresh != j["result"]:
             errors.append(f"job {j['id']}: cached result differs from the "
                           f"executed result for key {j['key']}")
@@ -86,6 +140,55 @@ def cross_checks(doc, errors):
     if repeats > 0 and cache.get("hits", 0) == 0:
         errors.append(f"{repeats} repeated keys in the queue but cache.hits "
                       f"is 0")
+
+    if version >= 2:
+        cross_checks_v2(doc, jobs, cache, errors)
+
+
+def cross_checks_v2(doc, jobs, cache, errors):
+    for j in jobs:
+        if not j["ok"]:
+            log = j["attempt_log"]
+            if not log or log[-1]["action"] != "give_up":
+                errors.append(f"job {j['id']}: failed but attempt_log does "
+                              f"not end in give_up")
+        if j["cached"] and j["attempts"] != 1:
+            errors.append(f"job {j['id']}: cached but attempts "
+                          f"{j['attempts']} != 1")
+
+    # Degraded reconciliation: the top-level flag, per-job flags, and the
+    # health table must tell the same story.
+    job_degraded = any(j["degraded"] for j in jobs)
+    if doc["degraded"] != job_degraded:
+        errors.append(f"degraded is {doc['degraded']} but job records say "
+                      f"{job_degraded}")
+    evicting = [h for h in doc["device_health"] if h["evicted_jobs"] > 0]
+    if doc["degraded"] != bool(evicting):
+        errors.append(f"degraded is {doc['degraded']} but device_health has "
+                      f"{len(evicting)} evicting rows")
+    for h in doc["device_health"]:
+        if h["healthy"] != (h["evicted_jobs"] == 0):
+            errors.append(f"device {h['device']}: healthy {h['healthy']} "
+                          f"inconsistent with evicted_jobs {h['evicted_jobs']}")
+
+    # Simulated waiting time is exactly the sum of every job's backoff and
+    # quota wait (integer-valued, so float equality is exact).
+    want_wait = sum(j["backoff_us"] + j["quota_wait_us"] for j in jobs)
+    if doc["simulated_wait_us"] != want_wait:
+        errors.append(f"simulated_wait_us {doc['simulated_wait_us']} != "
+                      f"sum of job waits {want_wait}")
+
+    persistent = cache["persistent"]
+    if persistent["enabled"] != doc["config"]["persistent_cache"]:
+        errors.append("cache.persistent.enabled != config.persistent_cache")
+    if not persistent["enabled"]:
+        for k in ("stores", "loads", "quarantined"):
+            if persistent[k] != 0:
+                errors.append(f"persistence disabled but persistent.{k} is "
+                              f"{persistent[k]}")
+    elif persistent["loads"] > cache["hits"]:
+        errors.append(f"persistent.loads {persistent['loads']} > cache.hits "
+                      f"{cache['hits']} (every disk load is served as a hit)")
 
 
 def main(argv):
@@ -104,7 +207,8 @@ def main(argv):
                   f"{sorted(KNOWN_SCHEMA_VERSIONS)}")
             return 2
         errors = []
-        validate(doc, schema, schema, "$", errors)
+        versioned = schema_for_version(schema, version)
+        validate(doc, versioned, versioned, "$", errors)
         if not errors:
             cross_checks(doc, errors)
         if errors:
@@ -115,7 +219,8 @@ def main(argv):
         else:
             jobs = doc["jobs"]
             hits = doc["cache"]["hits"]
-            print(f"ok {path}: {len(jobs)} jobs, {hits} served from cache")
+            print(f"ok {path}: v{version}, {len(jobs)} jobs, {hits} served "
+                  f"from cache")
     return 1 if bad else 0
 
 

@@ -64,6 +64,8 @@ TEST(RuntimeOptions, FromEnvReadsEveryKnob) {
   ScopedEnv a("VGPU_ADVISE", "warn");
   ScopedEnv ap("VGPU_ADVISE_OUT", "/tmp/a.json");
   ScopedEnv fs("VGPU_FAULT", "oom:nth=2");
+  ScopedEnv r("VGPU_RETRY", "attempts=5,backoff=10");
+  ScopedEnv cd("VGPU_SERVE_CACHE_DIR", "/tmp/spill");
   RuntimeOptions o = RuntimeOptions::from_env(DeviceProfile::test_tiny());
   EXPECT_EQ(o.sim_threads, 3);
   EXPECT_EQ(o.fidelity, Fidelity::kFast);
@@ -73,6 +75,8 @@ TEST(RuntimeOptions, FromEnvReadsEveryKnob) {
   EXPECT_EQ(o.advise, AdviseMode::kWarn);
   EXPECT_EQ(o.advise_json_path, "/tmp/a.json");
   EXPECT_EQ(o.fault_spec, "oom:nth=2");
+  EXPECT_EQ(o.retry_spec, "attempts=5,backoff=10");
+  EXPECT_EQ(o.serve_cache_dir, "/tmp/spill");
 }
 
 TEST(RuntimeOptions, ExplicitConstructionNeverConsultsEnv) {
@@ -122,6 +126,10 @@ TEST(RuntimeOptions, CanonicalExcludesObservationalKnobs) {
   b.advise = AdviseMode::kFull;
   b.trace_path = "/tmp/x.json";
   b.advise_json_path = "/tmp/y.json";
+  // Serve-layer knobs shape retries and persistence, never result bytes —
+  // a cached blob must hit regardless of the retry policy that produced it.
+  b.retry_spec = "attempts=5";
+  b.serve_cache_dir = "/tmp/spill";
   EXPECT_EQ(a.canonical(), b.canonical());
 }
 

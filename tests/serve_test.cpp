@@ -27,18 +27,22 @@ RuntimeOptions tiny_defaults() {
 TEST(ServeRegistry, BuiltinCoversEveryBenchPair) {
   KernelRegistry reg = KernelRegistry::builtin();
   std::vector<std::string> ids = reg.ids();
-  EXPECT_EQ(ids.size(), 17u);  // 14 Table-I pairs + constpoly/histogram/layout.
+  // 14 Table-I pairs + constpoly/histogram/layout + 3 multi-GPU ports.
+  EXPECT_EQ(ids.size(), 20u);
   for (const char* id :
        {"bench:comem", "bench:warpdiv", "bench:memalign", "bench:shmem_mm",
         "bench:conkernels", "bench:taskgraph", "bench:hdoverlap",
         "bench:gsoverlap", "bench:bankredux", "bench:shuffle",
         "bench:readonly", "bench:constpoly", "bench:unimem",
         "bench:minitransfer", "bench:dynparallel", "bench:histogram",
-        "bench:layout"}) {
+        "bench:layout", "multi:halo", "multi:histogram", "multi:matmul"}) {
     EXPECT_TRUE(reg.known(id)) << id;
     EXPECT_GT(reg.default_size(id), 0) << id;
   }
+  EXPECT_EQ(reg.kind("bench:comem"), serve::KernelKind::kBench);
+  EXPECT_EQ(reg.kind("multi:halo"), serve::KernelKind::kMulti);
   EXPECT_FALSE(reg.known("bench:nope"));
+  EXPECT_FALSE(reg.known("multi:nope"));
   EXPECT_FALSE(reg.known("grade:comem/comem_coalesced"));  // Not attached.
   EXPECT_THROW(reg.default_size("bench:nope"), std::invalid_argument);
   EXPECT_THROW(reg.run("bench:nope", 0, tiny_defaults()), std::invalid_argument);
@@ -214,7 +218,7 @@ TEST(ServeServer, ReportIsDeterministicAcrossWorkerCounts) {
     return s.substr(s.find("\"jobs\""));
   };
   EXPECT_EQ(tail(serial), tail(parallel));
-  EXPECT_NE(serial.find("\"schema\": \"vgpu-serve-report-v1\""),
+  EXPECT_NE(serial.find("\"schema\": \"vgpu-serve-report-v2\""),
             std::string::npos);
 }
 
